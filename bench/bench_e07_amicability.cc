@@ -1,0 +1,106 @@
+// E7 -- Amicability of bounded-growth decay spaces (Theorem 4).
+//
+// Every feasible set S contains S' with |S'| >= c|S|/h(zeta) and
+// a_v(S') <= (1 + 2e^2) D for every link v.  We build the Theorem 4 witness
+// on planar deployments across alpha, reporting the realised shrink factor
+// h and the out-affectance constant, plus the regret-game throughput that
+// amicability underwrites ([1]-style no-regret capacity).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "capacity/amicability.h"
+#include "capacity/baselines.h"
+#include "core/dimensions.h"
+#include "core/metricity.h"
+#include "distributed/regret_game.h"
+#include "sinr/power.h"
+
+using namespace decaylib;
+
+int main() {
+  bench::Banner("E7", "Amicability witness (Theorem 4)",
+                "bounded-growth spaces are O(D zeta^{2A'})-amicable; "
+                "(1+2e^2)D out-affectance");
+
+  {
+    std::printf("\n(a) Witness constants across alpha (40 links, mean of 3 "
+                "seeds)\n\n");
+    bench::Table table({"alpha", "zeta", "|S|", "|S'|", "shrink h",
+                        "max a_v(S')", "indep dim D"});
+    for (const double alpha : {2.0, 3.0, 4.0, 6.0}) {
+      double zeta_acc = 0.0;
+      double s_acc = 0.0;
+      double sp_acc = 0.0;
+      double shrink_acc = 0.0;
+      double out_acc = 0.0;
+      int dim = 0;
+      const int trials = 3;
+      for (std::uint64_t seed = 1; seed <= trials; ++seed) {
+        geom::Rng rng(seed * 7 + static_cast<std::uint64_t>(alpha));
+        bench::PlanarDeployment dep(40, 22.0, 0.5, 1.2, rng);
+        const core::DecaySpace space =
+            core::DecaySpace::Geometric(dep.points, alpha);
+        const double zeta = std::max(1.0, core::Metricity(space));
+        const sinr::LinkSystem system(space, dep.links, {1.0, 0.0});
+        const auto S = capacity::GreedyFeasible(system);
+        const auto witness =
+            capacity::BuildAmicabilityWitness(system, S, zeta);
+        zeta_acc += zeta;
+        s_acc += static_cast<double>(S.size());
+        sp_acc += static_cast<double>(witness.s_prime.size());
+        shrink_acc += witness.shrink_factor;
+        out_acc += witness.max_out_affectance;
+        if (seed == 1) {
+          // Independence dimension of the *sender* positions (<= 5 in the
+          // plane); restrict to senders for tractability.
+          std::vector<int> senders;
+          for (const auto& link : dep.links) senders.push_back(link.sender);
+          dim = core::IndependenceDimension(space.Subspace(senders));
+        }
+      }
+      table.AddRow({bench::Fmt(alpha, 1), bench::Fmt(zeta_acc / trials),
+                    bench::Fmt(s_acc / trials, 1),
+                    bench::Fmt(sp_acc / trials, 1),
+                    bench::Fmt(shrink_acc / trials),
+                    bench::Fmt(out_acc / trials), bench::FmtInt(dim)});
+    }
+    table.Print();
+    std::printf("\n(1 + 2e^2) * 5 = %.1f is the planar Theorem 4 ceiling.\n",
+                (1.0 + 2.0 * std::exp(2.0)) * 5.0);
+  }
+
+  {
+    std::printf(
+        "\n(b) What amicability buys: no-regret capacity game throughput vs "
+        "centralized OPT-ish\n\n");
+    bench::Table table({"alpha", "greedy capacity", "regret-game successes",
+                        "ratio"});
+    for (const double alpha : {2.5, 3.0, 4.0}) {
+      geom::Rng rng(static_cast<std::uint64_t>(alpha * 100));
+      bench::PlanarDeployment dep(24, 20.0, 0.5, 1.2, rng);
+      const core::DecaySpace space =
+          core::DecaySpace::Geometric(dep.points, alpha);
+      const sinr::LinkSystem system(space, dep.links, {2.0, 0.0});
+      const auto greedy = capacity::GreedyFeasible(system);
+      distributed::RegretConfig config;
+      config.rounds = 3000;
+      config.measure_tail = 500;
+      geom::Rng game_rng(9);
+      const auto result =
+          distributed::RunRegretGame(system, config, game_rng);
+      table.AddRow({bench::Fmt(alpha, 1),
+                    bench::FmtInt(static_cast<long long>(greedy.size())),
+                    bench::Fmt(result.average_successes, 2),
+                    bench::Fmt(result.average_successes /
+                               std::max<std::size_t>(1, greedy.size()), 2)});
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nExpected shape: max out-affectance below the (1+2e^2)D ceiling "
+      "with plenty of slack;\nshrink h grows polynomially (not "
+      "exponentially) in zeta; the regret game sustains a\nconstant fraction "
+      "of centralized capacity.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// E11 -- Distributed local broadcast across spaces of different fading
+// parameter (Sec. 3.2/3.3).
+//
+// The annulus argument makes randomized local broadcast work whenever
+// gamma(r) is bounded: the expected affectance at a listener from
+// constant-density transmitters is O(gamma).  We run the same protocol on
+// free-space, walled and shadowed deployments and report rounds to
+// completion next to the measured gamma of each space.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/fading.h"
+#include "distributed/local_broadcast.h"
+#include "env/propagation.h"
+#include "geom/samplers.h"
+#include "spaces/samplers.h"
+
+using namespace decaylib;
+
+namespace {
+
+struct Row {
+  const char* name;
+  core::DecaySpace space;
+};
+
+}  // namespace
+
+int main() {
+  bench::Banner("E11", "Local broadcast vs the fading parameter",
+                "rounds-to-completion tracks gamma of the space "
+                "(annulus argument in action)");
+
+  const int n = 24;
+  geom::Rng placement(3);
+  const auto pts = geom::SampleMinDistance(n, 20.0, 20.0, 1.5, placement);
+  const auto nodes = env::PlaceIsotropic(pts);
+
+  std::vector<Row> rows;
+  {
+    env::PropagationConfig config;
+    config.alpha = 3.0;
+    rows.push_back({"free space a=3",
+                    env::BuildDecaySpace(env::Environment(), config, nodes)});
+    env::Environment office = env::Environment::OfficeGrid(20.0, 20.0, 3, 3);
+    rows.push_back({"office 3x3 a=3",
+                    env::BuildDecaySpace(office, config, nodes)});
+    env::PropagationConfig shadowed = config;
+    shadowed.shadowing_sigma_db = 8.0;
+    rows.push_back({"shadowed 8dB a=3",
+                    env::BuildDecaySpace(env::Environment(), shadowed, nodes)});
+    env::PropagationConfig slow = config;
+    slow.alpha = 2.2;
+    rows.push_back({"free space a=2.2",
+                    env::BuildDecaySpace(env::Environment(), slow, nodes)});
+  }
+
+  bench::Table table({"space", "gamma(r) greedy", "mean degree", "rounds",
+                      "transmissions", "completed"});
+  for (const Row& row : rows) {
+    // Neighborhood radius: decay reaching ~ the 4 nearest neighbours.
+    // Use the median 4th-smallest decay per node.
+    std::vector<double> fourth;
+    for (int v = 0; v < row.space.size(); ++v) {
+      std::vector<double> decays;
+      for (int u = 0; u < row.space.size(); ++u) {
+        if (u != v) decays.push_back(row.space(v, u));
+      }
+      std::sort(decays.begin(), decays.end());
+      fourth.push_back(decays[3]);
+    }
+    std::sort(fourth.begin(), fourth.end());
+    const double r = fourth[fourth.size() / 2];
+
+    const double gamma = core::FadingParameter(row.space, r, /*exact=*/false);
+    const distributed::RoundSimulator sim(row.space, {1.0, 2.0, 1e-12});
+    double degree = 0.0;
+    for (int v = 0; v < row.space.size(); ++v) {
+      degree += static_cast<double>(sim.Neighborhood(v, r).size());
+    }
+    degree /= row.space.size();
+
+    distributed::BroadcastConfig config;
+    config.neighborhood_r = r;
+    config.max_rounds = 200000;
+    geom::Rng rng(17);
+    const auto result = distributed::RunLocalBroadcast(sim, config, rng);
+    table.AddRow({row.name, bench::Fmt(gamma, 2), bench::Fmt(degree, 1),
+                  bench::FmtInt(result.rounds),
+                  bench::FmtInt(result.transmissions),
+                  result.completed ? "yes" : "NO"});
+  }
+  table.Print();
+
+  std::printf(
+      "\nExpected shape: every run completes; spaces with larger gamma "
+      "(slow decay, heavy\nshadowing) need more rounds at comparable "
+      "neighborhood degree -- the protocol's\ncost is governed by the "
+      "fading parameter, not by geometry.\n");
+  return 0;
+}

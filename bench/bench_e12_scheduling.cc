@@ -1,0 +1,87 @@
+// E12 -- Scheduling and distributed contention resolution on decay spaces
+// (the transfer list of Sec. 2.3).
+//
+// SCHEDULING by repeated capacity extraction and Kesselheim-Vocking-style
+// contention resolution both carry over to decay spaces by Prop. 1; we
+// measure schedule lengths and convergence slots across alpha and wall
+// density.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/metricity.h"
+#include "distributed/contention.h"
+#include "env/propagation.h"
+#include "scheduling/scheduler.h"
+#include "sinr/power.h"
+
+using namespace decaylib;
+
+int main() {
+  bench::Banner("E12", "Scheduling + contention resolution transfer",
+                "schedule length and convergence track zeta (Prop. 1 "
+                "transfer of [16,17,45])");
+
+  {
+    std::printf("\n(a) Schedule length across alpha (60 links, 24m box)\n\n");
+    bench::Table table({"alpha", "zeta", "slots alg1", "slots greedy",
+                        "valid"});
+    for (const double alpha : {2.0, 3.0, 4.0, 6.0}) {
+      geom::Rng rng(static_cast<std::uint64_t>(alpha * 19));
+      bench::PlanarDeployment dep(60, 24.0, 0.5, 1.5, rng);
+      const core::DecaySpace space =
+          core::DecaySpace::Geometric(dep.points, alpha);
+      const double zeta = std::max(1.0, core::Metricity(space));
+      const sinr::LinkSystem system(space, dep.links, {1.0, 0.0});
+      const auto s1 = scheduling::ScheduleLinks(
+          system, zeta, scheduling::Extractor::kAlgorithm1);
+      const auto s2 = scheduling::ScheduleLinks(
+          system, zeta, scheduling::Extractor::kGreedyFeasible);
+      const auto all = sinr::AllLinks(system);
+      const bool valid = scheduling::ValidateSchedule(system, s1, all) &&
+                         scheduling::ValidateSchedule(system, s2, all);
+      table.AddRow({bench::Fmt(alpha, 1), bench::Fmt(zeta),
+                    bench::FmtInt(s1.Length()), bench::FmtInt(s2.Length()),
+                    valid ? "yes" : "NO"});
+    }
+    table.Print();
+  }
+
+  {
+    std::printf("\n(b) Walls raise zeta and stretch schedules (40 links, "
+                "alpha = 2.8)\n\n");
+    bench::Table table({"rooms", "zeta", "slots greedy", "contention slots",
+                        "completed"});
+    geom::Rng rng(23);
+    bench::PlanarDeployment dep(40, 24.0, 0.5, 1.2, rng);
+    env::PropagationConfig config;
+    config.alpha = 2.8;
+    for (const int rooms : {0, 2, 4}) {
+      env::Environment environment =
+          rooms == 0 ? env::Environment()
+                     : env::Environment::OfficeGrid(24.0, 24.0, rooms, rooms);
+      const core::DecaySpace space = env::BuildDecaySpace(
+          environment, config, env::PlaceIsotropic(dep.points));
+      const double zeta = std::max(1.0, core::Metricity(space));
+      const sinr::LinkSystem system(space, dep.links, {2.0, 0.0});
+      const auto schedule = scheduling::ScheduleLinks(
+          system, zeta, scheduling::Extractor::kGreedyFeasible);
+      distributed::ContentionConfig contention;
+      contention.max_slots = 200000;
+      geom::Rng crng(31);
+      const auto result =
+          distributed::RunContentionResolution(system, contention, crng);
+      table.AddRow({bench::FmtInt(rooms), bench::Fmt(zeta),
+                    bench::FmtInt(schedule.Length()),
+                    bench::FmtInt(result.slots),
+                    result.completed ? "yes" : "NO"});
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nExpected shape: schedules validate on all rows; lengths grow with "
+      "alpha (denser\nconflicts at fixed geometry) and with wall density "
+      "(zeta up); contention resolution\ncompletes everywhere, slower in "
+      "high-zeta environments.\n");
+  return 0;
+}

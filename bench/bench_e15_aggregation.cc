@@ -1,0 +1,79 @@
+// E15 -- Connectivity / aggregation (transfer list [51, 34, 31, 6]).
+//
+// Builds minimum-decay aggregation trees and convergecast schedules across
+// node counts and environments.  The cited results put aggregation at
+// polylog slots in fading metrics; here the slot count is measured directly
+// against n and against the space's zeta.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "connectivity/aggregation.h"
+#include "core/metricity.h"
+#include "env/propagation.h"
+#include "geom/samplers.h"
+
+using namespace decaylib;
+
+int main() {
+  bench::Banner("E15", "Aggregation trees and convergecast slots",
+                "connectivity/aggregation transfers with alpha -> zeta "
+                "(polylog slots in fading spaces)");
+
+  {
+    std::printf("\n(a) Slots vs n (free space, alpha = 3, beta = 2)\n\n");
+    bench::Table table({"n", "tree decay", "slots", "slots / lg^2 n",
+                        "valid"});
+    for (const int n : {8, 16, 32, 64, 128}) {
+      geom::Rng rng(static_cast<std::uint64_t>(n));
+      const auto pts = geom::SampleMinDistance(
+          n, std::sqrt(static_cast<double>(n)) * 4.0,
+          std::sqrt(static_cast<double>(n)) * 4.0, 1.0, rng);
+      const core::DecaySpace space = core::DecaySpace::Geometric(pts, 3.0);
+      const auto result =
+          connectivity::ScheduleAggregation(space, 0, {2.0, 0.0});
+      const double lg = std::log2(static_cast<double>(n));
+      table.AddRow({bench::FmtInt(static_cast<long long>(pts.size())),
+                    bench::Fmt(result.tree.total_decay, 1),
+                    bench::FmtInt(result.slots),
+                    bench::Fmt(result.slots / (lg * lg), 2),
+                    result.convergecast_valid ? "yes" : "NO"});
+    }
+    table.Print();
+  }
+
+  {
+    std::printf("\n(b) Slots vs environment (32 nodes, alpha = 2.8)\n\n");
+    bench::Table table({"environment", "zeta", "tree decay", "slots",
+                        "valid"});
+    geom::Rng rng(5);
+    const auto pts = geom::SampleMinDistance(32, 24.0, 24.0, 1.5, rng);
+    const auto nodes = env::PlaceIsotropic(pts);
+    env::PropagationConfig config;
+    config.alpha = 2.8;
+    for (const int rooms : {0, 2, 4}) {
+      env::Environment environment =
+          rooms == 0 ? env::Environment()
+                     : env::Environment::OfficeGrid(24.0, 24.0, rooms, rooms);
+      const core::DecaySpace space =
+          env::BuildDecaySpace(environment, config, nodes);
+      const auto result =
+          connectivity::ScheduleAggregation(space, 0, {2.0, 1e-12});
+      char name[32];
+      std::snprintf(name, sizeof(name), rooms == 0 ? "free space"
+                                                   : "office %dx%d",
+                    rooms, rooms);
+      table.AddRow({name, bench::Fmt(core::Metricity(space), 2),
+                    bench::FmtSci(result.tree.total_decay),
+                    bench::FmtInt(result.slots),
+                    result.convergecast_valid ? "yes" : "NO"});
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nExpected shape: slots grow mildly (polylog-ish) in n, far below "
+      "the trivial n-1;\nwalls raise zeta and the schedule length together; "
+      "every schedule validates.\n");
+  return 0;
+}

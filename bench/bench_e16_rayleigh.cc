@@ -1,0 +1,72 @@
+// E16 -- Rayleigh fading vs thresholding (Sec. 2.1's [10] reduction).
+//
+// On feasible sets from the thresholding model, every link keeps a constant
+// Rayleigh success probability (>= e^{-a_S(v)}), and the closed form matches
+// Monte Carlo; so algorithms built for the thresholding model (everything in
+// this library) carry over to the randomized-filter model at constant
+// factors -- on decay spaces exactly as in GEO-SINR.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "capacity/baselines.h"
+#include "sinr/power.h"
+#include "sinr/rayleigh.h"
+#include "spaces/samplers.h"
+
+using namespace decaylib;
+
+int main() {
+  bench::Banner("E16", "Rayleigh fading over decay spaces",
+                "thresholding-feasible sets keep constant success "
+                "probability under Rayleigh ([10])");
+
+  bench::Table table({"space", "|S|", "min P[success]", "mean P[success]",
+                      "min lower bound", "MC agreement"});
+  struct Case {
+    const char* name;
+    double alpha;
+    double sigma_db;
+  };
+  for (const Case c : {Case{"geometric a=3", 3.0, 0.0},
+                       Case{"shadowed a=3 s=6", 3.0, 6.0},
+                       Case{"shadowed a=3 s=10", 3.0, 10.0}}) {
+    geom::Rng rng(7);
+    bench::PlanarDeployment dep(18, 20.0, 0.6, 1.2, rng);
+    geom::Rng shadow(11);
+    const core::DecaySpace space =
+        c.sigma_db == 0.0
+            ? core::DecaySpace::Geometric(dep.points, c.alpha)
+            : spaces::ShadowedGeometric(dep.points, c.alpha, c.sigma_db,
+                                        shadow, true);
+    const sinr::LinkSystem system(space, dep.links, {2.0, 0.0});
+    const auto power = sinr::UniformPower(system);
+    const auto S = capacity::GreedyFeasible(system);
+    double min_p = 1.0;
+    double sum_p = 0.0;
+    double min_lb = 1.0;
+    double worst_gap = 0.0;
+    geom::Rng mc(13);
+    for (int v : S) {
+      const double p = sinr::RayleighSuccessProbability(system, v, S, power);
+      const double lb = sinr::RayleighSuccessLowerBound(system, v, S, power);
+      const double sim =
+          sinr::RayleighSuccessMonteCarlo(system, v, S, power, 20000, mc);
+      min_p = std::min(min_p, p);
+      min_lb = std::min(min_lb, lb);
+      sum_p += p;
+      worst_gap = std::max(worst_gap, std::abs(sim - p));
+    }
+    table.AddRow({c.name, bench::FmtInt(static_cast<long long>(S.size())),
+                  bench::Fmt(min_p), bench::Fmt(sum_p / S.size()),
+                  bench::Fmt(min_lb),
+                  worst_gap < 0.02 ? "yes" : bench::Fmt(worst_gap)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nExpected shape: min success probability stays above e^{-1} = "
+      "0.368 on every space\n(feasibility gives a_S(v) <= 1), the closed "
+      "form matches Monte Carlo to < 0.02, and\nthe e^{-a} lower bound "
+      "under-estimates but tracks.\n");
+  return 0;
+}

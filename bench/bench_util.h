@@ -1,0 +1,99 @@
+// Shared helpers for the experiment benches: markdown table printing and
+// common instance builders.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/decay_space.h"
+#include "geom/rng.h"
+#include "sinr/link_system.h"
+
+namespace decaylib::bench {
+
+// Prints a markdown table row-by-row with right-aligned cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    PrintRow(headers_, width);
+    std::string sep = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      sep += std::string(width[c] + 2, '-') + "|";
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) PrintRow(row, width);
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& row,
+                       const std::vector<std::size_t>& width) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      line += " " + std::string(width[c] - cell.size(), ' ') + cell + " |";
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int digits = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+inline std::string FmtSci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
+inline std::string FmtInt(long long v) { return std::to_string(v); }
+
+inline void Banner(const char* id, const char* title, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s: %s\n", id, title);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+// A random planar link deployment: link i occupies nodes 2i (sender) and
+// 2i+1 (receiver), with lengths in [min_len, max_len] and senders uniform in
+// a box x box square.
+struct PlanarDeployment {
+  std::vector<geom::Vec2> points;
+  std::vector<sinr::Link> links;
+
+  PlanarDeployment(int link_count, double box, double min_len, double max_len,
+                   geom::Rng& rng) {
+    for (int i = 0; i < link_count; ++i) {
+      const geom::Vec2 s{rng.Uniform(0.0, box), rng.Uniform(0.0, box)};
+      const double angle = rng.Uniform(0.0, 2.0 * M_PI);
+      const double len = rng.Uniform(min_len, max_len);
+      points.push_back(s);
+      points.push_back(s + geom::Vec2{len, 0.0}.Rotated(angle));
+      links.push_back({2 * i, 2 * i + 1});
+    }
+  }
+};
+
+}  // namespace decaylib::bench

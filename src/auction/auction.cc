@@ -1,0 +1,83 @@
+#include "auction/auction.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+#include "sinr/power.h"
+
+namespace decaylib::auction {
+
+namespace {
+
+// Deterministic tie-breaking: higher bid first, then lower id.
+std::vector<int> BidOrder(std::span<const double> bids) {
+  std::vector<int> order(bids.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return bids[static_cast<std::size_t>(a)] >
+           bids[static_cast<std::size_t>(b)];
+  });
+  return order;
+}
+
+}  // namespace
+
+std::vector<int> DetermineWinners(const sinr::LinkSystem& system,
+                                  std::span<const double> bids) {
+  DL_CHECK(static_cast<int>(bids.size()) == system.NumLinks(),
+           "one bid per link");
+  const sinr::PowerAssignment power = sinr::UniformPower(system);
+  std::vector<int> winners;
+  for (int v : BidOrder(bids)) {
+    if (bids[static_cast<std::size_t>(v)] <= 0.0) continue;
+    if (!system.CanOvercomeNoise(v, power)) continue;
+    winners.push_back(v);
+    if (!system.IsFeasible(winners, power)) winners.pop_back();
+  }
+  std::sort(winners.begin(), winners.end());
+  return winners;
+}
+
+double CriticalBid(const sinr::LinkSystem& system,
+                   std::span<const double> bids, int link, double tol) {
+  DL_CHECK(link >= 0 && link < system.NumLinks(), "link out of range");
+  std::vector<double> trial(bids.begin(), bids.end());
+  const double max_bid =
+      *std::max_element(bids.begin(), bids.end()) + 1.0;
+
+  auto wins_with = [&](double bid) {
+    trial[static_cast<std::size_t>(link)] = bid;
+    const auto winners = DetermineWinners(system, trial);
+    return std::binary_search(winners.begin(), winners.end(), link);
+  };
+
+  if (!wins_with(2.0 * max_bid)) return 2.0 * max_bid;  // cannot win
+  double lo = 0.0;
+  double hi = 2.0 * max_bid;
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (wins_with(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+AuctionResult RunAuction(const sinr::LinkSystem& system,
+                         std::span<const double> bids, double tol) {
+  AuctionResult result;
+  result.winners = DetermineWinners(system, bids);
+  result.payments.assign(bids.size(), 0.0);
+  for (int v : result.winners) {
+    result.social_welfare += bids[static_cast<std::size_t>(v)];
+    const double critical = CriticalBid(system, bids, v, tol);
+    result.payments[static_cast<std::size_t>(v)] = critical;
+    result.revenue += critical;
+  }
+  return result;
+}
+
+}  // namespace decaylib::auction

@@ -1,0 +1,50 @@
+// Secondary spectrum auctions over decay spaces (transfer list's [38, 37]).
+//
+// Bidders are links with private valuations; the auctioneer sells
+// transmission rights subject to SINR feasibility.  Hoefer-Kesselheim-
+// Vocking's mechanism is: run a monotone greedy winner-determination rule
+// (an approximation to weighted capacity whose guarantee is charged to the
+// inductive independence rho of the instance), then charge critical-value
+// payments, which makes the mechanism truthful.  Everything is
+// metric-parameter-only, so by Prop. 1 it transfers to decay spaces.
+//
+// This module implements the single-channel mechanism:
+//   * winner determination: greedy by bid, admit while feasible (a monotone
+//     allocation rule -- raising your bid can only help you);
+//   * critical-value payments per winner, computed by re-running the rule
+//     on the others' bids (binary search over the winner's bid);
+//   * utilities / truthfulness checks used by tests and benches.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sinr/link_system.h"
+
+namespace decaylib::auction {
+
+struct AuctionResult {
+  std::vector<int> winners;        // link ids, sorted
+  std::vector<double> payments;    // per link; 0 for losers
+  double social_welfare = 0.0;     // sum of winning valuations
+  double revenue = 0.0;            // sum of payments
+};
+
+// Greedy-by-bid winner determination (uniform power): scan bids in
+// decreasing order, admit while the winner set stays feasible.  Monotone in
+// each bid.
+std::vector<int> DetermineWinners(const sinr::LinkSystem& system,
+                                  std::span<const double> bids);
+
+// Full mechanism: winners + critical-value payments (the smallest bid that
+// still wins, holding others fixed; computed by bisection to `tol`).
+AuctionResult RunAuction(const sinr::LinkSystem& system,
+                         std::span<const double> bids, double tol = 1e-6);
+
+// The critical bid for one link (infimum winning bid against fixed others);
+// 0 if the link wins even with an arbitrarily small bid, and +infinity-like
+// (max bid * 2) if it cannot win at all.
+double CriticalBid(const sinr::LinkSystem& system,
+                   std::span<const double> bids, int link, double tol = 1e-6);
+
+}  // namespace decaylib::auction

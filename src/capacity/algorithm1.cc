@@ -1,0 +1,41 @@
+#include "capacity/algorithm1.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "sinr/power.h"
+
+namespace decaylib::capacity {
+
+Algorithm1Result RunAlgorithm1(const sinr::LinkSystem& system, double zeta,
+                               std::span<const int> candidates) {
+  DL_CHECK(zeta > 0.0, "zeta must be positive");
+  const sinr::PowerAssignment power = sinr::UniformPower(system);
+
+  // Process candidates in order of increasing link decay f_vv.
+  std::vector<int> order(candidates.begin(), candidates.end());
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return system.LinkDecay(a) < system.LinkDecay(b);
+  });
+
+  Algorithm1Result result;
+  std::vector<int>& X = result.admitted;
+  for (int v : order) {
+    if (!system.CanOvercomeNoise(v, power)) continue;
+    if (!system.IsSeparatedFrom(v, X, zeta / 2.0, zeta)) continue;
+    const double budget = system.OutAffectance(v, X, power) +
+                          system.InAffectance(X, v, power);
+    if (budget <= 0.5) X.push_back(v);
+  }
+  for (int v : X) {
+    if (system.InAffectance(X, v, power) <= 1.0) result.selected.push_back(v);
+  }
+  return result;
+}
+
+Algorithm1Result RunAlgorithm1(const sinr::LinkSystem& system, double zeta) {
+  const std::vector<int> all = sinr::AllLinks(system);
+  return RunAlgorithm1(system, zeta, all);
+}
+
+}  // namespace decaylib::capacity

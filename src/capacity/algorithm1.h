@@ -1,0 +1,36 @@
+// Algorithm 1 of the paper: uniform-power CAPACITY in bounded-growth decay
+// spaces, zeta^{O(1)}-approximate (Theorem 5); O(alpha^4) on the plane.
+//
+// Verbatim from the paper:
+//
+//   Let L be a set of links using uniform power and let X <- {}
+//   for l_v in L in order of increasing f_vv value do
+//     if l_v is zeta/2-separated from X and a_v(X) + a_X(v) <= 1/2 then
+//       X <- X u {l_v}
+//   Return S <- {l_v in X | a_X(v) <= 1}
+//
+// The final filter is needed because links admitted later can push an
+// earlier link's in-affectance past the admission margin; Markov's
+// inequality guarantees |S| >= |X| / 2 (Eqn. 5 in the proof of Theorem 5).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sinr/link_system.h"
+
+namespace decaylib::capacity {
+
+struct Algorithm1Result {
+  std::vector<int> selected;   // S, the returned feasible set
+  std::vector<int> admitted;   // X, before the final affectance filter
+};
+
+// Runs Algorithm 1 on the candidate links (defaults to all links) with the
+// given metricity zeta of the underlying space.  Uses uniform power 1.
+Algorithm1Result RunAlgorithm1(const sinr::LinkSystem& system, double zeta,
+                               std::span<const int> candidates);
+
+Algorithm1Result RunAlgorithm1(const sinr::LinkSystem& system, double zeta);
+
+}  // namespace decaylib::capacity

@@ -1,0 +1,74 @@
+#include "capacity/baselines.h"
+
+#include <algorithm>
+
+#include "sinr/power.h"
+
+namespace decaylib::capacity {
+
+namespace {
+
+std::vector<int> DecayOrder(const sinr::LinkSystem& system,
+                            std::span<const int> candidates) {
+  std::vector<int> order(candidates.begin(), candidates.end());
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return system.LinkDecay(a) < system.LinkDecay(b);
+  });
+  return order;
+}
+
+std::vector<int> AdmitWhileFeasible(const sinr::LinkSystem& system,
+                                    const std::vector<int>& order) {
+  const sinr::PowerAssignment power = sinr::UniformPower(system);
+  std::vector<int> chosen;
+  for (int v : order) {
+    if (!system.CanOvercomeNoise(v, power)) continue;
+    chosen.push_back(v);
+    if (!system.IsFeasible(chosen, power)) chosen.pop_back();
+  }
+  return chosen;
+}
+
+}  // namespace
+
+std::vector<int> GreedyFeasible(const sinr::LinkSystem& system,
+                                std::span<const int> candidates) {
+  return AdmitWhileFeasible(system, DecayOrder(system, candidates));
+}
+
+std::vector<int> GreedyFeasible(const sinr::LinkSystem& system) {
+  const std::vector<int> all = sinr::AllLinks(system);
+  return GreedyFeasible(system, all);
+}
+
+std::vector<int> GreedyHalfAffectance(const sinr::LinkSystem& system,
+                                      std::span<const int> candidates) {
+  const sinr::PowerAssignment power = sinr::UniformPower(system);
+  std::vector<int> X;
+  for (int v : DecayOrder(system, candidates)) {
+    if (!system.CanOvercomeNoise(v, power)) continue;
+    const double budget = system.OutAffectance(v, X, power) +
+                          system.InAffectance(X, v, power);
+    if (budget <= 0.5) X.push_back(v);
+  }
+  std::vector<int> selected;
+  for (int v : X) {
+    if (system.InAffectance(X, v, power) <= 1.0) selected.push_back(v);
+  }
+  return selected;
+}
+
+std::vector<int> GreedyHalfAffectance(const sinr::LinkSystem& system) {
+  const std::vector<int> all = sinr::AllLinks(system);
+  return GreedyHalfAffectance(system, all);
+}
+
+std::vector<int> RandomFeasible(const sinr::LinkSystem& system,
+                                std::span<const int> candidates,
+                                geom::Rng& rng) {
+  std::vector<int> order(candidates.begin(), candidates.end());
+  rng.Shuffle(order);
+  return AdmitWhileFeasible(system, order);
+}
+
+}  // namespace decaylib::capacity

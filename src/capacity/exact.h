@@ -1,0 +1,32 @@
+// Exact CAPACITY: maximum-cardinality feasible subsets by branch and bound.
+//
+// Feasibility is hereditary (dropping a link only lowers every in-
+// affectance), so include/exclude branching with a cardinality bound is
+// sound.  Two oracles:
+//   * fixed power assignment (e.g. uniform) -- cheap incremental affectance;
+//   * arbitrary power control -- each candidate set checked with the
+//     Foschini-Miljanic oracle; pairwise obstructions prune most branches.
+// Both are exponential in the worst case; intended for ground truth on
+// n <= ~24 (fixed power) / ~16 (power control).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sinr/link_system.h"
+
+namespace decaylib::capacity {
+
+// Maximum feasible subset of `candidates` under the fixed `power`.
+std::vector<int> ExactCapacity(const sinr::LinkSystem& system,
+                               const sinr::PowerAssignment& power,
+                               std::span<const int> candidates);
+
+// Convenience overload over all links with uniform power.
+std::vector<int> ExactCapacityUniform(const sinr::LinkSystem& system);
+
+// Maximum subset of `candidates` feasible under *some* power assignment.
+std::vector<int> ExactCapacityPowerControl(const sinr::LinkSystem& system,
+                                           std::span<const int> candidates);
+
+}  // namespace decaylib::capacity

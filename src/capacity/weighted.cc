@@ -1,0 +1,154 @@
+#include "capacity/weighted.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+#include "sinr/power.h"
+
+namespace decaylib::capacity {
+
+double TotalWeight(std::span<const int> S, std::span<const double> weights) {
+  double total = 0.0;
+  for (int v : S) total += weights[static_cast<std::size_t>(v)];
+  return total;
+}
+
+WeightedResult WeightedGreedy(const sinr::LinkSystem& system,
+                              std::span<const double> weights) {
+  const int n = system.NumLinks();
+  DL_CHECK(static_cast<int>(weights.size()) == n, "one weight per link");
+  const sinr::PowerAssignment power = sinr::UniformPower(system);
+
+  // Density = weight / (1 + total clamped affectance mass the link
+  // exchanges with everyone): heavy, quiet links first.
+  std::vector<double> density(static_cast<std::size_t>(n), 0.0);
+  for (int v = 0; v < n; ++v) {
+    double mass = 0.0;
+    for (int w = 0; w < n; ++w) {
+      if (w == v) continue;
+      mass += system.Affectance(v, w, power) + system.Affectance(w, v, power);
+    }
+    density[static_cast<std::size_t>(v)] =
+        weights[static_cast<std::size_t>(v)] / (1.0 + mass);
+  }
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return density[static_cast<std::size_t>(a)] >
+           density[static_cast<std::size_t>(b)];
+  });
+
+  WeightedResult result;
+  for (int v : order) {
+    if (weights[static_cast<std::size_t>(v)] <= 0.0) continue;
+    if (!system.CanOvercomeNoise(v, power)) continue;
+    result.selected.push_back(v);
+    if (!system.IsFeasible(result.selected, power)) {
+      result.selected.pop_back();
+    }
+  }
+  result.weight = TotalWeight(result.selected, weights);
+  return result;
+}
+
+WeightedResult WeightedAlgorithm1(const sinr::LinkSystem& system,
+                                  std::span<const double> weights,
+                                  double zeta) {
+  const int n = system.NumLinks();
+  DL_CHECK(static_cast<int>(weights.size()) == n, "one weight per link");
+  DL_CHECK(zeta > 0.0, "zeta must be positive");
+  const sinr::PowerAssignment power = sinr::UniformPower(system);
+
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return weights[static_cast<std::size_t>(a)] >
+           weights[static_cast<std::size_t>(b)];
+  });
+
+  std::vector<int> X;
+  for (int v : order) {
+    if (weights[static_cast<std::size_t>(v)] <= 0.0) continue;
+    if (!system.CanOvercomeNoise(v, power)) continue;
+    if (!system.IsSeparatedFrom(v, X, zeta / 2.0, zeta)) continue;
+    const double budget = system.OutAffectance(v, X, power) +
+                          system.InAffectance(X, v, power);
+    if (budget <= 0.5) X.push_back(v);
+  }
+  WeightedResult result;
+  for (int v : X) {
+    if (system.InAffectance(X, v, power) <= 1.0) result.selected.push_back(v);
+  }
+  result.weight = TotalWeight(result.selected, weights);
+  return result;
+}
+
+namespace {
+
+class WeightedSolver {
+ public:
+  WeightedSolver(const sinr::LinkSystem& system,
+                 std::span<const double> weights)
+      : system_(system),
+        weights_(weights),
+        power_(sinr::UniformPower(system)) {
+    // Heavy-first order makes the remaining-weight bound effective.
+    order_.resize(static_cast<std::size_t>(system.NumLinks()));
+    std::iota(order_.begin(), order_.end(), 0);
+    std::stable_sort(order_.begin(), order_.end(), [&](int a, int b) {
+      return weights_[static_cast<std::size_t>(a)] >
+             weights_[static_cast<std::size_t>(b)];
+    });
+    suffix_weight_.assign(order_.size() + 1, 0.0);
+    for (std::size_t i = order_.size(); i > 0; --i) {
+      suffix_weight_[i - 1] =
+          suffix_weight_[i] +
+          std::max(0.0, weights_[static_cast<std::size_t>(order_[i - 1])]);
+    }
+  }
+
+  WeightedResult Solve() {
+    std::vector<int> current;
+    Recurse(0, current, 0.0);
+    std::sort(best_.selected.begin(), best_.selected.end());
+    return best_;
+  }
+
+ private:
+  void Recurse(std::size_t index, std::vector<int>& current, double weight) {
+    if (weight + suffix_weight_[index] <= best_.weight) return;
+    if (index == order_.size()) {
+      if (weight > best_.weight) best_ = {current, weight};
+      return;
+    }
+    const int v = order_[index];
+    const double wv = weights_[static_cast<std::size_t>(v)];
+    if (wv > 0.0 && system_.CanOvercomeNoise(v, power_)) {
+      current.push_back(v);
+      if (system_.IsFeasible(current, power_)) {
+        Recurse(index + 1, current, weight + wv);
+      }
+      current.pop_back();
+    }
+    Recurse(index + 1, current, weight);
+  }
+
+  const sinr::LinkSystem& system_;
+  std::span<const double> weights_;
+  sinr::PowerAssignment power_;
+  std::vector<int> order_;
+  std::vector<double> suffix_weight_;
+  WeightedResult best_;
+};
+
+}  // namespace
+
+WeightedResult ExactWeightedCapacity(const sinr::LinkSystem& system,
+                                     std::span<const double> weights) {
+  DL_CHECK(static_cast<int>(weights.size()) == system.NumLinks(),
+           "one weight per link");
+  return WeightedSolver(system, weights).Solve();
+}
+
+}  // namespace decaylib::capacity

@@ -1,0 +1,50 @@
+// Connectivity and aggregation over decay spaces (transfer list's
+// [51, 52, 34, 31, 6]: strong connectivity / data aggregation in
+// polylogarithmic slots).
+//
+// The pipeline those works share: connect the nodes by a low-cost spanning
+// structure (nearest-neighbor / MST-style in the metric, here in the decay
+// space), orient it towards a sink, and schedule the resulting links.  Their
+// analyses only use metric properties plus fading, so by Prop. 1 they apply
+// in decay spaces with alpha -> zeta; this module builds the structure and
+// schedules it so the benches can measure aggregation slot counts directly.
+#pragma once
+
+#include <vector>
+
+#include "core/decay_space.h"
+#include "scheduling/scheduler.h"
+#include "sinr/link_system.h"
+
+namespace decaylib::connectivity {
+
+struct AggregationTree {
+  int sink = 0;
+  // parent[v] = parent node of v in the tree (parent[sink] = -1).
+  std::vector<int> parent;
+  // The tree's links, child -> parent, ordered leaves-first (a child always
+  // appears before its parent's own uplink).
+  std::vector<sinr::Link> uplinks;
+  double total_decay = 0.0;  // sum of link decays (the "cost" of the tree)
+};
+
+// Minimum-decay spanning tree rooted at `sink` (Prim's algorithm on the
+// decay matrix, using decay *towards the parent* f(child, parent) as edge
+// weight -- the direction data flows).
+AggregationTree BuildAggregationTree(const core::DecaySpace& space, int sink);
+
+struct AggregationSchedule {
+  AggregationTree tree;
+  scheduling::Schedule schedule;   // slots of simultaneously feasible uplinks
+  int slots = 0;
+  bool convergecast_valid = false; // children scheduled before their parent
+};
+
+// Builds the tree and schedules its uplinks subject to convergecast
+// precedence: a node's uplink may only be scheduled after all its children's
+// uplinks (so aggregated data flows in one pass).  Greedy per slot: scan
+// ready links (all children done) in decay order, admit while feasible.
+AggregationSchedule ScheduleAggregation(const core::DecaySpace& space,
+                                        int sink, sinr::SinrConfig config);
+
+}  // namespace decaylib::connectivity

@@ -1,0 +1,19 @@
+// Always-on lightweight invariant checking.
+//
+// DL_CHECK guards preconditions of the public API.  Violations are programmer
+// errors, not runtime conditions, so we abort with a message rather than
+// throwing: per the C++ Core Guidelines (I.5, E.12), interfaces state their
+// preconditions and misuse is not an expected error path.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define DL_CHECK(cond, msg)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "DL_CHECK failed at %s:%d: %s\n  %s\n",        \
+                   __FILE__, __LINE__, #cond, msg);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)

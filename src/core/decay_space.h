@@ -1,0 +1,120 @@
+// Decay spaces (Definition 2.1 of the paper).
+//
+// A decay space D = (V, f) is a discrete node set V together with a mapping
+// f : V x V -> R>=0 that associates a *decay* with every ordered pair of
+// nodes: the multiplicative reduction in signal strength from the first node
+// to the second (channel gain G_uv = 1 / f(u, v)).  Decays satisfy
+// non-negativity and the identity of indiscernibles, but need *not* be
+// symmetric nor satisfy the triangle inequality -- they form a pre-metric.
+//
+// This class stores f as a dense row-major matrix; nodes are dense ids
+// 0..size()-1.  The diagonal is fixed at 0 (what happens "at a point" is
+// immaterial, Sec. 2.2 of the paper).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace decaylib::core {
+
+class DecaySpace {
+ public:
+  // An n-node space with all off-diagonal decays initialised to `fill`
+  // (default 1, the uniform metric).
+  explicit DecaySpace(int n, double fill = 1.0);
+
+  // Builds a space from a full n x n matrix.  Diagonal entries are ignored
+  // and forced to 0.  Aborts on negative entries or a ragged matrix.
+  static DecaySpace FromMatrix(const std::vector<std::vector<double>>& m);
+
+  // Geometric decay space over planar points: f(p, q) = |p - q|^alpha.
+  // This is the GEO-SINR special case; its metricity equals alpha when three
+  // collinear points exist, and is at most alpha in general.
+  static DecaySpace Geometric(std::span<const geom::Vec2> points, double alpha);
+
+  // Geometric decay space over an explicit distance matrix (any metric):
+  // f = d^alpha.
+  static DecaySpace FromDistancePower(
+      const std::vector<std::vector<double>>& d, double alpha);
+
+  int size() const noexcept { return n_; }
+
+  // f(p, q): decay of a signal sent at p as received at q.
+  double operator()(int p, int q) const noexcept {
+    return f_[static_cast<std::size_t>(p) * static_cast<std::size_t>(n_) +
+              static_cast<std::size_t>(q)];
+  }
+
+  // Sets f(p, q).  Requires p != q and value > 0 (identity of
+  // indiscernibles: zero decay is reserved for p == q).
+  void Set(int p, int q, double value);
+
+  // Sets both f(p, q) and f(q, p).
+  void SetSymmetric(int p, int q, double value);
+
+  // True iff |f(p,q) - f(q,p)| <= tol * max(f(p,q), f(q,p)) for all pairs.
+  bool IsSymmetric(double tol = 0.0) const noexcept;
+
+  // Smallest / largest off-diagonal decay.  Require size() >= 2.
+  double MinDecay() const noexcept;
+  double MaxDecay() const noexcept;
+
+  // Ratio MaxDecay()/MinDecay(); lg of this bounds the metricity (Def. 2.2).
+  double DecaySpread() const noexcept;
+
+  // nullopt when the matrix is a valid decay space, else a human-readable
+  // description of the first violated axiom.
+  std::optional<std::string> Validate() const;
+
+  // Copy with every decay multiplied by `factor` > 0.  Note that metricity
+  // zeta is *not* scale-invariant (the defining inequality is not homogeneous
+  // in f); benches use this to study sensitivity to calibration offsets.
+  DecaySpace Scaled(double factor) const;
+
+  // Symmetrised copies: f'(p,q) = min/max/geometric-mean of the two
+  // directions.  Used to feed symmetric-only algorithms (Prop. 1 requires
+  // symmetry only when the original result did).
+  DecaySpace SymmetrizedMin() const;
+  DecaySpace SymmetrizedMax() const;
+  DecaySpace SymmetrizedGeomMean() const;
+
+  // Restriction of the space to the given nodes (in the given order).
+  DecaySpace Subspace(std::span<const int> nodes) const;
+
+  // Direct read-only access to the backing row-major matrix.
+  std::span<const double> Raw() const noexcept { return f_; }
+
+ private:
+  int n_;
+  std::vector<double> f_;  // row-major n_ x n_
+};
+
+// The quasi-metric induced by a decay space (Sec. 2.2): d(p,q) = f(p,q)^{1/zeta}.
+// A thin view; does not copy the matrix.  When the decay space is symmetric,
+// this is a metric by the definition of metricity.
+class QuasiMetric {
+ public:
+  // `zeta` must be > 0; callers normally pass ComputeMetricity(space).zeta.
+  QuasiMetric(const DecaySpace& space, double zeta);
+
+  double operator()(int p, int q) const noexcept;
+  int size() const noexcept;
+  double zeta() const noexcept { return zeta_; }
+
+  // Materialises the full quasi-distance matrix d = f^{1/zeta}.
+  std::vector<std::vector<double>> Matrix() const;
+
+  // Largest violation of the (directed) triangle inequality,
+  // max_{x,y,z} [d(x,y) - d(x,z) - d(z,y)]; <= tol when zeta >= metricity.
+  double MaxTriangleViolation() const noexcept;
+
+ private:
+  const DecaySpace* space_;
+  double zeta_;
+};
+
+}  // namespace decaylib::core

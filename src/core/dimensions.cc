@@ -1,0 +1,308 @@
+#include "core/dimensions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.h"
+
+namespace decaylib::core {
+
+namespace {
+
+// Exact maximum independent set in a conflict graph given as an adjacency
+// matrix (true = conflict), by branch and bound.  Returns indices into the
+// item universe 0..n-1.  Classic include/exclude branching on the
+// highest-degree remaining vertex with a cardinality bound.
+class MaxIndependentSetSolver {
+ public:
+  explicit MaxIndependentSetSolver(std::vector<std::vector<bool>> conflict)
+      : conflict_(std::move(conflict)),
+        n_(static_cast<int>(conflict_.size())) {}
+
+  std::vector<int> Solve() {
+    std::vector<int> active(static_cast<std::size_t>(n_));
+    std::iota(active.begin(), active.end(), 0);
+    std::vector<int> current;
+    Recurse(active, current);
+    return best_;
+  }
+
+ private:
+  void Recurse(std::vector<int>& active, std::vector<int>& current) {
+    if (current.size() + active.size() <= best_.size()) return;  // bound
+    if (active.empty()) {
+      best_ = current;
+      return;
+    }
+    // Branch on the vertex with the most conflicts among the active set.
+    int pivot_pos = 0;
+    int pivot_deg = -1;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      int deg = 0;
+      for (int other : active) {
+        if (conflict_[static_cast<std::size_t>(active[i])]
+                     [static_cast<std::size_t>(other)]) {
+          ++deg;
+        }
+      }
+      if (deg > pivot_deg) {
+        pivot_deg = deg;
+        pivot_pos = static_cast<int>(i);
+      }
+    }
+    const int pivot = active[static_cast<std::size_t>(pivot_pos)];
+
+    // Include pivot: drop it and its conflicts.
+    std::vector<int> included;
+    included.reserve(active.size());
+    for (int v : active) {
+      if (v != pivot && !conflict_[static_cast<std::size_t>(pivot)]
+                                  [static_cast<std::size_t>(v)]) {
+        included.push_back(v);
+      }
+    }
+    current.push_back(pivot);
+    Recurse(included, current);
+    current.pop_back();
+
+    // Exclude pivot (only useful if it had conflicts; otherwise include is
+    // always at least as good).
+    if (pivot_deg > 0) {
+      std::vector<int> excluded;
+      excluded.reserve(active.size() - 1);
+      for (int v : active) {
+        if (v != pivot) excluded.push_back(v);
+      }
+      Recurse(excluded, current);
+    }
+  }
+
+  std::vector<std::vector<bool>> conflict_;
+  int n_;
+  std::vector<int> best_;
+};
+
+}  // namespace
+
+std::vector<int> Ball(const DecaySpace& space, int center, double t) {
+  DL_CHECK(center >= 0 && center < space.size(), "center out of range");
+  std::vector<int> members;
+  for (int x = 0; x < space.size(); ++x) {
+    const double fx = x == center ? 0.0 : space(x, center);
+    if (fx < t) members.push_back(x);
+  }
+  return members;
+}
+
+bool IsPacking(const DecaySpace& space, std::span<const int> nodes, double t) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      if (!(space(nodes[i], nodes[j]) > 2.0 * t) ||
+          !(space(nodes[j], nodes[i]) > 2.0 * t)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+std::vector<std::vector<bool>> PackingConflicts(const DecaySpace& space,
+                                                std::span<const int> body,
+                                                double t) {
+  const auto k = body.size();
+  std::vector<std::vector<bool>> conflict(k, std::vector<bool>(k, false));
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const bool ok = space(body[i], body[j]) > 2.0 * t &&
+                      space(body[j], body[i]) > 2.0 * t;
+      conflict[i][j] = conflict[j][i] = !ok;
+    }
+  }
+  return conflict;
+}
+
+}  // namespace
+
+int PackingNumberExact(const DecaySpace& space, std::span<const int> body,
+                       double t) {
+  if (body.empty()) return 0;
+  MaxIndependentSetSolver solver(PackingConflicts(space, body, t));
+  return static_cast<int>(solver.Solve().size());
+}
+
+std::vector<int> GreedyPacking(const DecaySpace& space,
+                               std::span<const int> body, double t) {
+  std::vector<int> chosen;
+  for (int candidate : body) {
+    bool ok = true;
+    for (int existing : chosen) {
+      if (!(space(candidate, existing) > 2.0 * t) ||
+          !(space(existing, candidate) > 2.0 * t)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) chosen.push_back(candidate);
+  }
+  return chosen;
+}
+
+AssouadEstimate EstimateAssouadDimension(const DecaySpace& space,
+                                         std::span<const double> qs,
+                                         int exact_limit) {
+  const int n = space.size();
+  AssouadEstimate est;
+  for (double q : qs) {
+    DL_CHECK(q > 1.0, "packing ratio q must exceed 1");
+    int g_q = 0;  // largest q-packing seen: g(q) = max_{x,r} P(B(x,r), r/q)
+    for (int x = 0; x < n; ++x) {
+      // Candidate radii: just above each realised decay towards x, so every
+      // distinct ball around x occurs.
+      std::vector<double> radii;
+      radii.reserve(static_cast<std::size_t>(n));
+      for (int y = 0; y < n; ++y) {
+        if (y != x) radii.push_back(space(y, x) * (1.0 + 1e-12));
+      }
+      std::sort(radii.begin(), radii.end());
+      radii.erase(std::unique(radii.begin(), radii.end()), radii.end());
+      for (double r : radii) {
+        const std::vector<int> body = Ball(space, x, r);
+        if (static_cast<int>(body.size()) <= g_q) continue;  // cannot improve
+        const double t = r / q;
+        int p = 0;
+        if (static_cast<int>(body.size()) <= exact_limit) {
+          p = PackingNumberExact(space, body, t);
+        } else {
+          p = static_cast<int>(GreedyPacking(space, body, t).size());
+        }
+        g_q = std::max(g_q, p);
+      }
+    }
+    if (g_q <= 0) continue;
+    est.qs.push_back(q);
+    est.g.push_back(g_q);
+    if (g_q > est.worst_packing_size) {
+      est.worst_packing_size = g_q;
+      est.worst_q = q;
+    }
+  }
+  // Least-squares fit of ln g = A ln q + ln C over the sweep.
+  const std::size_t m = est.qs.size();
+  if (m == 0) return est;
+  if (m == 1) {
+    est.dimension = std::log(static_cast<double>(est.g[0])) /
+                    std::log(est.qs[0]);
+    return est;
+  }
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double x = std::log(est.qs[i]);
+    const double y = std::log(static_cast<double>(est.g[i]));
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = m * sxx - sx * sx;
+  est.dimension = denom != 0.0 ? (m * sxy - sx * sy) / denom : 0.0;
+  est.constant = std::exp((sy - est.dimension * sx) / m);
+  return est;
+}
+
+bool IsIndependentWrt(const DecaySpace& space, int x,
+                      std::span<const int> I) {
+  for (int z : I) {
+    DL_CHECK(z != x, "independent set may not contain the anchor point");
+    for (int w : I) {
+      if (w == z) continue;
+      // Strict: a tie already breaks independence (the uniform metric must
+      // have independence dimension 1, and the plane 5 -- unit vectors at
+      // pairwise angles of *more* than 60 degrees, Sec. 4.1).
+      if (space(w, z) <= space(z, x)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<int> MaxIndependentWrt(const DecaySpace& space, int x) {
+  const int n = space.size();
+  std::vector<int> universe;
+  universe.reserve(static_cast<std::size_t>(n) - 1);
+  for (int v = 0; v < n; ++v) {
+    if (v != x) universe.push_back(v);
+  }
+  const auto k = universe.size();
+  // Pair {z, w} is compatible iff neither is strictly closer to the other
+  // than x is: f(w,z) >= f(z,x) and f(z,w) >= f(w,x).
+  std::vector<std::vector<bool>> conflict(k, std::vector<bool>(k, false));
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const int z = universe[i];
+      const int w = universe[j];
+      const bool ok = space(w, z) > space(z, x) && space(z, w) > space(w, x);
+      conflict[i][j] = conflict[j][i] = !ok;
+    }
+  }
+  MaxIndependentSetSolver solver(std::move(conflict));
+  std::vector<int> picked = solver.Solve();
+  for (int& v : picked) v = universe[static_cast<std::size_t>(v)];
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+int IndependenceDimension(const DecaySpace& space) {
+  int best = 0;
+  for (int x = 0; x < space.size(); ++x) {
+    best = std::max(best,
+                    static_cast<int>(MaxIndependentWrt(space, x).size()));
+  }
+  return best;
+}
+
+std::vector<int> GreedyGuards(const DecaySpace& space, int x) {
+  const int n = space.size();
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n) - 1);
+  for (int v = 0; v < n; ++v) {
+    if (v != x) order.push_back(v);
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return space(a, x) < space(b, x);
+  });
+  std::vector<int> guards;
+  for (int z : order) {
+    bool guarded = false;
+    for (int y : guards) {
+      if (space(z, y) <= space(z, x)) {
+        guarded = true;
+        break;
+      }
+    }
+    if (!guarded) guards.push_back(z);
+  }
+  return guards;
+}
+
+bool GuardsNode(const DecaySpace& space, int x, std::span<const int> J) {
+  for (int z = 0; z < space.size(); ++z) {
+    if (z == x) continue;
+    if (std::find(J.begin(), J.end(), z) != J.end()) continue;
+    bool guarded = false;
+    for (int y : J) {
+      if (space(z, y) <= space(z, x)) {
+        guarded = true;
+        break;
+      }
+    }
+    if (!guarded) return false;
+  }
+  return true;
+}
+
+}  // namespace decaylib::core

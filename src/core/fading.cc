@@ -1,0 +1,179 @@
+#include "core/fading.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.h"
+#include "core/numerics.h"
+
+namespace decaylib::core {
+
+bool IsSeparatedNodeSet(const DecaySpace& space, std::span<const int> nodes,
+                        double r) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      if (!(space(nodes[i], nodes[j]) > r) ||
+          !(space(nodes[j], nodes[i]) > r)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+struct Candidate {
+  int node = 0;
+  double weight = 0.0;  // 1 / f(node, z)
+};
+
+// Branch and bound for maximum-weight independent set over candidates with a
+// pairwise compatibility predicate baked into `conflict`.
+class WeightedSolver {
+ public:
+  WeightedSolver(std::vector<Candidate> items,
+                 std::vector<std::vector<bool>> conflict)
+      : items_(std::move(items)), conflict_(std::move(conflict)) {
+    // Heavy-first ordering makes the bound effective early.
+    order_.resize(items_.size());
+    std::iota(order_.begin(), order_.end(), 0);
+    std::sort(order_.begin(), order_.end(), [&](std::size_t a, std::size_t b) {
+      return items_[a].weight > items_[b].weight;
+    });
+  }
+
+  void Solve() {
+    std::vector<std::size_t> active = order_;
+    std::vector<std::size_t> current;
+    Recurse(active, current, 0.0);
+  }
+
+  double best_weight() const { return best_weight_; }
+  std::vector<int> best_nodes() const {
+    std::vector<int> nodes;
+    nodes.reserve(best_.size());
+    for (std::size_t i : best_) nodes.push_back(items_[i].node);
+    std::sort(nodes.begin(), nodes.end());
+    return nodes;
+  }
+
+ private:
+  void Recurse(const std::vector<std::size_t>& active,
+               std::vector<std::size_t>& current, double weight) {
+    double bound = weight;
+    for (std::size_t i : active) bound += items_[i].weight;
+    if (bound <= best_weight_) return;
+    if (active.empty()) {
+      best_weight_ = weight;
+      best_ = current;
+      return;
+    }
+    const std::size_t pivot = active.front();
+    // Include pivot.
+    std::vector<std::size_t> included;
+    included.reserve(active.size());
+    for (std::size_t i : active) {
+      if (i != pivot && !conflict_[pivot][i]) included.push_back(i);
+    }
+    current.push_back(pivot);
+    Recurse(included, current, weight + items_[pivot].weight);
+    current.pop_back();
+    // Exclude pivot.
+    std::vector<std::size_t> excluded(active.begin() + 1, active.end());
+    Recurse(excluded, current, weight);
+  }
+
+  std::vector<Candidate> items_;
+  std::vector<std::vector<bool>> conflict_;
+  std::vector<std::size_t> order_;
+  double best_weight_ = 0.0;
+  std::vector<std::size_t> best_;
+};
+
+// Candidates must themselves be r-separated from the listener z (X u {z}
+// r-separated; see fading.h).
+bool SeparatedFromListener(const DecaySpace& space, int x, int z, double r) {
+  return space(x, z) > r && space(z, x) > r;
+}
+
+std::pair<std::vector<Candidate>, std::vector<std::vector<bool>>>
+BuildProblem(const DecaySpace& space, int z, double r) {
+  std::vector<Candidate> items;
+  for (int x = 0; x < space.size(); ++x) {
+    if (x == z || !SeparatedFromListener(space, x, z, r)) continue;
+    items.push_back({x, 1.0 / space(x, z)});
+  }
+  const auto k = items.size();
+  std::vector<std::vector<bool>> conflict(k, std::vector<bool>(k, false));
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const int a = items[i].node;
+      const int b = items[j].node;
+      const bool ok = space(a, b) > r && space(b, a) > r;
+      conflict[i][j] = conflict[j][i] = !ok;
+    }
+  }
+  return {std::move(items), std::move(conflict)};
+}
+
+}  // namespace
+
+FadingValue FadingValueExact(const DecaySpace& space, int z, double r) {
+  DL_CHECK(z >= 0 && z < space.size(), "listener out of range");
+  DL_CHECK(r > 0.0, "separation term must be positive");
+  auto [items, conflict] = BuildProblem(space, z, r);
+  WeightedSolver solver(std::move(items), std::move(conflict));
+  solver.Solve();
+  return {r * solver.best_weight(), solver.best_nodes()};
+}
+
+FadingValue FadingValueGreedy(const DecaySpace& space, int z, double r) {
+  DL_CHECK(z >= 0 && z < space.size(), "listener out of range");
+  DL_CHECK(r > 0.0, "separation term must be positive");
+  std::vector<Candidate> items;
+  for (int x = 0; x < space.size(); ++x) {
+    if (x == z || !SeparatedFromListener(space, x, z, r)) continue;
+    items.push_back({x, 1.0 / space(x, z)});
+  }
+  std::sort(items.begin(), items.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.weight > b.weight;
+            });
+  std::vector<int> chosen;
+  double total = 0.0;
+  for (const Candidate& c : items) {
+    bool ok = true;
+    for (int existing : chosen) {
+      if (!(space(c.node, existing) > r) || !(space(existing, c.node) > r)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      chosen.push_back(c.node);
+      total += c.weight;
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return {r * total, std::move(chosen)};
+}
+
+double FadingParameter(const DecaySpace& space, double r, bool exact) {
+  double gamma = 0.0;
+  for (int z = 0; z < space.size(); ++z) {
+    const FadingValue value =
+        exact ? FadingValueExact(space, z, r) : FadingValueGreedy(space, z, r);
+    gamma = std::max(gamma, value.gamma);
+  }
+  return gamma;
+}
+
+double Theorem2Bound(double C, double A) {
+  DL_CHECK(A < 1.0, "Theorem 2 requires Assouad dimension below 1");
+  DL_CHECK(C > 0.0, "doubling constant must be positive");
+  return C * std::pow(2.0, A + 1.0) * (RiemannZeta(2.0 - A) - 1.0);
+}
+
+}  // namespace decaylib::core

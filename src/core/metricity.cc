@@ -1,0 +1,97 @@
+#include "core/metricity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace decaylib::core {
+
+double TripletZeta(double a, double b, double c, double tol) {
+  DL_CHECK(a > 0.0 && b > 0.0 && c > 0.0, "triplet decays must be positive");
+  if (a <= b || a <= c) return 0.0;  // satisfied for every positive exponent
+  // h(s) = (b/a)^s + (c/a)^s - 1, strictly decreasing, h(0) = 1 > 0,
+  // h(inf) = -1.  Find the root s*; the triplet requires zeta >= 1/s*.
+  const double rb = b / a;
+  const double rc = c / a;
+  auto h = [&](double s) { return std::pow(rb, s) + std::pow(rc, s) - 1.0; };
+  // Bracket the root.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (h(hi) > 0.0) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi > 1e12) return 0.0;  // ratios ~1: constraint is vacuous in practice
+  }
+  // Bisection to relative tolerance on s.
+  while (hi - lo > tol * hi) {
+    const double mid = 0.5 * (lo + hi);
+    if (h(mid) > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double s_star = 0.5 * (lo + hi);
+  return 1.0 / s_star;
+}
+
+MetricityResult ComputeMetricity(const DecaySpace& space, double tol) {
+  const int n = space.size();
+  MetricityResult result;
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y < n; ++y) {
+      if (y == x) continue;
+      const double a = space(x, y);
+      for (int z = 0; z < n; ++z) {
+        if (z == x || z == y) continue;
+        const double b = space(x, z);
+        const double c = space(z, y);
+        if (a <= b || a <= c) continue;
+        const double zeta = TripletZeta(a, b, c, tol);
+        if (zeta > result.zeta) {
+          result.zeta = zeta;
+          result.arg_x = x;
+          result.arg_y = y;
+          result.arg_z = z;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+double Metricity(const DecaySpace& space, double tol) {
+  return ComputeMetricity(space, tol).zeta;
+}
+
+PhiResult ComputePhi(const DecaySpace& space) {
+  const int n = space.size();
+  PhiResult result;
+  for (int x = 0; x < n; ++x) {
+    for (int z = 0; z < n; ++z) {
+      if (z == x) continue;
+      const double fxz = space(x, z);
+      for (int y = 0; y < n; ++y) {
+        if (y == x || y == z) continue;
+        const double denom = space(x, y) + space(y, z);
+        const double factor = fxz / denom;
+        if (factor > result.phi_factor) {
+          result.phi_factor = factor;
+          result.arg_x = x;
+          result.arg_y = y;
+          result.arg_z = z;
+        }
+      }
+    }
+  }
+  result.phi = result.phi_factor > 0.0 ? std::log2(result.phi_factor) : 0.0;
+  return result;
+}
+
+double MetricityUpperBound(const DecaySpace& space) {
+  DL_CHECK(space.size() >= 2, "need at least two nodes");
+  return std::log2(space.MaxDecay() / space.MinDecay());
+}
+
+}  // namespace decaylib::core

@@ -1,0 +1,69 @@
+#include "distributed/local_broadcast.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace decaylib::distributed {
+
+BroadcastResult RunLocalBroadcast(const RoundSimulator& simulator,
+                                  const BroadcastConfig& config,
+                                  geom::Rng& rng) {
+  DL_CHECK(config.probability > 0.0 && config.probability <= 1.0,
+           "probability must be in (0,1]");
+  DL_CHECK(config.max_rounds >= 1, "need at least one round");
+  const int n = simulator.space().size();
+
+  // pending[v] = neighbors of v that have not yet received v's message.
+  std::vector<std::vector<int>> pending(static_cast<std::size_t>(n));
+  int active_count = 0;
+  for (int v = 0; v < n; ++v) {
+    pending[static_cast<std::size_t>(v)] =
+        simulator.Neighborhood(v, config.neighborhood_r);
+    if (!pending[static_cast<std::size_t>(v)].empty()) ++active_count;
+  }
+
+  BroadcastResult result;
+  std::vector<int> transmitters;
+  for (int round = 0; round < config.max_rounds && active_count > 0; ++round) {
+    result.rounds = round + 1;
+    transmitters.clear();
+    for (int v = 0; v < n; ++v) {
+      if (pending[static_cast<std::size_t>(v)].empty()) continue;
+      double p = config.probability;
+      if (config.policy == BroadcastPolicy::kContentionInverse) {
+        // Contention = active nodes within v's neighborhood (v included).
+        int contenders = 1;
+        for (int u : simulator.Neighborhood(v, config.neighborhood_r)) {
+          if (!pending[static_cast<std::size_t>(u)].empty()) ++contenders;
+        }
+        p = std::min(config.probability,
+                     config.contention_constant / contenders);
+      }
+      if (rng.Chance(p)) transmitters.push_back(v);
+    }
+    result.transmissions += static_cast<long long>(transmitters.size());
+    if (transmitters.empty()) continue;
+    const std::vector<int> heard = simulator.Round(transmitters);
+    for (int listener = 0; listener < n; ++listener) {
+      const int sender = heard[static_cast<std::size_t>(listener)];
+      if (sender < 0) continue;
+      auto& waitlist = pending[static_cast<std::size_t>(sender)];
+      const auto it = std::find(waitlist.begin(), waitlist.end(), listener);
+      if (it != waitlist.end()) {
+        waitlist.erase(it);
+        ++result.deliveries;
+        if (waitlist.empty()) --active_count;
+      }
+    }
+  }
+  result.completed = active_count == 0;
+  result.deliveries_remaining.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    result.deliveries_remaining.push_back(
+        static_cast<int>(pending[static_cast<std::size_t>(v)].size()));
+  }
+  return result;
+}
+
+}  // namespace decaylib::distributed

@@ -1,0 +1,72 @@
+#include "distributed/regret_game.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "sinr/power.h"
+
+namespace decaylib::distributed {
+
+RegretResult RunRegretGame(const sinr::LinkSystem& system,
+                           const RegretConfig& config, geom::Rng& rng) {
+  DL_CHECK(config.rounds >= config.measure_tail && config.measure_tail >= 1,
+           "rounds must cover the measurement tail");
+  DL_CHECK(config.learning_rate > 0.0 && config.learning_rate < 1.0,
+           "learning rate must be in (0,1)");
+  const int n = system.NumLinks();
+  const sinr::PowerAssignment power = sinr::UniformPower(system);
+
+  // Weights for the two actions per link: [transmit, idle].
+  std::vector<double> w_tx(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> w_idle(static_cast<std::size_t>(n), 1.0);
+
+  RegretResult result;
+  long long tail_successes = 0;
+  long long tail_transmissions = 0;
+  std::vector<int> senders;
+  for (int round = 0; round < config.rounds; ++round) {
+    senders.clear();
+    for (int v = 0; v < n; ++v) {
+      const double p = w_tx[static_cast<std::size_t>(v)] /
+                       (w_tx[static_cast<std::size_t>(v)] +
+                        w_idle[static_cast<std::size_t>(v)]);
+      if (rng.Chance(p)) senders.push_back(v);
+    }
+    int successes = 0;
+    for (int v : senders) {
+      const bool ok = system.Sinr(v, senders, power) >= system.config().beta;
+      if (ok) ++successes;
+      const double utility = ok ? 1.0 : -config.failure_penalty;
+      // Multiplicative weights on the realised utility of the played action;
+      // idle always has utility 0, so only the transmit weight moves.
+      w_tx[static_cast<std::size_t>(v)] *=
+          std::exp(config.learning_rate * utility);
+      // Keep weights bounded for numeric safety.
+      const double scale = w_tx[static_cast<std::size_t>(v)] +
+                           w_idle[static_cast<std::size_t>(v)];
+      if (scale > 1e100 || scale < 1e-100) {
+        w_tx[static_cast<std::size_t>(v)] /= scale;
+        w_idle[static_cast<std::size_t>(v)] /= scale;
+      }
+    }
+    if (round >= config.rounds - config.measure_tail) {
+      tail_successes += successes;
+      tail_transmissions += static_cast<long long>(senders.size());
+    }
+  }
+  result.average_successes =
+      static_cast<double>(tail_successes) / config.measure_tail;
+  result.transmit_rate = n == 0 ? 0.0
+                                : static_cast<double>(tail_transmissions) /
+                                      (static_cast<double>(config.measure_tail) * n);
+  result.final_transmit_probability.reserve(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    result.final_transmit_probability.push_back(
+        w_tx[static_cast<std::size_t>(v)] /
+        (w_tx[static_cast<std::size_t>(v)] + w_idle[static_cast<std::size_t>(v)]));
+  }
+  return result;
+}
+
+}  // namespace decaylib::distributed

@@ -1,0 +1,34 @@
+// No-regret capacity game ([1] Asgeirsson-Mitra; extended in [11, 19, 12]).
+//
+// Every link plays {transmit, idle} with multiplicative-weights updates: the
+// utility of transmitting is +1 on success and -penalty on failure, idling
+// is worth 0.  On h(zeta)-amicable instances (Theorem 4), the long-run
+// average number of concurrent successes is a constant fraction of
+// OPT / h(zeta); bench e07/e08 compare the empirical average against
+// Algorithm 1 and OPT.
+#pragma once
+
+#include <vector>
+
+#include "geom/rng.h"
+#include "sinr/link_system.h"
+
+namespace decaylib::distributed {
+
+struct RegretConfig {
+  double learning_rate = 0.1;   // multiplicative-weights eta
+  double failure_penalty = 1.0; // cost of a failed transmission
+  int rounds = 2000;
+  int measure_tail = 500;       // rounds at the end used for averaging
+};
+
+struct RegretResult {
+  double average_successes = 0.0;  // mean concurrent successes in the tail
+  double transmit_rate = 0.0;      // mean fraction of links transmitting
+  std::vector<double> final_transmit_probability;  // per link
+};
+
+RegretResult RunRegretGame(const sinr::LinkSystem& system,
+                           const RegretConfig& config, geom::Rng& rng);
+
+}  // namespace decaylib::distributed

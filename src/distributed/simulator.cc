@@ -1,0 +1,71 @@
+#include "distributed/simulator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/check.h"
+
+namespace decaylib::distributed {
+
+RoundSimulator::RoundSimulator(const core::DecaySpace& space,
+                               RadioConfig config)
+    : space_(&space), config_(config) {
+  DL_CHECK(config.power > 0.0, "power must be positive");
+  DL_CHECK(config.beta >= 1.0, "thresholding model assumes beta >= 1");
+  DL_CHECK(config.noise >= 0.0, "noise must be non-negative");
+}
+
+std::optional<int> RoundSimulator::Heard(
+    int listener, std::span<const int> transmitters) const {
+  // A transmitting node hears nothing (half-duplex).
+  if (std::find(transmitters.begin(), transmitters.end(), listener) !=
+      transmitters.end()) {
+    return std::nullopt;
+  }
+  // Total received power at the listener.
+  double total = 0.0;
+  for (int u : transmitters) {
+    total += config_.power / (*space_)(u, listener);
+  }
+  // With beta >= 1 at most one sender can clear the threshold; the strongest
+  // is the only candidate.
+  std::optional<int> best;
+  double best_signal = 0.0;
+  for (int u : transmitters) {
+    const double signal = config_.power / (*space_)(u, listener);
+    if (signal > best_signal) {
+      best_signal = signal;
+      best = u;
+    }
+  }
+  if (!best.has_value()) return std::nullopt;
+  const double interference = config_.noise + (total - best_signal);
+  if (interference <= 0.0) return best;
+  if (best_signal / interference >= config_.beta) return best;
+  return std::nullopt;
+}
+
+std::vector<int> RoundSimulator::Round(
+    std::span<const int> transmitters) const {
+  std::vector<int> heard(static_cast<std::size_t>(space_->size()), -1);
+  for (int v = 0; v < space_->size(); ++v) {
+    const auto sender = Heard(v, transmitters);
+    if (sender.has_value()) heard[static_cast<std::size_t>(v)] = *sender;
+  }
+  return heard;
+}
+
+std::vector<int> RoundSimulator::Neighborhood(int v, double r) const {
+  std::vector<int> neighbors;
+  for (int u = 0; u < space_->size(); ++u) {
+    if (u != v && (*space_)(v, u) <= r) neighbors.push_back(u);
+  }
+  return neighbors;
+}
+
+double RoundSimulator::MaxNoiseLimitedRange() const {
+  if (config_.noise <= 0.0) return std::numeric_limits<double>::infinity();
+  return config_.power / (config_.beta * config_.noise);
+}
+
+}  // namespace decaylib::distributed

@@ -1,0 +1,57 @@
+// Slotted-round SINR network simulator over decay spaces.
+//
+// Each round, a set of nodes transmits with uniform power; every listening
+// node receives the message of the (unique, since beta >= 1) transmitter
+// whose SINR at the listener clears the threshold:
+//     SINR(u -> v) = (P / f(u,v)) / (N + sum_{u' != u, transmitting} P / f(u',v)).
+// This is exactly the reception model under which the randomized distributed
+// algorithms of Sec. 3.3 operate; their analyses hinge on the fading
+// parameter gamma of the space (the annulus argument), which bench e11
+// demonstrates by running the same protocol on spaces of different gamma.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/decay_space.h"
+
+namespace decaylib::distributed {
+
+struct RadioConfig {
+  double power = 1.0;
+  double beta = 2.0;
+  double noise = 1e-9;
+};
+
+class RoundSimulator {
+ public:
+  RoundSimulator(const core::DecaySpace& space, RadioConfig config);
+
+  const core::DecaySpace& space() const noexcept { return *space_; }
+  const RadioConfig& config() const noexcept { return config_; }
+
+  // The transmitter heard by `listener` in a round where exactly
+  // `transmitters` transmit, or nullopt (collision / silence / listener is
+  // itself transmitting).
+  std::optional<int> Heard(int listener,
+                           std::span<const int> transmitters) const;
+
+  // Reception report for all listeners: result[v] = heard sender or -1.
+  std::vector<int> Round(std::span<const int> transmitters) const;
+
+  // The r-neighborhood of node v in decay terms: nodes u != v with
+  // f(v, u) <= r (v's message, sent at power P, arrives at u with signal at
+  // least P/r).  The natural "direct communication" range of Sec. 3.
+  std::vector<int> Neighborhood(int v, double r) const;
+
+  // Largest decay r such that a lone transmitter at v still reaches every
+  // node of its r-neighborhood over noise alone: r <= P / (beta * N).
+  double MaxNoiseLimitedRange() const;
+
+ private:
+  const core::DecaySpace* space_;
+  RadioConfig config_;
+};
+
+}  // namespace decaylib::distributed

@@ -1,0 +1,130 @@
+#include "dynamics/queue_system.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+#include "sinr/power.h"
+
+namespace decaylib::dynamics {
+
+QueueStats RunQueueSimulation(const sinr::LinkSystem& system,
+                              const QueueConfig& config, geom::Rng& rng) {
+  const int n = system.NumLinks();
+  DL_CHECK(static_cast<int>(config.arrival_rates.size()) == n,
+           "one arrival rate per link required");
+  DL_CHECK(config.slots > config.warmup && config.warmup >= 0,
+           "slots must exceed warmup");
+  const sinr::PowerAssignment power = sinr::UniformPower(system);
+
+  std::vector<long long> queue(static_cast<std::size_t>(n), 0);
+  QueueStats stats;
+  double backlog_sum = 0.0;
+  long long served_measured = 0;
+  double backlog_q3 = 0.0;  // third quarter
+  double backlog_q4 = 0.0;  // fourth quarter
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  const std::vector<int> decay_order = system.OrderByDecay();
+
+  for (int slot = 0; slot < config.slots; ++slot) {
+    // Arrivals.
+    for (int v = 0; v < n; ++v) {
+      if (rng.Chance(config.arrival_rates[static_cast<std::size_t>(v)])) {
+        ++queue[static_cast<std::size_t>(v)];
+        ++stats.arrived_total;
+      }
+    }
+    // Schedule a service set among backlogged links.
+    std::vector<int> chosen;
+    switch (config.scheduler) {
+      case Scheduler::kLongestQueueFirst: {
+        std::vector<int> backlogged;
+        for (int v = 0; v < n; ++v) {
+          if (queue[static_cast<std::size_t>(v)] > 0) backlogged.push_back(v);
+        }
+        std::stable_sort(backlogged.begin(), backlogged.end(),
+                         [&](int a, int b) {
+                           return queue[static_cast<std::size_t>(a)] >
+                                  queue[static_cast<std::size_t>(b)];
+                         });
+        for (int v : backlogged) {
+          chosen.push_back(v);
+          if (!system.IsFeasible(chosen, power)) chosen.pop_back();
+        }
+        break;
+      }
+      case Scheduler::kGreedyByDecay: {
+        for (int v : decay_order) {
+          if (queue[static_cast<std::size_t>(v)] == 0) continue;
+          chosen.push_back(v);
+          if (!system.IsFeasible(chosen, power)) chosen.pop_back();
+        }
+        break;
+      }
+      case Scheduler::kRandomAccess: {
+        std::vector<int> senders;
+        int contention = 0;
+        for (int v = 0; v < n; ++v) {
+          if (queue[static_cast<std::size_t>(v)] > 0) ++contention;
+        }
+        if (contention == 0) break;
+        for (int v = 0; v < n; ++v) {
+          if (queue[static_cast<std::size_t>(v)] == 0) continue;
+          if (rng.Chance(std::min(1.0, config.random_access_c / contention))) {
+            senders.push_back(v);
+          }
+        }
+        // Only links meeting the SINR threshold in the realised transmission
+        // set are served.
+        for (int v : senders) {
+          if (system.Sinr(v, senders, power) >= system.config().beta) {
+            chosen.push_back(v);
+          }
+        }
+        break;
+      }
+    }
+    for (int v : chosen) {
+      --queue[static_cast<std::size_t>(v)];
+      ++stats.served_total;
+    }
+    const long long backlog =
+        std::accumulate(queue.begin(), queue.end(), 0LL);
+    if (slot >= config.warmup) {
+      backlog_sum += static_cast<double>(backlog);
+      served_measured += static_cast<long long>(chosen.size());
+    }
+    const int quarter = config.slots / 4;
+    if (slot >= 2 * quarter && slot < 3 * quarter) {
+      backlog_q3 += static_cast<double>(backlog);
+    } else if (slot >= 3 * quarter) {
+      backlog_q4 += static_cast<double>(backlog);
+    }
+  }
+
+  const int measured = config.slots - config.warmup;
+  stats.mean_queue = backlog_sum / measured;
+  stats.throughput = static_cast<double>(served_measured) / measured;
+  stats.mean_delay =
+      stats.throughput > 0.0 ? stats.mean_queue / stats.throughput : 0.0;
+  stats.offered_load = std::accumulate(config.arrival_rates.begin(),
+                                       config.arrival_rates.end(), 0.0);
+  stats.final_queues = queue;
+  stats.backlog_growth = backlog_q3 > 0.0 ? backlog_q4 / backlog_q3
+                                          : (backlog_q4 > 0.0 ? 1e9 : 1.0);
+  return stats;
+}
+
+QueueConfig UniformArrivals(const sinr::LinkSystem& system, double lambda,
+                            Scheduler scheduler, int slots) {
+  QueueConfig config;
+  config.arrival_rates.assign(static_cast<std::size_t>(system.NumLinks()),
+                              lambda);
+  config.scheduler = scheduler;
+  config.slots = slots;
+  config.warmup = slots / 10;
+  return config;
+}
+
+}  // namespace decaylib::dynamics

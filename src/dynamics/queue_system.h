@@ -1,0 +1,64 @@
+// Dynamic packet scheduling over decay spaces (the transfer list's
+// [2, 3, 44]: wireless network stability in the SINR model).
+//
+// Packets arrive at links as independent Bernoulli processes; each slot a
+// scheduler selects a feasible set of backlogged links, each of which serves
+// one packet.  The questions the cited works study -- which arrival-rate
+// vectors are stably supported, and by which (distributed) schedulers --
+// depend on the decay space only through its metricity-type parameters, so
+// by Prop. 1 the GEO-SINR stability results carry over with alpha -> zeta.
+// The simulator here lets benches measure the realised stability region.
+//
+// Schedulers:
+//  * kLongestQueueFirst   -- max-weight flavoured greedy: scan backlogged
+//                            links by queue length (desc), admit while the
+//                            slot stays feasible;
+//  * kGreedyByDecay       -- backlog-oblivious greedy in decay order;
+//  * kRandomAccess        -- [44]-style distributed random access: each
+//                            backlogged link transmits w.p. min(1, c/contention)
+//                            independently; collisions serve nothing.
+#pragma once
+
+#include <vector>
+
+#include "geom/rng.h"
+#include "sinr/link_system.h"
+
+namespace decaylib::dynamics {
+
+enum class Scheduler {
+  kLongestQueueFirst,
+  kGreedyByDecay,
+  kRandomAccess,
+};
+
+struct QueueConfig {
+  std::vector<double> arrival_rates;  // per link, packets per slot
+  Scheduler scheduler = Scheduler::kLongestQueueFirst;
+  int slots = 5000;
+  int warmup = 500;              // slots excluded from averages
+  double random_access_c = 0.5;  // c for kRandomAccess
+};
+
+struct QueueStats {
+  double mean_queue = 0.0;        // time-average total backlog (post warmup)
+  double mean_delay = 0.0;        // Little's-law estimate: backlog / throughput
+  double throughput = 0.0;        // served packets per slot (post warmup)
+  double offered_load = 0.0;      // sum of arrival rates
+  long long served_total = 0;
+  long long arrived_total = 0;
+  std::vector<long long> final_queues;
+  // Crude stability indicator: backlog in the last quarter vs the quarter
+  // before it (ratio ~1 when stable, > 1 and growing when unstable).
+  double backlog_growth = 0.0;
+};
+
+// Runs the queueing simulation with uniform power.
+QueueStats RunQueueSimulation(const sinr::LinkSystem& system,
+                              const QueueConfig& config, geom::Rng& rng);
+
+// Convenience: uniform arrival rate lambda on every link.
+QueueConfig UniformArrivals(const sinr::LinkSystem& system, double lambda,
+                            Scheduler scheduler, int slots = 5000);
+
+}  // namespace decaylib::dynamics

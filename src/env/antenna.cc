@@ -1,0 +1,46 @@
+#include "env/antenna.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace decaylib::env {
+
+namespace {
+
+// Angle between two directions in [0, pi]; degenerate inputs count as aligned.
+double AngleBetween(geom::Vec2 a, geom::Vec2 b) {
+  const double na = a.Norm();
+  const double nb = b.Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  const double c = std::clamp(a.Dot(b) / (na * nb), -1.0, 1.0);
+  return std::acos(c);
+}
+
+}  // namespace
+
+CardioidAntenna::CardioidAntenna(double sharpness, double floor)
+    : sharpness_(sharpness), floor_(floor) {
+  DL_CHECK(sharpness > 0.0, "sharpness must be positive");
+  DL_CHECK(floor > 0.0 && floor <= 1.0, "floor must be in (0,1]");
+}
+
+double CardioidAntenna::Gain(geom::Vec2 boresight, geom::Vec2 direction) const {
+  const double theta = AngleBetween(boresight, direction);
+  const double lobe = std::pow((1.0 + std::cos(theta)) / 2.0, sharpness_);
+  return floor_ + (1.0 - floor_) * lobe;
+}
+
+SectorAntenna::SectorAntenna(double beamwidth_radians, double backlobe)
+    : half_beam_(beamwidth_radians / 2.0), backlobe_(backlobe) {
+  DL_CHECK(beamwidth_radians > 0.0 && beamwidth_radians <= 2.0 * M_PI,
+           "beamwidth must be in (0, 2pi]");
+  DL_CHECK(backlobe > 0.0 && backlobe <= 1.0, "backlobe must be in (0,1]");
+}
+
+double SectorAntenna::Gain(geom::Vec2 boresight, geom::Vec2 direction) const {
+  return AngleBetween(boresight, direction) <= half_beam_ ? 1.0 : backlobe_;
+}
+
+}  // namespace decaylib::env

@@ -1,0 +1,54 @@
+// Anisotropic antenna patterns.
+//
+// A pattern maps the departure/arrival direction (relative to the antenna's
+// boresight orientation) to a linear power gain.  Patterns multiply into the
+// channel gain on both the transmit and receive side, which makes the
+// resulting decay space asymmetric whenever orientations differ -- one of the
+// effects the paper cites as breaking geometric models.
+#pragma once
+
+#include <memory>
+
+#include "geom/point.h"
+
+namespace decaylib::env {
+
+class AntennaPattern {
+ public:
+  virtual ~AntennaPattern() = default;
+  // Linear gain towards `direction` for an antenna whose boresight points
+  // along `boresight`.  Must be > 0 (a floor keeps decays finite).
+  virtual double Gain(geom::Vec2 boresight, geom::Vec2 direction) const = 0;
+};
+
+// Gain 1 in all directions.
+class IsotropicAntenna final : public AntennaPattern {
+ public:
+  double Gain(geom::Vec2, geom::Vec2) const override { return 1.0; }
+};
+
+// Cardioid: gain = floor + (1 - floor) * ((1 + cos(theta)) / 2)^sharpness,
+// where theta is the angle off boresight.  Smooth directional pattern.
+class CardioidAntenna final : public AntennaPattern {
+ public:
+  explicit CardioidAntenna(double sharpness = 1.0, double floor = 0.01);
+  double Gain(geom::Vec2 boresight, geom::Vec2 direction) const override;
+
+ private:
+  double sharpness_;
+  double floor_;
+};
+
+// Sector antenna: full gain within +-beamwidth/2 of boresight, `backlobe`
+// gain outside.
+class SectorAntenna final : public AntennaPattern {
+ public:
+  explicit SectorAntenna(double beamwidth_radians, double backlobe = 0.01);
+  double Gain(geom::Vec2 boresight, geom::Vec2 direction) const override;
+
+ private:
+  double half_beam_;
+  double backlobe_;
+};
+
+}  // namespace decaylib::env

@@ -1,0 +1,83 @@
+#include "env/environment.h"
+
+#include "core/check.h"
+
+namespace decaylib::env {
+
+Environment::Environment() {
+  materials_.push_back({"drywall", 6.0, 0.3});
+}
+
+MaterialId Environment::AddMaterial(Material material) {
+  DL_CHECK(material.penetration_loss_db >= 0.0, "negative wall loss");
+  DL_CHECK(material.reflectivity >= 0.0 && material.reflectivity <= 1.0,
+           "reflectivity must be in [0,1]");
+  materials_.push_back(std::move(material));
+  return static_cast<MaterialId>(materials_.size() - 1);
+}
+
+const Material& Environment::MaterialAt(MaterialId id) const {
+  DL_CHECK(id >= 0 && id < NumMaterials(), "unknown material");
+  return materials_[static_cast<std::size_t>(id)];
+}
+
+void Environment::AddWall(geom::Segment segment, MaterialId material) {
+  DL_CHECK(material >= 0 && material < NumMaterials(), "unknown material");
+  walls_.push_back({segment, material});
+}
+
+void Environment::AddRoom(geom::Vec2 lo, geom::Vec2 hi, MaterialId material) {
+  AddWall({{lo.x, lo.y}, {hi.x, lo.y}}, material);
+  AddWall({{hi.x, lo.y}, {hi.x, hi.y}}, material);
+  AddWall({{hi.x, hi.y}, {lo.x, hi.y}}, material);
+  AddWall({{lo.x, hi.y}, {lo.x, lo.y}}, material);
+}
+
+double Environment::PenetrationLossDb(geom::Vec2 from, geom::Vec2 to,
+                                      int skip) const {
+  const geom::Segment path{from, to};
+  double loss = 0.0;
+  for (std::size_t i = 0; i < walls_.size(); ++i) {
+    if (static_cast<int>(i) == skip) continue;
+    if (geom::SegmentsIntersect(path, walls_[i].segment)) {
+      loss += MaterialAt(walls_[i].material).penetration_loss_db;
+    }
+  }
+  return loss;
+}
+
+int Environment::WallsCrossed(geom::Vec2 from, geom::Vec2 to) const {
+  const geom::Segment path{from, to};
+  int crossings = 0;
+  for (const Wall& wall : walls_) {
+    if (geom::SegmentsIntersect(path, wall.segment)) ++crossings;
+  }
+  return crossings;
+}
+
+Environment Environment::OfficeGrid(double w, double h, int rooms_x,
+                                    int rooms_y, double door) {
+  DL_CHECK(rooms_x >= 1 && rooms_y >= 1, "need at least one room");
+  Environment env;
+  const MaterialId concrete =
+      env.AddMaterial({"concrete", 12.0, 0.5});
+  // Outer shell in concrete.
+  env.AddRoom({0.0, 0.0}, {w, h}, concrete);
+  // Inner partitions in default drywall (material 0), with a door gap in the
+  // middle of every partition.
+  for (int i = 1; i < rooms_x; ++i) {
+    const double x = w * i / rooms_x;
+    const double mid = h / 2.0;
+    env.AddWall({{x, 0.0}, {x, mid - door / 2.0}});
+    env.AddWall({{x, mid + door / 2.0}, {x, h}});
+  }
+  for (int j = 1; j < rooms_y; ++j) {
+    const double y = h * j / rooms_y;
+    const double mid = w / 2.0;
+    env.AddWall({{0.0, y}, {mid - door / 2.0, y}});
+    env.AddWall({{mid + door / 2.0, y}, {w, y}});
+  }
+  return env;
+}
+
+}  // namespace decaylib::env

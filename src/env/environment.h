@@ -1,0 +1,76 @@
+// Static 2-D propagation environments: materials, walls, floor plans.
+//
+// The paper's motivation is that real environments -- "assortments of walls,
+// ceilings and obstacles, as well as complex interactions involving
+// reflections, shadowing, multi-path signals, and anisotropic antennas" --
+// break the geometric path-loss assumption.  The sibling measurement paper
+// [24] populates decay spaces from testbed RSSI; lacking hardware, this
+// module builds the same kind of matrices synthetically: polygonal wall
+// layouts with per-material penetration loss and reflectivity, which
+// propagation.h turns into decay matrices.  What matters downstream is only
+// that the resulting f is a static pre-metric whose metricity exceeds the
+// free-space alpha, which these layouts produce by construction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+
+namespace decaylib::env {
+
+// A wall material: how much signal is lost crossing one wall of it, and how
+// reflective its surface is.
+struct Material {
+  std::string name;
+  double penetration_loss_db = 6.0;  // attenuation per crossing
+  double reflectivity = 0.3;         // power fraction kept on specular bounce
+};
+
+// Ids into Environment::materials().
+using MaterialId = int;
+
+struct Wall {
+  geom::Segment segment;
+  MaterialId material = 0;
+};
+
+class Environment {
+ public:
+  Environment();
+
+  // Registers a material and returns its id.  A default 6 dB material with
+  // reflectivity 0.3 is pre-registered as id 0.
+  MaterialId AddMaterial(Material material);
+  const Material& MaterialAt(MaterialId id) const;
+  int NumMaterials() const noexcept { return static_cast<int>(materials_.size()); }
+
+  void AddWall(geom::Segment segment, MaterialId material = 0);
+  const std::vector<Wall>& walls() const noexcept { return walls_; }
+
+  // Axis-aligned rectangular room boundary (four walls).
+  void AddRoom(geom::Vec2 lower_left, geom::Vec2 upper_right,
+               MaterialId material = 0);
+
+  // Total penetration loss (dB) along the straight segment from -> to,
+  // summing the material loss of every crossed wall.  `skip` may name one
+  // wall index to ignore (used by the image method for the reflecting wall).
+  double PenetrationLossDb(geom::Vec2 from, geom::Vec2 to,
+                           int skip = -1) const;
+
+  // Number of walls crossed by the open segment from -> to.
+  int WallsCrossed(geom::Vec2 from, geom::Vec2 to) const;
+
+  // A standard synthetic office: a w x h outer shell with `rooms_x` by
+  // `rooms_y` grid of inner drywall partitions, each with a centred door gap
+  // of width `door`.  A compact model of the multi-wall environments used in
+  // indoor propagation studies.
+  static Environment OfficeGrid(double w, double h, int rooms_x, int rooms_y,
+                                double door = 1.0);
+
+ private:
+  std::vector<Material> materials_;
+  std::vector<Wall> walls_;
+};
+
+}  // namespace decaylib::env

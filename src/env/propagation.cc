@@ -1,0 +1,148 @@
+#include "env/propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "geom/rng.h"
+
+namespace decaylib::env {
+
+namespace {
+
+const IsotropicAntenna kIsotropic;
+
+double PathLossGain(const PropagationConfig& config, double distance) {
+  const double d = std::max(distance, config.min_distance);
+  switch (config.law) {
+    case PathLossLaw::kPowerLaw:
+      return std::pow(config.reference_distance / d, config.alpha);
+    case PathLossLaw::kLogDistance: {
+      const double loss_db =
+          10.0 * config.alpha * std::log10(d / config.reference_distance);
+      return std::pow(10.0, -loss_db / 10.0);
+    }
+  }
+  return 0.0;  // unreachable
+}
+
+// Deterministic standard normal from a 64-bit key (Box-Muller over two
+// hashed uniforms); gives each pair its static shadowing draw.
+double HashedNormal(std::uint64_t key) {
+  const std::uint64_t h1 = geom::Mix64(key);
+  const std::uint64_t h2 = geom::Mix64(key ^ 0x9e3779b97f4a7c15ULL);
+  const double u1 =
+      (static_cast<double>(h1 >> 11) + 0.5) * 0x1.0p-53;  // in (0,1)
+  const double u2 = static_cast<double>(h2 >> 11) * 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double ShadowingFactor(const PropagationConfig& config,
+                       std::uint64_t pair_key) {
+  if (config.shadowing_sigma_db <= 0.0) return 1.0;
+  const double db = config.shadowing_sigma_db * HashedNormal(pair_key);
+  return std::pow(10.0, db / 10.0);
+}
+
+const AntennaPattern& PatternOf(const PlacedNode& node) {
+  return node.antenna != nullptr ? *node.antenna : kIsotropic;
+}
+
+// Gain of the direct ray, before shadowing.
+double DirectRayGain(const Environment& environment,
+                     const PropagationConfig& config, const PlacedNode& from,
+                     const PlacedNode& to) {
+  const geom::Vec2 dir = to.position - from.position;
+  const double distance = dir.Norm();
+  double gain = PathLossGain(config, distance);
+  const double wall_db =
+      environment.PenetrationLossDb(from.position, to.position);
+  gain *= std::pow(10.0, -wall_db / 10.0);
+  gain *= PatternOf(from).Gain(from.boresight, dir);
+  gain *= PatternOf(to).Gain(to.boresight, dir * -1.0);
+  return gain;
+}
+
+// Total gain of first-order specular reflections (image method).  For each
+// wall, mirror the transmitter across the wall's line; the specular path is
+// valid iff the straight ray from the image to the receiver crosses the wall
+// segment itself.  The bounce keeps the material's reflectivity fraction of
+// the power; both legs accrue penetration losses from *other* walls.
+double ReflectedGain(const Environment& environment,
+                     const PropagationConfig& config, const PlacedNode& from,
+                     const PlacedNode& to) {
+  double total = 0.0;
+  const auto& walls = environment.walls();
+  for (std::size_t w = 0; w < walls.size(); ++w) {
+    const Wall& wall = walls[w];
+    const geom::Vec2 image =
+        geom::MirrorAcrossLine(from.position, wall.segment);
+    const auto bounce = geom::SegmentIntersection(
+        {image, to.position}, wall.segment);
+    if (!bounce.has_value()) continue;  // no valid specular point
+    const double path_length = geom::Distance(image, to.position);
+    if (path_length <= 0.0) continue;
+    double gain = PathLossGain(config, path_length);
+    gain *= environment.MaterialAt(wall.material).reflectivity;
+    const double leg_db =
+        environment.PenetrationLossDb(from.position, *bounce,
+                                      static_cast<int>(w)) +
+        environment.PenetrationLossDb(*bounce, to.position,
+                                      static_cast<int>(w));
+    gain *= std::pow(10.0, -leg_db / 10.0);
+    // Antenna gains along departure/arrival directions of the bounce path.
+    gain *= PatternOf(from).Gain(from.boresight, *bounce - from.position);
+    gain *= PatternOf(to).Gain(to.boresight, *bounce - to.position);
+    total += gain;
+  }
+  return total;
+}
+
+}  // namespace
+
+double ChannelGain(const Environment& environment,
+                   const PropagationConfig& config, const PlacedNode& from,
+                   const PlacedNode& to, std::uint64_t pair_key) {
+  double gain = DirectRayGain(environment, config, from, to);
+  if (config.enable_reflections) {
+    gain += ReflectedGain(environment, config, from, to);
+  }
+  gain *= ShadowingFactor(config, pair_key);
+  DL_CHECK(gain > 0.0, "channel gain must be positive");
+  return gain;
+}
+
+core::DecaySpace BuildDecaySpace(const Environment& environment,
+                                 const PropagationConfig& config,
+                                 const std::vector<PlacedNode>& nodes) {
+  const int n = static_cast<int>(nodes.size());
+  DL_CHECK(n >= 1, "no nodes placed");
+  core::DecaySpace space(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u == v) continue;
+      // Symmetric shadowing keys the unordered pair; directional effects
+      // (antennas) still make the gain itself direction-dependent.
+      const std::uint64_t a = static_cast<std::uint64_t>(
+          config.symmetric_shadowing ? std::min(u, v) : u);
+      const std::uint64_t b = static_cast<std::uint64_t>(
+          config.symmetric_shadowing ? std::max(u, v) : v);
+      const std::uint64_t pair_key =
+          geom::Mix64(config.seed ^ (a * 0x1000193ULL + b));
+      const double gain =
+          ChannelGain(environment, config, nodes[static_cast<std::size_t>(u)],
+                      nodes[static_cast<std::size_t>(v)], pair_key);
+      space.Set(u, v, 1.0 / gain);
+    }
+  }
+  return space;
+}
+
+std::vector<PlacedNode> PlaceIsotropic(const std::vector<geom::Vec2>& points) {
+  std::vector<PlacedNode> nodes;
+  nodes.reserve(points.size());
+  for (const geom::Vec2& p : points) nodes.push_back({p, {1.0, 0.0}, nullptr});
+  return nodes;
+}
+
+}  // namespace decaylib::env

@@ -1,0 +1,65 @@
+// Channel-gain computation and decay-matrix generation.
+//
+// The channel gain between two placed nodes combines, in linear power terms:
+//   * large-scale path loss (free-space d^-alpha or log-distance),
+//   * per-wall penetration loss along the direct ray,
+//   * static lognormal shadowing (hashed per ordered pair: a fixed
+//     environment yields a fixed matrix, matching the paper's "invariability
+//     of wireless conditions in static environments"),
+//   * transmit/receive antenna pattern gains,
+//   * optionally, first-order specular reflections off walls via the image
+//     method, whose powers add to the direct path (additive multi-path).
+//
+// The decay is the reciprocal of the gain: f(u, v) = 1 / G_uv (Sec. 2.2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/decay_space.h"
+#include "env/antenna.h"
+#include "env/environment.h"
+#include "geom/point.h"
+
+namespace decaylib::env {
+
+enum class PathLossLaw {
+  kPowerLaw,     // gain = (d0 / max(d, d_min))^alpha
+  kLogDistance,  // gain_dB = -10 alpha log10(max(d, d_min)/d0)
+};
+// (The two laws coincide; both are provided so configs can be written in
+// either engineering convention.)
+
+struct PropagationConfig {
+  PathLossLaw law = PathLossLaw::kPowerLaw;
+  double alpha = 2.8;          // path loss exponent
+  double reference_distance = 1.0;
+  double min_distance = 0.1;   // near-field clamp
+  double shadowing_sigma_db = 0.0;  // lognormal shadowing std dev
+  bool symmetric_shadowing = true;  // one draw per unordered pair
+  bool enable_reflections = false;  // first-order image method
+  std::uint64_t seed = 1;           // environment realisation seed
+};
+
+// A radio node: position, antenna boresight and pattern.
+struct PlacedNode {
+  geom::Vec2 position;
+  geom::Vec2 boresight{1.0, 0.0};
+  const AntennaPattern* antenna = nullptr;  // null = isotropic
+};
+
+// Linear channel gain from node u to node v in `environment`.
+double ChannelGain(const Environment& environment,
+                   const PropagationConfig& config, const PlacedNode& from,
+                   const PlacedNode& to, std::uint64_t pair_key);
+
+// Builds the full decay matrix over `nodes`: f(u,v) = 1 / gain(u,v).
+core::DecaySpace BuildDecaySpace(const Environment& environment,
+                                 const PropagationConfig& config,
+                                 const std::vector<PlacedNode>& nodes);
+
+// Convenience: isotropic nodes at the given positions.
+std::vector<PlacedNode> PlaceIsotropic(const std::vector<geom::Vec2>& points);
+
+}  // namespace decaylib::env

@@ -1,0 +1,83 @@
+#include "geom/point.h"
+
+#include <algorithm>
+
+namespace decaylib::geom {
+
+Vec2 Vec2::Normalized() const noexcept {
+  const double n = Norm();
+  if (n == 0.0) return *this;
+  return *this / n;
+}
+
+Vec2 Vec2::Rotated(double radians) const noexcept {
+  const double c = std::cos(radians);
+  const double s = std::sin(radians);
+  return {x * c - y * s, x * s + y * c};
+}
+
+double Distance(Vec2 a, Vec2 b) noexcept { return (a - b).Norm(); }
+
+double Distance(Vec3 a, Vec3 b) noexcept { return (a - b).Norm(); }
+
+namespace {
+
+// Orientation of the triplet (a, b, c): >0 counter-clockwise, <0 clockwise,
+// 0 collinear (within exact double arithmetic).
+double Orient(Vec2 a, Vec2 b, Vec2 c) noexcept {
+  return (b - a).Cross(c - a);
+}
+
+bool OnSegment(Vec2 p, const Segment& s) noexcept {
+  return std::min(s.a.x, s.b.x) <= p.x && p.x <= std::max(s.a.x, s.b.x) &&
+         std::min(s.a.y, s.b.y) <= p.y && p.y <= std::max(s.a.y, s.b.y);
+}
+
+}  // namespace
+
+bool SegmentsIntersect(const Segment& s1, const Segment& s2) noexcept {
+  const double d1 = Orient(s2.a, s2.b, s1.a);
+  const double d2 = Orient(s2.a, s2.b, s1.b);
+  const double d3 = Orient(s1.a, s1.b, s2.a);
+  const double d4 = Orient(s1.a, s1.b, s2.b);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  if (d1 == 0 && OnSegment(s1.a, s2)) return true;
+  if (d2 == 0 && OnSegment(s1.b, s2)) return true;
+  if (d3 == 0 && OnSegment(s2.a, s1)) return true;
+  if (d4 == 0 && OnSegment(s2.b, s1)) return true;
+  return false;
+}
+
+std::optional<Vec2> SegmentIntersection(const Segment& s1,
+                                        const Segment& s2) noexcept {
+  const Vec2 r = s1.Direction();
+  const Vec2 s = s2.Direction();
+  const double denom = r.Cross(s);
+  if (denom == 0.0) return std::nullopt;  // parallel or collinear
+  const Vec2 qp = s2.a - s1.a;
+  const double t = qp.Cross(s) / denom;
+  const double u = qp.Cross(r) / denom;
+  if (t < 0.0 || t > 1.0 || u < 0.0 || u > 1.0) return std::nullopt;
+  return s1.a + r * t;
+}
+
+double DistancePointSegment(Vec2 p, const Segment& s) noexcept {
+  const Vec2 d = s.Direction();
+  const double len_sq = d.NormSq();
+  if (len_sq == 0.0) return Distance(p, s.a);
+  const double t = std::clamp((p - s.a).Dot(d) / len_sq, 0.0, 1.0);
+  return Distance(p, s.a + d * t);
+}
+
+Vec2 MirrorAcrossLine(Vec2 p, const Segment& s) noexcept {
+  const Vec2 d = s.Direction().Normalized();
+  if (d == Vec2{}) return p;  // degenerate segment: mirror across the point
+  const Vec2 ap = p - s.a;
+  const Vec2 projected = s.a + d * ap.Dot(d);
+  return projected * 2.0 - p;
+}
+
+}  // namespace decaylib::geom

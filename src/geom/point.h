@@ -1,0 +1,93 @@
+// Planar (and 3-D) geometry primitives used by the environment simulator and
+// the geometric decay-space generators.
+#pragma once
+
+#include <cmath>
+#include <optional>
+
+namespace decaylib::geom {
+
+// 2-D vector / point with value semantics.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const noexcept { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const noexcept { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const noexcept { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const noexcept { return {x / s, y / s}; }
+  constexpr bool operator==(const Vec2&) const noexcept = default;
+
+  constexpr double Dot(Vec2 o) const noexcept { return x * o.x + y * o.y; }
+  // z-component of the 3-D cross product; sign gives orientation.
+  constexpr double Cross(Vec2 o) const noexcept { return x * o.y - y * o.x; }
+  double Norm() const noexcept { return std::hypot(x, y); }
+  constexpr double NormSq() const noexcept { return x * x + y * y; }
+  // Unit vector in this direction; the zero vector maps to itself.
+  Vec2 Normalized() const noexcept;
+  // Counter-clockwise rotation by `radians`.
+  Vec2 Rotated(double radians) const noexcept;
+  // Angle in radians in (-pi, pi] measured from the +x axis.
+  double Angle() const noexcept { return std::atan2(y, x); }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) noexcept { return v * s; }
+
+double Distance(Vec2 a, Vec2 b) noexcept;
+
+// 3-D vector / point (used by antenna orientation in 3-D scenes and tests of
+// higher-dimensional packings).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3 operator+(Vec3 o) const noexcept {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(Vec3 o) const noexcept {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const noexcept {
+    return {x * s, y * s, z * s};
+  }
+  constexpr bool operator==(const Vec3&) const noexcept = default;
+  constexpr double Dot(Vec3 o) const noexcept {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  double Norm() const noexcept { return std::sqrt(Dot(*this)); }
+};
+
+double Distance(Vec3 a, Vec3 b) noexcept;
+
+// Closed line segment between two points.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  double Length() const noexcept { return Distance(a, b); }
+  Vec2 Midpoint() const noexcept { return (a + b) / 2.0; }
+  // Direction from a to b (not normalized).
+  Vec2 Direction() const noexcept { return b - a; }
+};
+
+// True iff segments pq and rs properly intersect or touch.
+bool SegmentsIntersect(const Segment& s1, const Segment& s2) noexcept;
+
+// Intersection point of two segments if they cross in exactly one point
+// (collinear-overlap returns nullopt).
+std::optional<Vec2> SegmentIntersection(const Segment& s1,
+                                        const Segment& s2) noexcept;
+
+// Shortest distance from point p to segment s.
+double DistancePointSegment(Vec2 p, const Segment& s) noexcept;
+
+// Mirror image of point p across the infinite line through segment s.
+// Used by the image method for first-order specular reflections.
+Vec2 MirrorAcrossLine(Vec2 p, const Segment& s) noexcept;
+
+// Number of segments from `walls` crossed by the open segment (from, to);
+// endpoints lying exactly on a wall count as crossings.
+// (Declared here, defined in env/environment.cc where walls live.)
+
+}  // namespace decaylib::geom

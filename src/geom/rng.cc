@@ -1,0 +1,116 @@
+#include "geom/rng.h"
+
+#include <cmath>
+
+namespace decaylib::geom {
+
+std::uint64_t SplitMix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Mix64(std::uint64_t key) noexcept {
+  std::uint64_t state = key;
+  return SplitMix64(state);
+}
+
+namespace {
+inline std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t state = seed;
+  for (auto& word : s_) word = SplitMix64(state);
+}
+
+std::uint64_t Rng::Next() noexcept {
+  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() noexcept {
+  // 53 top bits -> double in [0,1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * Uniform();
+}
+
+std::uint64_t Rng::Below(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < n) {
+    const std::uint64_t threshold = -n % n;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * n;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+int Rng::IntIn(int lo, int hi) noexcept {
+  return lo + static_cast<int>(Below(static_cast<std::uint64_t>(hi - lo) + 1));
+}
+
+bool Rng::Chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return Uniform() < p;
+}
+
+double Rng::Normal() noexcept {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::Normal(double mean, double stddev) noexcept {
+  return mean + stddev * Normal();
+}
+
+double Rng::Exponential(double lambda) noexcept {
+  return -std::log(1.0 - Uniform()) / lambda;
+}
+
+void Rng::Shuffle(std::vector<int>& v) noexcept {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(Below(i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+Rng Rng::Split() noexcept {
+  return Rng(Next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+}  // namespace decaylib::geom

@@ -1,0 +1,70 @@
+// Deterministic random number generation for decaylib.
+//
+// All randomness in the library flows through geom::Rng so that experiments,
+// tests and environment snapshots are exactly reproducible from a seed.  The
+// generator is xoshiro256++ seeded via splitmix64, which is fast, has a
+// 2^256-1 period, and passes BigCrush; we deliberately avoid <random> engines
+// because their streams are not guaranteed identical across standard library
+// implementations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace decaylib::geom {
+
+// splitmix64 step: used for seeding and for stateless per-key hashing
+// (e.g. static per-pair shadowing in env::Environment).
+std::uint64_t SplitMix64(std::uint64_t& state) noexcept;
+
+// Stateless 64-bit mix of a key; suitable as a hash with good avalanche.
+std::uint64_t Mix64(std::uint64_t key) noexcept;
+
+// xoshiro256++ pseudo-random generator with convenience distributions.
+// Copyable; copies continue independent identical streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  // Raw 64 uniform bits.
+  std::uint64_t Next() noexcept;
+
+  // Uniform double in [0, 1).
+  double Uniform() noexcept;
+
+  // Uniform double in [lo, hi).  Requires lo <= hi.
+  double Uniform(double lo, double hi) noexcept;
+
+  // Uniform integer in [0, n).  Requires n > 0.  Uses Lemire rejection to
+  // avoid modulo bias.
+  std::uint64_t Below(std::uint64_t n) noexcept;
+
+  // Uniform integer in [lo, hi] inclusive.  Requires lo <= hi.
+  int IntIn(int lo, int hi) noexcept;
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool Chance(double p) noexcept;
+
+  // Standard normal via Marsaglia polar method.
+  double Normal() noexcept;
+
+  // Normal with given mean and standard deviation.
+  double Normal(double mean, double stddev) noexcept;
+
+  // Exponential with given rate lambda > 0.
+  double Exponential(double lambda) noexcept;
+
+  // Fisher-Yates shuffle of an index vector.
+  void Shuffle(std::vector<int>& v) noexcept;
+
+  // A fresh generator whose stream is independent of this one's future.
+  Rng Split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace decaylib::geom

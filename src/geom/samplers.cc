@@ -1,0 +1,91 @@
+#include "geom/samplers.h"
+
+#include <cmath>
+
+namespace decaylib::geom {
+
+std::vector<Vec2> SampleUniform(int n, double w, double h, Rng& rng) {
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.Uniform(0.0, w), rng.Uniform(0.0, h)});
+  }
+  return pts;
+}
+
+std::vector<Vec2> SampleGrid(int n, double w, double h) {
+  const int cols = static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n))));
+  const int rows = (n + cols - 1) / cols;
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < rows && static_cast<int>(pts.size()) < n; ++r) {
+    for (int c = 0; c < cols && static_cast<int>(pts.size()) < n; ++c) {
+      const double x = cols > 1 ? w * c / (cols - 1) : w / 2.0;
+      const double y = rows > 1 ? h * r / (rows - 1) : h / 2.0;
+      pts.push_back({x, y});
+    }
+  }
+  return pts;
+}
+
+std::vector<Vec2> SampleClusters(int n, int k, double w, double h, double sigma,
+                                 Rng& rng) {
+  std::vector<Vec2> centers = SampleUniform(k, w, h, rng);
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Vec2 c = centers[rng.Below(static_cast<std::uint64_t>(k))];
+    pts.push_back({rng.Normal(c.x, sigma), rng.Normal(c.y, sigma)});
+  }
+  return pts;
+}
+
+std::vector<Vec2> SampleLine(int n, Vec2 a, Vec2 b, Rng& rng) {
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double t = rng.Uniform();
+    pts.push_back(a + (b - a) * t);
+  }
+  return pts;
+}
+
+std::vector<Vec2> SampleAnnulus(int n, Vec2 center, double r_in, double r_out,
+                                Rng& rng) {
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Area-uniform radius.
+    const double u = rng.Uniform();
+    const double r = std::sqrt(r_in * r_in + u * (r_out * r_out - r_in * r_in));
+    const double theta = rng.Uniform(0.0, 2.0 * M_PI);
+    pts.push_back(center + Vec2{r * std::cos(theta), r * std::sin(theta)});
+  }
+  return pts;
+}
+
+std::vector<Vec2> SampleMinDistance(int n, double w, double h, double min_dist,
+                                    Rng& rng, int max_attempts) {
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  int failures = 0;
+  while (static_cast<int>(pts.size()) < n && failures < max_attempts) {
+    const Vec2 candidate{rng.Uniform(0.0, w), rng.Uniform(0.0, h)};
+    bool ok = true;
+    for (const Vec2& p : pts) {
+      if (Distance(p, candidate) < min_dist) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      pts.push_back(candidate);
+      failures = 0;
+    } else {
+      ++failures;
+    }
+  }
+  return pts;
+}
+
+}  // namespace decaylib::geom

@@ -1,0 +1,36 @@
+// Point-set samplers for building geometric decay spaces and SINR instances.
+#pragma once
+
+#include <vector>
+
+#include "geom/point.h"
+#include "geom/rng.h"
+
+namespace decaylib::geom {
+
+// n points i.i.d. uniform in the axis-aligned box [0,w] x [0,h].
+std::vector<Vec2> SampleUniform(int n, double w, double h, Rng& rng);
+
+// Regular sqrt(n)-ish grid covering [0,w] x [0,h]; returns at least n points
+// (the full rows x cols grid with rows*cols >= n, truncated to n).
+std::vector<Vec2> SampleGrid(int n, double w, double h);
+
+// k cluster centers uniform in the box; n points total, each point normal
+// around a uniformly chosen center with standard deviation sigma.
+std::vector<Vec2> SampleClusters(int n, int k, double w, double h, double sigma,
+                                 Rng& rng);
+
+// n points uniform on the segment from a to b (models corridor deployments).
+std::vector<Vec2> SampleLine(int n, Vec2 a, Vec2 b, Rng& rng);
+
+// n points uniform in the annulus r_in <= |p - center| <= r_out.
+std::vector<Vec2> SampleAnnulus(int n, Vec2 center, double r_in, double r_out,
+                                Rng& rng);
+
+// Poisson-disk-style sample: greedy darts, keeping points at pairwise
+// distance >= min_dist; stops after max_attempts consecutive failures or when
+// n points were placed.  Returned size may be < n if the box is too crowded.
+std::vector<Vec2> SampleMinDistance(int n, double w, double h, double min_dist,
+                                    Rng& rng, int max_attempts = 2000);
+
+}  // namespace decaylib::geom

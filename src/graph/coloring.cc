@@ -1,0 +1,77 @@
+#include "graph/coloring.h"
+
+#include <algorithm>
+
+namespace decaylib::graph {
+
+DegeneracyResult DegeneracyOrder(const Graph& g) {
+  const int n = g.size();
+  std::vector<int> degree(static_cast<std::size_t>(n), 0);
+  std::vector<char> removed(static_cast<std::size_t>(n), 0);
+  for (int v = 0; v < n; ++v) degree[static_cast<std::size_t>(v)] = g.Degree(v);
+  DegeneracyResult result;
+  result.order.reserve(static_cast<std::size_t>(n));
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    for (int v = 0; v < n; ++v) {
+      if (removed[static_cast<std::size_t>(v)]) continue;
+      if (best == -1 || degree[static_cast<std::size_t>(v)] <
+                            degree[static_cast<std::size_t>(best)]) {
+        best = v;
+      }
+    }
+    result.degeneracy =
+        std::max(result.degeneracy, degree[static_cast<std::size_t>(best)]);
+    result.order.push_back(best);
+    removed[static_cast<std::size_t>(best)] = 1;
+    for (int u : g.Neighbors(best)) {
+      if (!removed[static_cast<std::size_t>(u)]) {
+        --degree[static_cast<std::size_t>(u)];
+      }
+    }
+  }
+  // Smallest-last convention: reverse so each vertex has few *later*
+  // neighbours... in fact removal order already has that property with
+  // respect to *remaining* vertices; we keep removal order, which is the
+  // inductive order used by Lemma B.3.
+  return result;
+}
+
+std::vector<int> FirstFitColoring(const Graph& g, std::span<const int> order) {
+  const int n = g.size();
+  std::vector<int> color(static_cast<std::size_t>(n), -1);
+  std::vector<char> used;
+  for (int v : order) {
+    used.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (int u : g.Neighbors(v)) {
+      const int cu = color[static_cast<std::size_t>(u)];
+      if (cu >= 0) used[static_cast<std::size_t>(cu)] = 1;
+    }
+    int c = 0;
+    while (used[static_cast<std::size_t>(c)]) ++c;
+    color[static_cast<std::size_t>(v)] = c;
+  }
+  return color;
+}
+
+std::vector<int> DegeneracyColoring(const Graph& g) {
+  // Colour in *reverse* removal order: each vertex then has at most
+  // `degeneracy` already-coloured neighbours, so first-fit needs at most
+  // degeneracy + 1 colours.
+  std::vector<int> order = DegeneracyOrder(g).order;
+  std::reverse(order.begin(), order.end());
+  return FirstFitColoring(g, order);
+}
+
+std::vector<std::vector<int>> ColorClasses(std::span<const int> coloring) {
+  int num_colors = 0;
+  for (int c : coloring) num_colors = std::max(num_colors, c + 1);
+  std::vector<std::vector<int>> classes(static_cast<std::size_t>(num_colors));
+  for (std::size_t v = 0; v < coloring.size(); ++v) {
+    classes[static_cast<std::size_t>(coloring[v])].push_back(
+        static_cast<int>(v));
+  }
+  return classes;
+}
+
+}  // namespace decaylib::graph

@@ -1,0 +1,38 @@
+// Degeneracy orderings and first-fit colouring.
+//
+// Lemma B.3 of the paper partitions a tau-separated link set into
+// eta-separated classes by colouring a conflict graph first-fit along a
+// rho-inductive (rho-degenerate) ordering; these are the graph primitives it
+// uses.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace decaylib::graph {
+
+struct DegeneracyResult {
+  std::vector<int> order;  // vertices in removal order
+  int degeneracy = 0;      // max back-degree along the ordering
+};
+
+// Smallest-last (degeneracy) ordering: repeatedly remove a minimum-degree
+// vertex.  The returned `order` lists vertices so that each has at most
+// `degeneracy` neighbours *later* in the order.
+DegeneracyResult DegeneracyOrder(const Graph& g);
+
+// First-fit colouring along the given vertex order (each vertex gets the
+// smallest colour unused by already-coloured neighbours).  Returns the colour
+// of each vertex; number of colours = 1 + max entry.
+std::vector<int> FirstFitColoring(const Graph& g, std::span<const int> order);
+
+// Convenience: first-fit along a degeneracy order; uses at most
+// degeneracy + 1 colours.
+std::vector<int> DegeneracyColoring(const Graph& g);
+
+// Groups vertices by colour: result[c] lists the vertices with colour c.
+std::vector<std::vector<int>> ColorClasses(std::span<const int> coloring);
+
+}  // namespace decaylib::graph

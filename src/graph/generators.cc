@@ -1,0 +1,72 @@
+#include "graph/generators.h"
+
+#include "core/check.h"
+
+namespace decaylib::graph {
+
+Graph RandomGnp(int n, double p, geom::Rng& rng) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.Chance(p)) g.AddEdge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph UnitDisk(std::span<const geom::Vec2> points, double radius) {
+  const int n = static_cast<int>(points.size());
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (geom::Distance(points[static_cast<std::size_t>(u)],
+                         points[static_cast<std::size_t>(v)]) <= radius) {
+        g.AddEdge(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+Graph Path(int n) {
+  Graph g(n);
+  for (int v = 0; v + 1 < n; ++v) g.AddEdge(v, v + 1);
+  return g;
+}
+
+Graph Cycle(int n) {
+  DL_CHECK(n >= 3, "cycle needs at least 3 vertices");
+  Graph g = Path(n);
+  g.AddEdge(n - 1, 0);
+  return g;
+}
+
+Graph Complete(int n) {
+  Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph Star(int n) {
+  DL_CHECK(n >= 1, "star needs at least the center");
+  Graph g(n);
+  for (int v = 1; v < n; ++v) g.AddEdge(0, v);
+  return g;
+}
+
+Graph CliqueUnion(int k, int s) {
+  DL_CHECK(k >= 1 && s >= 1, "clique union needs positive parameters");
+  Graph g(k * s);
+  for (int c = 0; c < k; ++c) {
+    for (int i = 0; i < s; ++i) {
+      for (int j = i + 1; j < s; ++j) {
+        g.AddEdge(c * s + i, c * s + j);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace decaylib::graph

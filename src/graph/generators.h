@@ -1,0 +1,34 @@
+// Random and structured graph generators.
+#pragma once
+
+#include <span>
+
+#include "geom/point.h"
+#include "geom/rng.h"
+#include "graph/graph.h"
+
+namespace decaylib::graph {
+
+// Erdos-Renyi G(n, p).
+Graph RandomGnp(int n, double p, geom::Rng& rng);
+
+// Unit-disk graph: edge iff |p_i - p_j| <= radius.
+Graph UnitDisk(std::span<const geom::Vec2> points, double radius);
+
+// Path 0-1-2-...-(n-1).
+Graph Path(int n);
+
+// Cycle on n >= 3 vertices.
+Graph Cycle(int n);
+
+// Complete graph K_n.
+Graph Complete(int n);
+
+// Star with center 0 and n-1 leaves.
+Graph Star(int n);
+
+// Disjoint union of k cliques of size s (n = k*s vertices); its maximum
+// independent set has size exactly k, a handy ground truth for tests.
+Graph CliqueUnion(int k, int s);
+
+}  // namespace decaylib::graph

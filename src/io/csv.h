@@ -1,0 +1,34 @@
+// Reading and writing decay matrices as CSV.
+//
+// The whole point of decay spaces is that the matrix *is* the model
+// (Sec. 2.2: "decay space can either represent the truth-on-the-ground, or
+// its representation/approximation as data").  This module provides the data
+// interchange: square CSV matrices of decays, with the diagonal written as 0
+// and ignored on read.  Parsing is strict -- a malformed matrix should fail
+// loudly at the boundary rather than produce a subtly wrong space.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/decay_space.h"
+
+namespace decaylib::io {
+
+struct ParseResult {
+  std::optional<core::DecaySpace> space;  // engaged on success
+  std::string error;                      // human-readable reason on failure
+};
+
+// Parses a square CSV matrix of decays.  Accepts comments (# ...), blank
+// lines, and scientific notation.  Diagonal entries must parse but are
+// ignored; off-diagonal entries must be positive and finite.
+ParseResult ReadDecayCsv(std::istream& in);
+ParseResult ReadDecayCsvFile(const std::string& path);
+
+// Writes the matrix with full round-trip precision (%.17g).
+void WriteDecayCsv(const core::DecaySpace& space, std::ostream& out);
+bool WriteDecayCsvFile(const core::DecaySpace& space, const std::string& path);
+
+}  // namespace decaylib::io

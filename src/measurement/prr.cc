@@ -1,0 +1,65 @@
+#include "measurement/prr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace decaylib::measurement {
+
+double CaptureModel::ReceptionProbability(double sinr) const {
+  if (sinr <= 0.0) return 0.0;
+  return 1.0 / (1.0 + std::pow(beta / sinr, steepness));
+}
+
+std::vector<std::vector<double>> SimulatePrr(const core::DecaySpace& truth,
+                                             const PrrConfig& config,
+                                             geom::Rng& rng) {
+  DL_CHECK(config.probes >= 1, "need at least one probe");
+  DL_CHECK(config.noise > 0.0, "noise must be positive for probing");
+  const int n = truth.size();
+  std::vector<std::vector<double>> prr(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u == v) continue;
+      const double sinr = config.tx_power / (config.noise * truth(u, v));
+      const double p = config.capture.ReceptionProbability(sinr);
+      int received = 0;
+      for (int k = 0; k < config.probes; ++k) {
+        if (rng.Chance(p)) ++received;
+      }
+      prr[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] =
+          static_cast<double>(received) / config.probes;
+    }
+  }
+  return prr;
+}
+
+core::DecaySpace InferDecayFromPrr(
+    const std::vector<std::vector<double>>& prr, const PrrConfig& config) {
+  const int n = static_cast<int>(prr.size());
+  DL_CHECK(n >= 1, "empty PRR table");
+  const double clamp = 1.0 / (2.0 * config.probes);
+  core::DecaySpace space(n);
+  for (int u = 0; u < n; ++u) {
+    DL_CHECK(static_cast<int>(prr[static_cast<std::size_t>(u)].size()) == n,
+             "ragged PRR table");
+    for (int v = 0; v < n; ++v) {
+      if (u == v) continue;
+      const double p = std::clamp(
+          prr[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)], clamp,
+          1.0 - clamp);
+      // Invert p = 1 / (1 + (beta/sinr)^k):  sinr = beta * (1/p - 1)^{-1/k}.
+      const double sinr =
+          config.capture.beta *
+          std::pow(1.0 / p - 1.0, -1.0 / config.capture.steepness);
+      const double gain = sinr * config.noise / config.tx_power;
+      space.Set(u, v, 1.0 / gain);
+    }
+  }
+  return space;
+}
+
+}  // namespace decaylib::measurement

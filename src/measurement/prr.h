@@ -1,0 +1,45 @@
+// Packet-reception-rate based decay inference.
+//
+// The paper notes decays "can also be inferred by packet reception rates".
+// The bridge is the SINR capture model validated by the experimental studies
+// the paper cites: reception probability is a steep logistic in the SINR
+// margin above the hardware threshold beta.  Probing a link with no
+// concurrent transmitter makes SINR = P / (N f), so an observed PRR can be
+// inverted for f.  The same logistic is reused by the distributed simulator
+// as its optional soft-capture reception rule.
+#pragma once
+
+#include <vector>
+
+#include "core/decay_space.h"
+#include "geom/rng.h"
+
+namespace decaylib::measurement {
+
+struct CaptureModel {
+  double beta = 2.0;           // SINR threshold (50% reception point)
+  double steepness = 8.0;      // logistic slope in dB^-1 units (per ln)
+  // P(receive | sinr) = 1 / (1 + (beta/sinr)^steepness): a smooth threshold
+  // that tends to the hard SINR >= beta rule as steepness -> infinity.
+  double ReceptionProbability(double sinr) const;
+};
+
+struct PrrConfig {
+  CaptureModel capture;
+  double tx_power = 1.0;
+  double noise = 1e-6;
+  int probes = 200;  // packets sent per ordered pair
+};
+
+// PRR table: fraction of probes received, per ordered pair.
+std::vector<std::vector<double>> SimulatePrr(const core::DecaySpace& truth,
+                                             const PrrConfig& config,
+                                             geom::Rng& rng);
+
+// Inverts a PRR table to decays via the capture model.  PRRs are clamped to
+// [1/(2*probes), 1 - 1/(2*probes)] before inversion so 0%/100% rates map to
+// finite decays.
+core::DecaySpace InferDecayFromPrr(
+    const std::vector<std::vector<double>>& prr, const PrrConfig& config);
+
+}  // namespace decaylib::measurement

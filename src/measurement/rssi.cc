@@ -1,0 +1,75 @@
+#include "measurement/rssi.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace decaylib::measurement {
+
+RssiTable SimulateRssi(const core::DecaySpace& truth, const RssiConfig& config,
+                       geom::Rng& rng) {
+  DL_CHECK(config.readings_per_pair >= 1, "need at least one reading");
+  const int n = truth.size();
+  RssiTable table(static_cast<std::size_t>(n),
+                  std::vector<std::optional<double>>(
+                      static_cast<std::size_t>(n), std::nullopt));
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      if (u == v) continue;
+      const double true_rssi =
+          config.tx_power_dbm - 10.0 * std::log10(truth(u, v));
+      double sum = 0.0;
+      for (int k = 0; k < config.readings_per_pair; ++k) {
+        sum += true_rssi + rng.Normal(0.0, config.noise_sigma_db);
+      }
+      double rssi = sum / config.readings_per_pair;
+      if (config.quantization_db > 0.0) {
+        rssi = std::round(rssi / config.quantization_db) *
+               config.quantization_db;
+      }
+      if (rssi >= config.sensitivity_dbm) {
+        table[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] = rssi;
+      }
+    }
+  }
+  return table;
+}
+
+core::DecaySpace InferDecayFromRssi(const RssiTable& table,
+                                    const RssiConfig& config,
+                                    double censored_decay) {
+  const int n = static_cast<int>(table.size());
+  DL_CHECK(n >= 1, "empty table");
+  core::DecaySpace space(n);
+  for (int u = 0; u < n; ++u) {
+    DL_CHECK(static_cast<int>(table[static_cast<std::size_t>(u)].size()) == n,
+             "ragged RSSI table");
+    for (int v = 0; v < n; ++v) {
+      if (u == v) continue;
+      const auto& rssi =
+          table[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)];
+      if (rssi.has_value()) {
+        space.Set(u, v,
+                  std::pow(10.0, (config.tx_power_dbm - *rssi) / 10.0));
+      } else {
+        space.Set(u, v, censored_decay);
+      }
+    }
+  }
+  return space;
+}
+
+double CensoredFraction(const RssiTable& table) {
+  const auto n = table.size();
+  if (n <= 1) return 0.0;
+  int censored = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (u != v && !table[u][v].has_value()) ++censored;
+    }
+  }
+  return static_cast<double>(censored) /
+         (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+}  // namespace decaylib::measurement

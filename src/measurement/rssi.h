@@ -1,0 +1,47 @@
+// RSSI-based population of decay spaces.
+//
+// Sec. 2.2 of the paper: decay matrices "are relatively easily obtained by
+// measurements, which even the cheapest gadgets today provide".  This module
+// simulates that measurement pipeline -- a transmitter beacons at a known
+// power, receivers log quantised, noisy RSSI -- and inverts it back to a
+// decay matrix, so experiments can quantify how much the measurement chain
+// (quantisation, thermal noise, sensitivity censoring) distorts the inferred
+// metricity.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/decay_space.h"
+#include "geom/rng.h"
+
+namespace decaylib::measurement {
+
+struct RssiConfig {
+  double tx_power_dbm = 0.0;       // beacon transmit power
+  double quantization_db = 1.0;    // register granularity (0 = continuous)
+  double noise_sigma_db = 0.5;     // per-reading measurement noise
+  double sensitivity_dbm = -95.0;  // readings below this are censored
+  int readings_per_pair = 8;       // averaged before quantisation
+};
+
+// One measured RSSI table: entry (u,v) is the averaged, quantised RSSI (dBm)
+// at v of u's beacons, or nullopt if censored (below sensitivity).
+using RssiTable = std::vector<std::vector<std::optional<double>>>;
+
+// Simulates the beaconing campaign over ground-truth decays.
+// RSSI_uv = tx_power_dbm - 10 log10 f(u,v) + noise, averaged, quantised.
+RssiTable SimulateRssi(const core::DecaySpace& truth, const RssiConfig& config,
+                       geom::Rng& rng);
+
+// Inverts a table back to decays: f(u,v) = 10^{(tx_power - rssi)/10}.
+// Censored entries get `censored_decay` (a conservative huge decay); pass the
+// table's config so the inversion matches the simulation.
+core::DecaySpace InferDecayFromRssi(const RssiTable& table,
+                                    const RssiConfig& config,
+                                    double censored_decay = 1e12);
+
+// Fraction of ordered pairs censored in the table.
+double CensoredFraction(const RssiTable& table);
+
+}  // namespace decaylib::measurement

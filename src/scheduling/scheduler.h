@@ -1,0 +1,44 @@
+// Link scheduling by repeated capacity extraction (theory transfer of the
+// SCHEDULING results listed in Sec. 2.3).
+//
+// SCHEDULING asks for a partition of the link set into the fewest feasible
+// slots.  Extracting an approximate maximum feasible subset per round gives
+// an O(rho log n)-approximation when the extractor is rho-approximate -- the
+// standard reduction the paper's transfer list relies on ([16, 17, 43]).
+// Two extractors are provided: Algorithm 1 (zeta-aware) and the
+// general-metric greedy baseline.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sinr/link_system.h"
+
+namespace decaylib::scheduling {
+
+enum class Extractor {
+  kAlgorithm1,      // paper's Algorithm 1 per slot
+  kGreedyFeasible,  // general-metric greedy per slot
+};
+
+struct Schedule {
+  std::vector<std::vector<int>> slots;
+  int Length() const noexcept { return static_cast<int>(slots.size()); }
+};
+
+// Schedules all candidate links (uniform power).  `zeta` is the metricity of
+// the underlying space (used by Algorithm 1's separation test).  Guarantees
+// termination: if an extraction round returns an empty set while links
+// remain, the shortest remaining link is scheduled alone.
+Schedule ScheduleLinks(const sinr::LinkSystem& system, double zeta,
+                       Extractor extractor, std::span<const int> candidates);
+
+Schedule ScheduleLinks(const sinr::LinkSystem& system, double zeta,
+                       Extractor extractor);
+
+// True iff every slot is feasible under uniform power and the slots
+// partition exactly the given candidate set.
+bool ValidateSchedule(const sinr::LinkSystem& system, const Schedule& schedule,
+                      std::span<const int> candidates);
+
+}  // namespace decaylib::scheduling

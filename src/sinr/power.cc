@@ -1,0 +1,70 @@
+#include "sinr/power.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace decaylib::sinr {
+
+PowerAssignment UniformPower(const LinkSystem& system, double level) {
+  DL_CHECK(level > 0.0, "power must be positive");
+  return PowerAssignment(static_cast<std::size_t>(system.NumLinks()), level);
+}
+
+PowerAssignment PowerLaw(const LinkSystem& system, double tau, double scale) {
+  DL_CHECK(scale > 0.0, "power scale must be positive");
+  PowerAssignment power(static_cast<std::size_t>(system.NumLinks()));
+  for (int v = 0; v < system.NumLinks(); ++v) {
+    power[static_cast<std::size_t>(v)] =
+        scale * std::pow(system.LinkDecay(v), tau);
+  }
+  return power;
+}
+
+PowerAssignment LinearPower(const LinkSystem& system, double scale) {
+  return PowerLaw(system, 1.0, scale);
+}
+
+PowerAssignment MeanPower(const LinkSystem& system, double scale) {
+  return PowerLaw(system, 0.5, scale);
+}
+
+bool IsMonotonePower(const LinkSystem& system, const PowerAssignment& power,
+                     double tol) {
+  const std::vector<int> order = system.OrderByDecay();
+  // Both conditions are transitive along the order, so adjacent checks
+  // suffice -- except that ties in f_vv make "adjacent" ambiguous; comparing
+  // every consecutive pair over the sorted order is still sound because the
+  // conditions only reference f values, which are equal within a tie.
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const int v = order[i - 1];
+    const int w = order[i];
+    const double pv = power[static_cast<std::size_t>(v)];
+    const double pw = power[static_cast<std::size_t>(w)];
+    if (pv > pw * (1.0 + tol)) return false;
+    const double sv = pv / system.LinkDecay(v);  // received signal of v
+    const double sw = pw / system.LinkDecay(w);
+    if (sw > sv * (1.0 + tol)) return false;
+  }
+  return true;
+}
+
+PowerAssignment ScaledToOvercomeNoise(const LinkSystem& system,
+                                      PowerAssignment power, double margin) {
+  DL_CHECK(margin > 1.0, "margin must exceed 1");
+  const double noise = system.config().noise;
+  if (noise <= 0.0 || system.NumLinks() == 0) return power;
+  double worst = std::numeric_limits<double>::infinity();
+  for (int v = 0; v < system.NumLinks(); ++v) {
+    const double ratio = power[static_cast<std::size_t>(v)] /
+                         (system.config().beta * noise * system.LinkDecay(v));
+    worst = std::min(worst, ratio);
+  }
+  const double scale = margin / worst;
+  for (double& p : power) p *= scale;
+  return power;
+}
+
+}  // namespace decaylib::sinr

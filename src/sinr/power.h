@@ -1,0 +1,40 @@
+// Power assignments and the monotonicity property of Sec. 2.4.
+//
+// The paper works with a total order "prec" on links where l_v prec l_w
+// implies f_vv <= f_ww.  A power assignment P is *monotone* if both
+// P_v <= P_w and P_w / f_ww <= P_v / f_vv hold whenever l_v prec l_w:
+// longer (higher-decay) links use no less power but receive no more signal.
+// This captures the standard oblivious strategies:
+//   uniform  P_v = P                    (both conditions tight/slack),
+//   linear   P_v ∝ f_vv                 (received signal constant),
+//   mean     P_v ∝ sqrt(f_vv)           (the geometric compromise),
+// all special cases of the power-law family P_v ∝ f_vv^tau, tau in [0, 1].
+#pragma once
+
+#include "sinr/link_system.h"
+
+namespace decaylib::sinr {
+
+// P_v = level for every link.
+PowerAssignment UniformPower(const LinkSystem& system, double level = 1.0);
+
+// P_v = scale * f_vv^tau; tau in [0, 1] keeps the assignment monotone.
+// tau = 0 is uniform, tau = 1 linear, tau = 1/2 mean power.
+PowerAssignment PowerLaw(const LinkSystem& system, double tau,
+                         double scale = 1.0);
+
+PowerAssignment LinearPower(const LinkSystem& system, double scale = 1.0);
+PowerAssignment MeanPower(const LinkSystem& system, double scale = 1.0);
+
+// Checks the Sec. 2.4 monotonicity conditions over the decay order, with a
+// relative tolerance for floating-point comparisons.
+bool IsMonotonePower(const LinkSystem& system, const PowerAssignment& power,
+                     double tol = 1e-9);
+
+// Scales the assignment so that every link can overcome noise with margin
+// (min_v P_v / (beta * N * f_vv) = margin); no-op when noise is 0.
+PowerAssignment ScaledToOvercomeNoise(const LinkSystem& system,
+                                      PowerAssignment power,
+                                      double margin = 2.0);
+
+}  // namespace decaylib::sinr

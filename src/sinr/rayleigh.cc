@@ -1,0 +1,72 @@
+#include "sinr/rayleigh.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace decaylib::sinr {
+
+namespace {
+
+double MeanSignal(const LinkSystem& system, int v,
+                  const PowerAssignment& power) {
+  return power[static_cast<std::size_t>(v)] / system.LinkDecay(v);
+}
+
+}  // namespace
+
+double RayleighSuccessProbability(const LinkSystem& system, int v,
+                                  std::span<const int> S,
+                                  const PowerAssignment& power) {
+  const double beta = system.config().beta;
+  const double mu_v = MeanSignal(system, v, power);
+  DL_CHECK(mu_v > 0.0, "link has no signal");
+  double p = std::exp(-beta * system.config().noise / mu_v);
+  for (int u : S) {
+    if (u == v) continue;
+    const double mu_uv =
+        power[static_cast<std::size_t>(u)] / system.CrossDecay(u, v);
+    p /= 1.0 + beta * mu_uv / mu_v;
+  }
+  return p;
+}
+
+double RayleighSuccessMonteCarlo(const LinkSystem& system, int v,
+                                 std::span<const int> S,
+                                 const PowerAssignment& power, int samples,
+                                 geom::Rng& rng) {
+  DL_CHECK(samples >= 1, "need at least one sample");
+  const double beta = system.config().beta;
+  const double mu_v = MeanSignal(system, v, power);
+  int successes = 0;
+  for (int k = 0; k < samples; ++k) {
+    // Exponential with mean mu: mu * Exp(1).
+    const double signal = mu_v * rng.Exponential(1.0);
+    double interference = system.config().noise;
+    for (int u : S) {
+      if (u == v) continue;
+      const double mu_uv =
+          power[static_cast<std::size_t>(u)] / system.CrossDecay(u, v);
+      interference += mu_uv * rng.Exponential(1.0);
+    }
+    if (interference == 0.0 || signal / interference >= beta) ++successes;
+  }
+  return static_cast<double>(successes) / samples;
+}
+
+double RayleighSuccessLowerBound(const LinkSystem& system, int v,
+                                 std::span<const int> S,
+                                 const PowerAssignment& power) {
+  const double beta = system.config().beta;
+  const double mu_v = MeanSignal(system, v, power);
+  double exponent = beta * system.config().noise / mu_v;
+  for (int u : S) {
+    if (u == v) continue;
+    const double mu_uv =
+        power[static_cast<std::size_t>(u)] / system.CrossDecay(u, v);
+    exponent += beta * mu_uv / mu_v;
+  }
+  return std::exp(-exponent);
+}
+
+}  // namespace decaylib::sinr

@@ -1,0 +1,43 @@
+// Rayleigh fading and the thresholding reduction (Dams-Kesselheim-Hoefer
+// [10], cited in Sec. 2.1: models with a randomized filter "can be
+// efficiently simulated by thresholding algorithms").
+//
+// Under Rayleigh fading every received power is an independent exponential
+// with mean equal to its deterministic value.  The success probability of
+// link v against transmitter set S has the classic closed form
+//     P[success] = exp(-beta N / mu_v) * prod_{u in S\{v}} 1/(1 + beta mu_uv / mu_v),
+// where mu_v = P_v / f_vv and mu_uv = P_u / f_uv.  Two facts make the
+// reduction work, both checkable here:
+//   * P[success] >= exp(-(c_v-normalised) affectance sum): feasible sets in
+//     the thresholding model keep constant success probability under
+//     Rayleigh;
+//   * P[success] <= 1/(1 + max term): heavily affected links fail often.
+#pragma once
+
+#include <span>
+
+#include "geom/rng.h"
+#include "sinr/link_system.h"
+
+namespace decaylib::sinr {
+
+// Closed-form Rayleigh success probability of link v when S transmits
+// (v's own entry in S is ignored).
+double RayleighSuccessProbability(const LinkSystem& system, int v,
+                                  std::span<const int> S,
+                                  const PowerAssignment& power);
+
+// Monte Carlo estimate of the same probability (draws independent
+// exponential fades per transmitter); for validating the closed form.
+double RayleighSuccessMonteCarlo(const LinkSystem& system, int v,
+                                 std::span<const int> S,
+                                 const PowerAssignment& power, int samples,
+                                 geom::Rng& rng);
+
+// The [10]-style lower bound exp(-beta N/mu_v) * exp(-sum beta mu_uv/mu_v):
+// always <= RayleighSuccessProbability (since 1/(1+x) >= e^{-x}).
+double RayleighSuccessLowerBound(const LinkSystem& system, int v,
+                                 std::span<const int> S,
+                                 const PowerAssignment& power);
+
+}  // namespace decaylib::sinr

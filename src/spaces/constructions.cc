@@ -1,0 +1,142 @@
+#include "spaces/constructions.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "geom/point.h"
+
+namespace decaylib::spaces {
+
+core::DecaySpace StarSpace(int k, double r) {
+  DL_CHECK(k >= 1, "need at least one far leaf");
+  DL_CHECK(r > 0.0, "near-leaf distance must be positive");
+  const int n = k + 2;
+  core::DecaySpace space(n);
+  const double far = static_cast<double>(k) * static_cast<double>(k);
+  // Center (0) to leaves.
+  space.SetSymmetric(0, 1, r);
+  for (int i = 2; i < n; ++i) space.SetSymmetric(0, i, far);
+  // Leaf-to-leaf through the center.
+  for (int i = 2; i < n; ++i) space.SetSymmetric(1, i, r + far);
+  for (int i = 2; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) space.SetSymmetric(i, j, 2.0 * far);
+  }
+  return space;
+}
+
+core::DecaySpace WelzlSpace(int n, double eps) {
+  DL_CHECK(n >= 1, "need at least v_0 and v_1");
+  DL_CHECK(eps > 0.0 && eps <= 0.25, "Welzl construction needs 0 < eps <= 1/4");
+  const int total = n + 2;  // v_{-1}, v_0 .. v_n
+  core::DecaySpace space(total);
+  for (int i = 0; i <= n; ++i) {
+    const double pow2i = std::pow(2.0, static_cast<double>(i));
+    space.SetSymmetric(0, 1 + i, pow2i - eps);  // d(v_{-1}, v_i)
+    for (int j = 0; j < i; ++j) {
+      space.SetSymmetric(1 + j, 1 + i, pow2i);  // d(v_j, v_i), j < i
+    }
+  }
+  return space;
+}
+
+core::DecaySpace UniformSpace(int n, double value) {
+  DL_CHECK(value > 0.0, "uniform decay must be positive");
+  return core::DecaySpace(n, value);
+}
+
+LinkInstance Theorem3Instance(const graph::Graph& g) {
+  const int n = g.size();
+  DL_CHECK(n >= 2, "construction needs at least two vertices");
+  LinkInstance instance{core::DecaySpace(2 * n), {}};
+  instance.links.reserve(static_cast<std::size_t>(n));
+  // The proof states cross values 2 (edge) and 1/n (non-edge); these are
+  // channel *gains* -- the affectance arithmetic in the proof (edge pairs
+  // blocked with affectance 2 > 1, non-edges contributing 1/n each) only
+  // works with decays 1/2 and n respectively, which is what we store.
+  const double edge_decay = 0.5;
+  const double non_edge_decay = static_cast<double>(n);
+  auto sender = [](int i) { return 2 * i; };
+  auto receiver = [](int i) { return 2 * i + 1; };
+  for (int i = 0; i < n; ++i) {
+    instance.links.emplace_back(sender(i), receiver(i));
+    instance.space.SetSymmetric(sender(i), receiver(i), 1.0);  // unit decay
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double f = g.HasEdge(i, j) ? edge_decay : non_edge_decay;
+      // The abstract construction specifies the link-to-link gain; we apply
+      // it to every cross pair of the two links' endpoints so any choice of
+      // reference nodes reproduces the proof's gain matrix.
+      instance.space.Set(sender(i), receiver(j), f);
+      if (j > i) {
+        instance.space.SetSymmetric(sender(i), sender(j), f);
+        instance.space.SetSymmetric(receiver(i), receiver(j), f);
+      }
+      instance.space.Set(receiver(j), sender(i), f);
+    }
+  }
+  return instance;
+}
+
+LinkInstance Theorem6Instance(const graph::Graph& g, double alpha,
+                              double delta) {
+  const int n = g.size();
+  DL_CHECK(n >= 2, "construction needs at least two vertices");
+  DL_CHECK(alpha >= 1.0, "Theorem 6 uses alpha >= 1");
+  DL_CHECK(delta > 0.0 && delta < 0.5, "need 0 < delta < 1/2");
+  const double alpha_prime = alpha - 1.0;
+  const auto nd = static_cast<double>(n);
+  const double same_link = std::pow(nd, alpha_prime);
+  const double edge_decay = same_link - delta;
+  const double non_edge_decay = std::pow(nd, alpha_prime + 1.0);
+
+  LinkInstance instance{core::DecaySpace(2 * n), {}};
+  auto sender = [](int i) { return 2 * i; };
+  auto receiver = [](int i) { return 2 * i + 1; };
+  for (int i = 0; i < n; ++i) {
+    instance.links.emplace_back(sender(i), receiver(i));
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) {
+        instance.space.SetSymmetric(sender(i), receiver(i), same_link);
+        continue;
+      }
+      // Within-line decays: Euclidean distance |i - j| to the power alpha'
+      // (pow(d, 0) = 1 covers the alpha = 1 case).
+      if (j > i) {
+        const double within = std::pow(static_cast<double>(j - i), alpha_prime);
+        instance.space.SetSymmetric(sender(i), sender(j), within);
+        instance.space.SetSymmetric(receiver(i), receiver(j), within);
+      }
+      // Cross-line decays.
+      const double cross = g.HasEdge(i, j) ? edge_decay : non_edge_decay;
+      instance.space.Set(sender(i), receiver(j), cross);
+      instance.space.Set(receiver(j), sender(i), cross);
+    }
+  }
+  return instance;
+}
+
+core::DecaySpace ZetaPhiTriple(double q) {
+  DL_CHECK(q > 1.0, "the separation family needs q > 1");
+  core::DecaySpace space(3);
+  space.SetSymmetric(0, 1, 1.0);      // f_ab
+  space.SetSymmetric(1, 2, q);        // f_bc
+  space.SetSymmetric(0, 2, 2.0 * q);  // f_ac
+  return space;
+}
+
+core::DecaySpace LineSpace(int n, double spacing, double alpha) {
+  DL_CHECK(n >= 2, "need at least two points");
+  DL_CHECK(spacing > 0.0, "spacing must be positive");
+  std::vector<geom::Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({spacing * static_cast<double>(i), 0.0});
+  }
+  return core::DecaySpace::Geometric(pts, alpha);
+}
+
+}  // namespace decaylib::spaces

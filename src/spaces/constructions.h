@@ -1,0 +1,74 @@
+// The concrete decay spaces constructed in the paper, implemented verbatim.
+//
+//  * StarSpace        -- Sec. 3.4: unbounded doubling dimension, yet bounded
+//                        fading value for a fixed separation term.
+//  * WelzlSpace       -- Sec. 4.1: doubling dimension 1, unbounded
+//                        independence dimension.
+//  * UniformSpace     -- independence dimension 1, unbounded doubling
+//                        dimension (all decays equal).
+//  * Theorem3Instance -- Appendix A: graph G -> equi-decay link set whose
+//                        feasible sets (under any power) are exactly the
+//                        independent sets of G; zeta <= lg of decay spread.
+//  * Theorem6Instance -- Appendix C: two-line planar construction; feasible
+//                        sets = independent sets under any power,
+//                        phi_factor = O(n), doubling A <= 2, independence
+//                        dimension 3.
+//  * ZetaPhiTriple    -- Sec. 4.2: f_ab = 1, f_bc = q, f_ac = 2q; phi <= 2
+//                        bounded while zeta = Theta(log q / log log q).
+//  * LineSpace        -- collinear geometric points: zeta = alpha exactly.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/decay_space.h"
+#include "graph/graph.h"
+
+namespace decaylib::spaces {
+
+// Star metric centered at node 0 with k far leaves at distance k^2 and one
+// near leaf at distance r (node 1); decay = distance (zeta = 1).  Distances
+// between leaves go through the center (shortest path in the star).
+// Node ids: 0 = center x0, 1 = near leaf x_{-1}, 2..k+1 = far leaves.
+core::DecaySpace StarSpace(int k, double r);
+
+// Welzl's construction: nodes v_{-1}, v_0, ..., v_n with
+// d(v_{-1}, v_i) = 2^i - eps and d(v_j, v_i) = 2^i for j < i (i, j != -1).
+// Requires 0 < eps <= 1/4.  Node ids: 0 = v_{-1}, 1 + i = v_i.
+// Doubling dimension 1; independence dimension >= n + 1 (w.r.t. v_{-1}).
+core::DecaySpace WelzlSpace(int n, double eps = 0.25);
+
+// All off-diagonal decays equal to `value`.
+core::DecaySpace UniformSpace(int n, double value = 1.0);
+
+// A link-level SINR instance over a decay space: node ids are dense; each
+// link is an ordered (sender, receiver) node pair.
+struct LinkInstance {
+  core::DecaySpace space;
+  std::vector<std::pair<int, int>> links;  // (sender node, receiver node)
+};
+
+// Theorem 3 construction from graph G on n vertices.  One unit-decay link
+// per vertex; cross *gains* 2 on edges and 1/n on non-edges, i.e. decays 1/2
+// and n (applied to all cross pairs of nodes, matching the abstract gain
+// matrix in the proof: edge pairs block each other under any power, while a
+// full independent set contributes total affectance (n-1)/n < 1).
+// Node ids: sender of link i = 2i, receiver = 2i + 1.
+LinkInstance Theorem3Instance(const graph::Graph& g);
+
+// Theorem 6 two-line construction from graph G, with path loss term alpha
+// >= 1 (alpha' = alpha - 1) and perturbation 0 < delta < 1/2.  Senders on
+// x = 0 at heights 1..n, receivers on x = n; within-line decays are
+// Euclidean distance^alpha', cross-line decays are n^alpha' (same link),
+// n^alpha' - delta (edge) or n^{alpha'+1} (non-edge), symmetric.
+LinkInstance Theorem6Instance(const graph::Graph& g, double alpha,
+                              double delta = 0.25);
+
+// The 3-point zeta-vs-phi separation family (Sec. 4.2).
+core::DecaySpace ZetaPhiTriple(double q);
+
+// n collinear points with uniform spacing and decay = distance^alpha; its
+// metricity is exactly alpha (witnessed by consecutive triplets).
+core::DecaySpace LineSpace(int n, double spacing, double alpha);
+
+}  // namespace decaylib::spaces

@@ -1,0 +1,39 @@
+// Synthetic decay-space samplers.
+//
+// These generate the randomised workloads for tests and benches without the
+// full floor-plan machinery of env/: geometric spaces with multiplicative
+// shadowing noise (the simplest "measured" decay model), log-uniform abstract
+// spaces, and spaces with planted metricity.
+#pragma once
+
+#include <span>
+
+#include "core/decay_space.h"
+#include "geom/point.h"
+#include "geom/rng.h"
+
+namespace decaylib::spaces {
+
+// Geometric decay perturbed by i.i.d. lognormal shadowing:
+//   f(p,q) = d(p,q)^alpha * 10^{N(0, sigma_db)/10}.
+// When `symmetric`, both directions share one shadowing draw (static channel
+// reciprocity); otherwise each direction draws independently.
+core::DecaySpace ShadowedGeometric(std::span<const geom::Vec2> points,
+                                   double alpha, double sigma_db,
+                                   geom::Rng& rng, bool symmetric = true);
+
+// Fully abstract decay space: off-diagonal decays i.i.d. log-uniform in
+// [1, spread].  Metricity grows with spread (up to the lg(spread) cap).
+core::DecaySpace LogUniformSpace(int n, double spread, geom::Rng& rng,
+                                 bool symmetric = true);
+
+// Random planar geometric space, uniform points in a w x h box.
+core::DecaySpace RandomGeometric(int n, double w, double h, double alpha,
+                                 geom::Rng& rng);
+
+// A k-dimensional hypercube grid metric with m points per side, decay =
+// (L2 distance)^alpha; its quasi-metric has doubling dimension ~ k.  Total
+// points = m^k; keep m^k small.
+core::DecaySpace HyperGridSpace(int m, int k, double alpha);
+
+}  // namespace decaylib::spaces

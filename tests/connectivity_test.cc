@@ -1,0 +1,118 @@
+#include "connectivity/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/decay_space.h"
+#include "env/propagation.h"
+#include "geom/samplers.h"
+#include "spaces/constructions.h"
+
+namespace decaylib::connectivity {
+namespace {
+
+TEST(AggregationTreeTest, SpansAllNodes) {
+  geom::Rng rng(1);
+  const auto pts = geom::SampleUniform(20, 15.0, 15.0, rng);
+  const core::DecaySpace space = core::DecaySpace::Geometric(pts, 3.0);
+  const AggregationTree tree = BuildAggregationTree(space, 0);
+  EXPECT_EQ(tree.uplinks.size(), 19u);
+  EXPECT_EQ(tree.parent[0], -1);
+  // Every non-sink node has a parent and reaches the sink.
+  for (int v = 1; v < 20; ++v) {
+    int cur = v;
+    int hops = 0;
+    while (cur != 0 && hops <= 20) {
+      cur = tree.parent[static_cast<std::size_t>(cur)];
+      ASSERT_GE(cur, 0);
+      ++hops;
+    }
+    EXPECT_EQ(cur, 0) << "node " << v << " does not reach the sink";
+  }
+}
+
+TEST(AggregationTreeTest, LineTreeFollowsTheLine) {
+  // On a line with the sink at one end, the minimum-decay tree is the path.
+  const core::DecaySpace space = spaces::LineSpace(6, 1.0, 2.0);
+  const AggregationTree tree = BuildAggregationTree(space, 0);
+  for (int v = 1; v < 6; ++v) {
+    EXPECT_EQ(tree.parent[static_cast<std::size_t>(v)], v - 1);
+  }
+  EXPECT_DOUBLE_EQ(tree.total_decay, 5.0);  // five unit hops, decay 1 each
+}
+
+TEST(AggregationTreeTest, UplinksAreLeavesFirst) {
+  geom::Rng rng(2);
+  const auto pts = geom::SampleUniform(15, 12.0, 12.0, rng);
+  const core::DecaySpace space = core::DecaySpace::Geometric(pts, 3.0);
+  const AggregationTree tree = BuildAggregationTree(space, 3);
+  // When link (c -> p) appears, p's own uplink must not have appeared yet.
+  std::set<int> already_sent;
+  for (const sinr::Link& link : tree.uplinks) {
+    EXPECT_FALSE(already_sent.count(link.receiver))
+        << "parent " << link.receiver << " sent before child "
+        << link.sender;
+    already_sent.insert(link.sender);
+  }
+}
+
+TEST(ScheduleAggregationTest, ValidOnRandomInstances) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    geom::Rng rng(seed);
+    const auto pts = geom::SampleMinDistance(16, 20.0, 20.0, 1.0, rng);
+    const core::DecaySpace space = core::DecaySpace::Geometric(pts, 3.0);
+    const AggregationSchedule result =
+        ScheduleAggregation(space, 0, {2.0, 0.0});
+    EXPECT_TRUE(result.convergecast_valid) << "seed " << seed;
+    EXPECT_GE(result.slots, 1);
+    EXPECT_LE(result.slots, static_cast<int>(pts.size()) - 1);
+    // Every uplink scheduled exactly once.
+    std::size_t total = 0;
+    for (const auto& slot : result.schedule.slots) total += slot.size();
+    EXPECT_EQ(total, pts.size() - 1);
+  }
+}
+
+TEST(ScheduleAggregationTest, LineNeedsOneLinkPerSlotAtHighBeta) {
+  // On a short line with large beta, consecutive uplinks conflict, and the
+  // convergecast precedence alone forces a deep schedule.
+  const core::DecaySpace space = spaces::LineSpace(5, 1.0, 3.0);
+  const AggregationSchedule result = ScheduleAggregation(space, 0, {2.0, 0.0});
+  EXPECT_TRUE(result.convergecast_valid);
+  EXPECT_EQ(result.slots, 4);  // path: each hop waits for the previous
+}
+
+TEST(ScheduleAggregationTest, WorksOnEnvironmentSpaces) {
+  geom::Rng rng(5);
+  const auto pts = geom::SampleMinDistance(14, 18.0, 18.0, 1.2, rng);
+  env::Environment office = env::Environment::OfficeGrid(18.0, 18.0, 2, 2);
+  env::PropagationConfig config;
+  config.alpha = 2.8;
+  const core::DecaySpace space =
+      env::BuildDecaySpace(office, config, env::PlaceIsotropic(pts));
+  const AggregationSchedule result = ScheduleAggregation(space, 0, {2.0, 0.0});
+  EXPECT_TRUE(result.convergecast_valid);
+}
+
+TEST(ScheduleAggregationTest, StarAggregatesInFewSlotsWhenSeparated) {
+  // Well-separated leaves around a sink: many uplinks share slots.
+  std::vector<geom::Vec2> pts{{0.0, 0.0}};
+  for (int i = 0; i < 8; ++i) {
+    const double angle = 2.0 * M_PI * i / 8.0;
+    pts.push_back({100.0 * std::cos(angle), 100.0 * std::sin(angle)});
+  }
+  const core::DecaySpace space = core::DecaySpace::Geometric(pts, 3.0);
+  const AggregationSchedule result = ScheduleAggregation(space, 0, {1.0, 0.0});
+  EXPECT_TRUE(result.convergecast_valid);
+  // All leaves transmit straight to the sink; SINR at the center with 8
+  // equidistant senders is 1/7 < 1, so they cannot all share a slot, but
+  // the schedule should still be much shorter than 8... unless conflicts
+  // force singletons; just require validity and completeness here.
+  std::size_t total = 0;
+  for (const auto& slot : result.schedule.slots) total += slot.size();
+  EXPECT_EQ(total, 8u);
+}
+
+}  // namespace
+}  // namespace decaylib::connectivity

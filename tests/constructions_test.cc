@@ -1,0 +1,164 @@
+#include "spaces/constructions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metricity.h"
+#include "geom/rng.h"
+#include "geom/samplers.h"
+#include "graph/generators.h"
+#include "spaces/samplers.h"
+
+namespace decaylib::spaces {
+namespace {
+
+TEST(StarSpaceTest, DistancesMatchDefinition) {
+  const int k = 5;
+  const double r = 2.0;
+  const core::DecaySpace space = StarSpace(k, r);
+  ASSERT_EQ(space.size(), k + 2);
+  EXPECT_DOUBLE_EQ(space(0, 1), r);          // center to near leaf
+  EXPECT_DOUBLE_EQ(space(0, 2), 25.0);       // center to far leaf, k^2
+  EXPECT_DOUBLE_EQ(space(1, 2), r + 25.0);   // near to far via center
+  EXPECT_DOUBLE_EQ(space(2, 3), 50.0);       // far to far via center
+  EXPECT_TRUE(space.IsSymmetric());
+}
+
+TEST(StarSpaceTest, IsAMetric) {
+  // Shortest-path distances on a star form a metric: zeta <= 1.
+  const core::DecaySpace space = StarSpace(6, 3.0);
+  EXPECT_LE(core::Metricity(space), 1.0 + 1e-9);
+}
+
+TEST(WelzlSpaceTest, DistancesMatchDefinition) {
+  const double eps = 0.25;
+  const core::DecaySpace space = WelzlSpace(4, eps);
+  ASSERT_EQ(space.size(), 6);
+  EXPECT_DOUBLE_EQ(space(0, 1), 1.0 - eps);   // d(v_{-1}, v_0) = 2^0 - eps
+  EXPECT_DOUBLE_EQ(space(0, 5), 16.0 - eps);  // d(v_{-1}, v_4)
+  EXPECT_DOUBLE_EQ(space(1, 5), 16.0);        // d(v_0, v_4) = 2^4
+  EXPECT_DOUBLE_EQ(space(2, 3), 4.0);         // d(v_1, v_2) = 2^2
+  EXPECT_TRUE(space.IsSymmetric());
+}
+
+TEST(WelzlSpaceTest, NearMetric) {
+  // The construction is a metric (for eps <= 1/4): metricity at most 1.
+  EXPECT_LE(core::Metricity(WelzlSpace(6)), 1.0 + 1e-9);
+}
+
+TEST(UniformSpaceTest, AllDecaysEqual) {
+  const core::DecaySpace space = UniformSpace(4, 3.5);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i != j) {
+        EXPECT_DOUBLE_EQ(space(i, j), 3.5);
+      }
+    }
+  }
+}
+
+TEST(Theorem3InstanceTest, GainsMatchConstruction) {
+  graph::Graph g(4);
+  g.AddEdge(0, 1);
+  const LinkInstance instance = Theorem3Instance(g);
+  ASSERT_EQ(instance.links.size(), 4u);
+  ASSERT_EQ(instance.space.size(), 8);
+  const auto [s0, r0] = instance.links[0];
+  const auto [s1, r1] = instance.links[1];
+  const auto [s2, r2] = instance.links[2];
+  EXPECT_DOUBLE_EQ(instance.space(s0, r0), 1.0);   // unit decay link
+  EXPECT_DOUBLE_EQ(instance.space(s0, r1), 0.5);   // edge: gain 2
+  EXPECT_DOUBLE_EQ(instance.space(s1, r0), 0.5);   // symmetric edge
+  EXPECT_DOUBLE_EQ(instance.space(s0, r2), 4.0);   // non-edge: gain 1/n
+  EXPECT_DOUBLE_EQ(instance.space(s2, r0), 4.0);
+}
+
+TEST(Theorem3InstanceTest, MetricityAtMostLgSpread) {
+  geom::Rng rng(1);
+  const graph::Graph g = graph::RandomGnp(8, 0.4, rng);
+  const LinkInstance instance = Theorem3Instance(g);
+  // Decay spread is 2 / (1/n) = 2n; zeta <= lg(2n) (remark in Appendix A).
+  const double zeta = core::Metricity(instance.space);
+  EXPECT_LE(zeta, std::log2(2.0 * 8.0) + 1e-6);
+  EXPECT_GT(zeta, 1.0);  // far from metric
+}
+
+TEST(Theorem6InstanceTest, GainsMatchConstruction) {
+  graph::Graph g(5);
+  g.AddEdge(0, 1);
+  const double alpha = 3.0;   // alpha' = 2
+  const double delta = 0.25;
+  const LinkInstance instance = Theorem6Instance(g, alpha, delta);
+  const double n_ap = std::pow(5.0, 2.0);   // n^{alpha'} = 25
+  const auto [s0, r0] = instance.links[0];
+  const auto [s1, r1] = instance.links[1];
+  const auto [s2, r2] = instance.links[2];
+  EXPECT_DOUBLE_EQ(instance.space(s0, r0), n_ap);             // same link
+  EXPECT_DOUBLE_EQ(instance.space(s0, r1), n_ap - delta);     // edge
+  EXPECT_DOUBLE_EQ(instance.space(s0, r2), std::pow(5.0, 3)); // non-edge
+  EXPECT_DOUBLE_EQ(instance.space(s0, s1), 1.0);              // within line
+  EXPECT_DOUBLE_EQ(instance.space(s0, s2), 4.0);              // |0-2|^2
+  EXPECT_DOUBLE_EQ(instance.space(r0, r2), 4.0);
+}
+
+TEST(Theorem6InstanceTest, PhiFactorIsOrderN) {
+  geom::Rng rng(2);
+  const int n = 8;
+  const graph::Graph g = graph::RandomGnp(n, 0.5, rng);
+  const LinkInstance instance = Theorem6Instance(g, 2.0);
+  const core::PhiResult phi = core::ComputePhi(instance.space);
+  // Appendix C: f_ac <= 2n * max(f_ab, f_bc) for all triplets used, so the
+  // relaxed-triangle factor is O(n).
+  EXPECT_LE(phi.phi_factor, 2.0 * n + 1e-9);
+  EXPECT_GE(phi.phi_factor, 1.0);
+}
+
+TEST(ZetaPhiTripleTest, ValuesMatch) {
+  const core::DecaySpace space = ZetaPhiTriple(16.0);
+  EXPECT_DOUBLE_EQ(space(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(space(1, 2), 16.0);
+  EXPECT_DOUBLE_EQ(space(0, 2), 32.0);
+  EXPECT_TRUE(space.IsSymmetric());
+}
+
+TEST(LineSpaceTest, DecaysArePowersOfDistance) {
+  const core::DecaySpace space = LineSpace(4, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(space(0, 1), 8.0);    // (2)^3
+  EXPECT_DOUBLE_EQ(space(0, 3), 216.0);  // (6)^3
+}
+
+TEST(SamplersTest, ShadowedGeometricSymmetricMode) {
+  geom::Rng rng(3);
+  const auto pts = geom::SampleUniform(10, 5.0, 5.0, rng);
+  geom::Rng rng2(4);
+  const core::DecaySpace space = ShadowedGeometric(pts, 3.0, 6.0, rng2, true);
+  EXPECT_TRUE(space.IsSymmetric());
+  EXPECT_FALSE(space.Validate().has_value());
+}
+
+TEST(SamplersTest, ShadowedGeometricAsymmetricMode) {
+  geom::Rng rng(5);
+  const auto pts = geom::SampleUniform(10, 5.0, 5.0, rng);
+  geom::Rng rng2(6);
+  const core::DecaySpace space = ShadowedGeometric(pts, 3.0, 6.0, rng2, false);
+  EXPECT_FALSE(space.IsSymmetric(1e-9));
+}
+
+TEST(SamplersTest, LogUniformRange) {
+  geom::Rng rng(7);
+  const core::DecaySpace space = LogUniformSpace(12, 100.0, rng);
+  EXPECT_GE(space.MinDecay(), 1.0);
+  EXPECT_LE(space.MaxDecay(), 100.0);
+}
+
+TEST(SamplersTest, HyperGridMetricity) {
+  // A k-dimensional grid with decay d^alpha still has zeta <= alpha
+  // (collinear triplets exist along the axes, so it is close to alpha).
+  const core::DecaySpace space = HyperGridSpace(3, 2, 2.5);
+  ASSERT_EQ(space.size(), 9);
+  EXPECT_NEAR(core::Metricity(space), 2.5, 1e-6);
+}
+
+}  // namespace
+}  // namespace decaylib::spaces

@@ -1,0 +1,163 @@
+#include "core/decay_space.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/metricity.h"
+#include "geom/point.h"
+
+namespace decaylib::core {
+namespace {
+
+TEST(DecaySpaceTest, DefaultFillIsUniform) {
+  const DecaySpace space(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(space(i, j), i == j ? 0.0 : 1.0);
+    }
+  }
+}
+
+TEST(DecaySpaceTest, SetAndGetAsymmetric) {
+  DecaySpace space(3);
+  space.Set(0, 1, 5.0);
+  space.Set(1, 0, 7.0);
+  EXPECT_DOUBLE_EQ(space(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(space(1, 0), 7.0);
+  EXPECT_FALSE(space.IsSymmetric());
+}
+
+TEST(DecaySpaceTest, SetSymmetric) {
+  DecaySpace space(3);
+  space.SetSymmetric(0, 2, 4.0);
+  EXPECT_DOUBLE_EQ(space(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(space(2, 0), 4.0);
+  EXPECT_TRUE(space.IsSymmetric());
+}
+
+TEST(DecaySpaceTest, FromMatrixIgnoresDiagonal) {
+  const std::vector<std::vector<double>> m{
+      {9.0, 1.0, 2.0}, {1.0, 9.0, 3.0}, {2.0, 3.0, 9.0}};
+  const DecaySpace space = DecaySpace::FromMatrix(m);
+  EXPECT_DOUBLE_EQ(space(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(space(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(space(1, 2), 3.0);
+}
+
+TEST(DecaySpaceTest, GeometricMatchesDistancePower) {
+  const std::vector<geom::Vec2> pts{{0.0, 0.0}, {3.0, 4.0}, {6.0, 8.0}};
+  const DecaySpace space = DecaySpace::Geometric(pts, 2.0);
+  EXPECT_DOUBLE_EQ(space(0, 1), 25.0);
+  EXPECT_DOUBLE_EQ(space(0, 2), 100.0);
+  EXPECT_DOUBLE_EQ(space(1, 2), 25.0);
+  EXPECT_TRUE(space.IsSymmetric());
+}
+
+TEST(DecaySpaceTest, FromDistancePower) {
+  const std::vector<std::vector<double>> d{{0.0, 2.0}, {2.0, 0.0}};
+  const DecaySpace space = DecaySpace::FromDistancePower(d, 3.0);
+  EXPECT_DOUBLE_EQ(space(0, 1), 8.0);
+}
+
+TEST(DecaySpaceTest, MinMaxSpread) {
+  DecaySpace space(3);
+  space.SetSymmetric(0, 1, 2.0);
+  space.SetSymmetric(0, 2, 8.0);
+  space.SetSymmetric(1, 2, 4.0);
+  EXPECT_DOUBLE_EQ(space.MinDecay(), 2.0);
+  EXPECT_DOUBLE_EQ(space.MaxDecay(), 8.0);
+  EXPECT_DOUBLE_EQ(space.DecaySpread(), 4.0);
+}
+
+TEST(DecaySpaceTest, ValidatePassesOnGoodSpace) {
+  DecaySpace space(3);
+  EXPECT_FALSE(space.Validate().has_value());
+}
+
+TEST(DecaySpaceTest, ScaledMultipliesAllDecays) {
+  DecaySpace space(2);
+  space.SetSymmetric(0, 1, 3.0);
+  const DecaySpace scaled = space.Scaled(2.0);
+  EXPECT_DOUBLE_EQ(scaled(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(scaled(0, 0), 0.0);
+}
+
+TEST(DecaySpaceTest, SymmetrizationVariants) {
+  DecaySpace space(2);
+  space.Set(0, 1, 4.0);
+  space.Set(1, 0, 9.0);
+  EXPECT_DOUBLE_EQ(space.SymmetrizedMin()(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(space.SymmetrizedMax()(0, 1), 9.0);
+  EXPECT_DOUBLE_EQ(space.SymmetrizedGeomMean()(0, 1), 6.0);
+  EXPECT_TRUE(space.SymmetrizedGeomMean().IsSymmetric());
+}
+
+TEST(DecaySpaceTest, SubspacePreservesDecays) {
+  DecaySpace space(4);
+  space.SetSymmetric(1, 3, 11.0);
+  const std::vector<int> nodes{3, 1};
+  const DecaySpace sub = space.Subspace(nodes);
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_DOUBLE_EQ(sub(0, 1), 11.0);  // (3, 1) in the original
+}
+
+TEST(DecaySpaceTest, IsSymmetricWithTolerance) {
+  DecaySpace space(2);
+  space.Set(0, 1, 1.0);
+  space.Set(1, 0, 1.0 + 1e-12);
+  EXPECT_FALSE(space.IsSymmetric(0.0));
+  EXPECT_TRUE(space.IsSymmetric(1e-9));
+}
+
+TEST(QuasiMetricTest, GeometricSpaceRecoversDistances) {
+  const std::vector<geom::Vec2> pts{{0.0, 0.0}, {3.0, 4.0}, {1.0, 1.0}};
+  const double alpha = 3.5;
+  const DecaySpace space = DecaySpace::Geometric(pts, alpha);
+  const QuasiMetric d(space, alpha);
+  EXPECT_NEAR(d(0, 1), 5.0, 1e-9);
+  EXPECT_NEAR(d(0, 2), std::sqrt(2.0), 1e-9);
+  EXPECT_DOUBLE_EQ(d(1, 1), 0.0);
+}
+
+TEST(QuasiMetricTest, TriangleHoldsAtMetricity) {
+  // Any space: the quasi-metric built with zeta = metricity satisfies the
+  // triangle inequality by definition.
+  DecaySpace space(3);
+  space.SetSymmetric(0, 1, 1.0);
+  space.SetSymmetric(1, 2, 1.0);
+  space.SetSymmetric(0, 2, 100.0);
+  const double zeta = Metricity(space);
+  ASSERT_GT(zeta, 1.0);
+  const QuasiMetric d(space, zeta);
+  EXPECT_LE(d.MaxTriangleViolation(), 1e-6);
+}
+
+TEST(QuasiMetricTest, TriangleViolatedBelowMetricity) {
+  DecaySpace space(3);
+  space.SetSymmetric(0, 1, 1.0);
+  space.SetSymmetric(1, 2, 1.0);
+  space.SetSymmetric(0, 2, 100.0);
+  const double zeta = Metricity(space);
+  const QuasiMetric d(space, zeta * 0.5);
+  EXPECT_GT(d.MaxTriangleViolation(), 0.0);
+}
+
+TEST(QuasiMetricTest, MatrixMatchesOperator) {
+  DecaySpace space(3);
+  space.SetSymmetric(0, 1, 2.0);
+  space.SetSymmetric(1, 2, 3.0);
+  space.SetSymmetric(0, 2, 4.0);
+  const QuasiMetric d(space, 2.0);
+  const auto m = d.Matrix();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                       d(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace decaylib::core

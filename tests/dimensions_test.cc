@@ -1,0 +1,203 @@
+#include "core/dimensions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/decay_space.h"
+#include "geom/rng.h"
+#include "geom/samplers.h"
+#include "spaces/constructions.h"
+
+namespace decaylib::core {
+namespace {
+
+TEST(BallTest, ContainsCenterAndNearNodes) {
+  const DecaySpace space = spaces::LineSpace(5, 1.0, 1.0);
+  // Nodes at positions 0..4, decay = distance.
+  const auto ball = Ball(space, 2, 1.5);
+  EXPECT_EQ(ball, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(BallTest, TinyRadiusIsJustCenter) {
+  const DecaySpace space = spaces::LineSpace(5, 1.0, 1.0);
+  EXPECT_EQ(Ball(space, 0, 0.5), (std::vector<int>{0}));
+}
+
+TEST(BallTest, HugeRadiusIsEverything) {
+  const DecaySpace space = spaces::LineSpace(5, 1.0, 1.0);
+  EXPECT_EQ(Ball(space, 0, 100.0).size(), 5u);
+}
+
+TEST(IsPackingTest, RespectsTwoTSeparation) {
+  const DecaySpace space = spaces::LineSpace(10, 1.0, 1.0);
+  const std::vector<int> spread{0, 3, 6, 9};  // pairwise decay >= 3
+  EXPECT_TRUE(IsPacking(space, spread, 1.4));   // need > 2.8: ok
+  EXPECT_FALSE(IsPacking(space, spread, 1.5));  // need > 3.0: 3 fails
+}
+
+TEST(PackingNumberTest, ExactOnLine) {
+  const DecaySpace space = spaces::LineSpace(9, 1.0, 1.0);
+  std::vector<int> body(9);
+  for (int i = 0; i < 9; ++i) body[static_cast<std::size_t>(i)] = i;
+  // t = 1: need pairwise decay > 2, i.e. positions 3 apart: {0,3,6} -> 3.
+  EXPECT_EQ(PackingNumberExact(space, body, 1.0), 3);
+}
+
+TEST(PackingNumberTest, GreedyNeverExceedsExact) {
+  geom::Rng rng(3);
+  const auto pts = geom::SampleUniform(14, 5.0, 5.0, rng);
+  const DecaySpace space = DecaySpace::Geometric(pts, 2.0);
+  std::vector<int> body(14);
+  for (int i = 0; i < 14; ++i) body[static_cast<std::size_t>(i)] = i;
+  for (const double t : {0.5, 1.0, 2.0, 4.0}) {
+    const int exact = PackingNumberExact(space, body, t);
+    const auto greedy = GreedyPacking(space, body, t);
+    EXPECT_LE(static_cast<int>(greedy.size()), exact) << "t=" << t;
+    EXPECT_TRUE(IsPacking(space, greedy, t));
+  }
+}
+
+TEST(AssouadTest, LineSpaceDimensionIsInverseAlpha) {
+  // Decay d^alpha on a line: an (r/q)-packing of B(x, r) has
+  // ~ (2q)^{1/alpha} points, so A ~ 1/alpha; the regression slope recovers
+  // it up to finite-size truncation.
+  double previous = 2.0;
+  for (const double alpha : {1.0, 2.0, 4.0}) {
+    const DecaySpace space = spaces::LineSpace(33, 1.0, alpha);
+    const std::vector<double> qs{4.0, 8.0, 16.0, 32.0};
+    const AssouadEstimate est = EstimateAssouadDimension(space, qs);
+    EXPECT_NEAR(est.dimension, 1.0 / alpha, 0.4) << "alpha=" << alpha;
+    EXPECT_LT(est.dimension, previous) << "alpha=" << alpha;  // monotone
+    previous = est.dimension;
+  }
+}
+
+TEST(AssouadTest, PlanarAlphaFourIsFadingSpace) {
+  // Plane with alpha = 4: A ~ 2/alpha = 0.5 < 1 (a fading space).
+  const auto pts = geom::SampleGrid(49, 6.0, 6.0);
+  const DecaySpace space = DecaySpace::Geometric(pts, 4.0);
+  const std::vector<double> qs{4.0, 9.0, 16.0, 36.0};
+  const AssouadEstimate est = EstimateAssouadDimension(space, qs);
+  EXPECT_LT(est.dimension, 1.0);
+  EXPECT_GT(est.dimension, 0.15);
+}
+
+TEST(AssouadTest, StarSpacePackingGrowsWithK) {
+  // Sec. 3.4: the star's doubling dimension is unbounded -- concretely, the
+  // ball around the center at radius just above k^2 admits a packing at
+  // ratio q = 2.5 whose size grows linearly with k (all far leaves plus the
+  // center), so no fixed (C, A) can bound packings at a fixed ratio.
+  for (const int k : {4, 8, 16}) {
+    const DecaySpace space = spaces::StarSpace(k, 1.0);
+    const double r = static_cast<double>(k) * k * (1.0 + 1e-9);
+    const std::vector<int> body = Ball(space, 0, r * 1.0000001);
+    const int packed = PackingNumberExact(space, body, r / 2.5);
+    EXPECT_GE(packed, k) << "k=" << k;
+  }
+}
+
+TEST(IndependenceTest, UniformSpaceHasDimensionOne) {
+  const DecaySpace space = spaces::UniformSpace(8);
+  EXPECT_EQ(IndependenceDimension(space), 1);
+}
+
+TEST(IndependenceTest, IsIndependentWrtStrictness) {
+  const DecaySpace space = spaces::UniformSpace(4);
+  const std::vector<int> pair{1, 2};
+  EXPECT_FALSE(IsIndependentWrt(space, 0, pair));  // ties break independence
+  const std::vector<int> single{1};
+  EXPECT_TRUE(IsIndependentWrt(space, 0, single));
+}
+
+TEST(IndependenceTest, LineHasDimensionTwo) {
+  // On a line, at most one independent point per side of x.
+  const DecaySpace space = spaces::LineSpace(9, 1.0, 1.0);
+  EXPECT_EQ(IndependenceDimension(space), 2);
+}
+
+TEST(IndependenceTest, PlaneAtMostFive) {
+  // Welzl: independence dimension of the Euclidean plane is 5 (unit vectors
+  // at pairwise angles > 60 degrees).
+  geom::Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto pts = geom::SampleUniform(16, 10.0, 10.0, rng);
+    const DecaySpace space = DecaySpace::Geometric(pts, 3.0);
+    EXPECT_LE(IndependenceDimension(space), 5) << "trial " << trial;
+  }
+}
+
+TEST(IndependenceTest, WelzlSpaceIsUnbounded) {
+  // Sec. 4.1: V \ {v_{-1}} is independent with respect to v_{-1}.
+  const int n = 7;
+  const DecaySpace space = spaces::WelzlSpace(n);
+  std::vector<int> others;
+  for (int i = 1; i < space.size(); ++i) others.push_back(i);
+  EXPECT_TRUE(IsIndependentWrt(space, 0, others));
+  EXPECT_EQ(static_cast<int>(MaxIndependentWrt(space, 0).size()), n + 1);
+}
+
+TEST(IndependenceTest, MaxIndependentIsIndependent) {
+  geom::Rng rng(6);
+  const auto pts = geom::SampleUniform(12, 10.0, 10.0, rng);
+  const DecaySpace space = DecaySpace::Geometric(pts, 2.0);
+  for (int x = 0; x < space.size(); ++x) {
+    const auto best = MaxIndependentWrt(space, x);
+    EXPECT_TRUE(IsIndependentWrt(space, x, best));
+  }
+}
+
+TEST(GuardsTest, GreedyGuardsGuard) {
+  geom::Rng rng(7);
+  const auto pts = geom::SampleUniform(15, 10.0, 10.0, rng);
+  const DecaySpace space = DecaySpace::Geometric(pts, 2.5);
+  for (int x = 0; x < space.size(); ++x) {
+    const auto guards = GreedyGuards(space, x);
+    EXPECT_TRUE(GuardsNode(space, x, guards)) << "x=" << x;
+  }
+}
+
+TEST(GuardsTest, GuardCountBoundedByIndependenceDimension) {
+  // Welzl: in symmetric spaces, greedily built guard sets are independent
+  // w.r.t. x, so their size is at most the independence dimension.
+  geom::Rng rng(8);
+  const auto pts = geom::SampleUniform(15, 10.0, 10.0, rng);
+  const DecaySpace space = DecaySpace::Geometric(pts, 2.5);
+  const int dim = IndependenceDimension(space);
+  for (int x = 0; x < space.size(); ++x) {
+    const auto guards = GreedyGuards(space, x);
+    EXPECT_LE(static_cast<int>(guards.size()), dim);
+  }
+}
+
+TEST(GuardsTest, UniformSpaceNeedsOneGuard) {
+  const DecaySpace space = spaces::UniformSpace(6);
+  const auto guards = GreedyGuards(space, 0);
+  EXPECT_EQ(guards.size(), 1u);
+  EXPECT_TRUE(GuardsNode(space, 0, guards));
+}
+
+TEST(GuardsTest, TheoremSixSpaceHasIndependenceDimensionAtMostThree) {
+  // Appendix C: two points from one line + one from the other.
+  graph::Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 3);
+  const auto instance = spaces::Theorem6Instance(g, 2.0);
+  EXPECT_LE(IndependenceDimension(instance.space), 3);
+}
+
+TEST(AssouadTest, SlowerDecayMeansHigherDimension) {
+  // Plane with alpha = 2 sits at the fading threshold (A ~ 1) while
+  // alpha = 4 is comfortably fading (A ~ 0.5): the estimates must order.
+  const auto pts = geom::SampleGrid(36, 5.0, 5.0);
+  const DecaySpace fast = DecaySpace::Geometric(pts, 4.0);
+  const DecaySpace slow = DecaySpace::Geometric(pts, 2.0);
+  const std::vector<double> qs{4.0, 9.0, 16.0, 36.0};
+  const double dim_fast = EstimateAssouadDimension(fast, qs).dimension;
+  const double dim_slow = EstimateAssouadDimension(slow, qs).dimension;
+  EXPECT_GT(dim_slow, dim_fast + 0.1);
+}
+
+}  // namespace
+}  // namespace decaylib::core

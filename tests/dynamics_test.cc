@@ -1,0 +1,137 @@
+#include "dynamics/queue_system.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/decay_space.h"
+#include "geom/point.h"
+
+namespace decaylib::dynamics {
+namespace {
+
+// Well-separated links: every subset feasible, so per-slot service capacity
+// equals the number of backlogged links.
+struct SparseFixture {
+  core::DecaySpace space;
+  std::vector<sinr::Link> links;
+
+  explicit SparseFixture(int n, double spread = 50.0) : space(1) {
+    std::vector<geom::Vec2> pts;
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({i * spread, 0.0});
+      pts.push_back({i * spread + 1.0, 0.0});
+      links.push_back({2 * i, 2 * i + 1});
+    }
+    space = core::DecaySpace::Geometric(pts, 3.0);
+  }
+};
+
+// All links stacked: at most one can be served per slot.
+struct DenseFixture {
+  core::DecaySpace space;
+  std::vector<sinr::Link> links;
+
+  explicit DenseFixture(int n) : space(1) {
+    std::vector<geom::Vec2> pts;
+    for (int i = 0; i < n; ++i) {
+      pts.push_back({0.0, i * 0.05});
+      pts.push_back({1.0, i * 0.05});
+      links.push_back({2 * i, 2 * i + 1});
+    }
+    space = core::DecaySpace::Geometric(pts, 3.0);
+  }
+};
+
+TEST(QueueSystemTest, SparseSystemIsStableAtHighLoad) {
+  const SparseFixture fixture(6);
+  const sinr::LinkSystem system(fixture.space, fixture.links, {2.0, 0.0});
+  geom::Rng rng(1);
+  const auto config =
+      UniformArrivals(system, 0.8, Scheduler::kLongestQueueFirst, 4000);
+  const QueueStats stats = RunQueueSimulation(system, config, rng);
+  EXPECT_LT(stats.mean_queue, 10.0);               // bounded backlog
+  EXPECT_NEAR(stats.throughput, 6 * 0.8, 0.3);     // serves what arrives
+  EXPECT_LT(stats.backlog_growth, 2.0);
+}
+
+TEST(QueueSystemTest, DenseSystemUnstableAboveOnePacketPerSlot) {
+  const DenseFixture fixture(5);
+  const sinr::LinkSystem system(fixture.space, fixture.links, {2.0, 0.0});
+  geom::Rng rng(2);
+  // Offered load 5 * 0.5 = 2.5 packets/slot >> 1 servable.
+  const auto config =
+      UniformArrivals(system, 0.5, Scheduler::kLongestQueueFirst, 4000);
+  const QueueStats stats = RunQueueSimulation(system, config, rng);
+  EXPECT_NEAR(stats.throughput, 1.0, 0.1);  // capacity is one per slot
+  EXPECT_GT(stats.backlog_growth, 1.2);     // queues keep growing
+  EXPECT_GT(stats.mean_queue, 100.0);
+}
+
+TEST(QueueSystemTest, DenseSystemStableBelowCapacity) {
+  const DenseFixture fixture(5);
+  const sinr::LinkSystem system(fixture.space, fixture.links, {2.0, 0.0});
+  geom::Rng rng(3);
+  // Offered load 5 * 0.15 = 0.75 < 1.
+  const auto config =
+      UniformArrivals(system, 0.15, Scheduler::kLongestQueueFirst, 6000);
+  const QueueStats stats = RunQueueSimulation(system, config, rng);
+  EXPECT_NEAR(stats.throughput, 0.75, 0.1);
+  EXPECT_LT(stats.backlog_growth, 1.5);
+}
+
+TEST(QueueSystemTest, ConservationLaw) {
+  const SparseFixture fixture(4);
+  const sinr::LinkSystem system(fixture.space, fixture.links, {2.0, 0.0});
+  geom::Rng rng(4);
+  const auto config =
+      UniformArrivals(system, 0.4, Scheduler::kGreedyByDecay, 2000);
+  const QueueStats stats = RunQueueSimulation(system, config, rng);
+  const long long remaining = std::accumulate(stats.final_queues.begin(),
+                                              stats.final_queues.end(), 0LL);
+  EXPECT_EQ(stats.arrived_total, stats.served_total + remaining);
+}
+
+TEST(QueueSystemTest, RandomAccessServesSparseTraffic) {
+  const SparseFixture fixture(5);
+  const sinr::LinkSystem system(fixture.space, fixture.links, {2.0, 0.0});
+  geom::Rng rng(5);
+  auto config = UniformArrivals(system, 0.05, Scheduler::kRandomAccess, 6000);
+  config.random_access_c = 1.0;
+  const QueueStats stats = RunQueueSimulation(system, config, rng);
+  EXPECT_GT(stats.throughput, 0.15);       // serves most of the 0.25 offered
+  EXPECT_LT(stats.backlog_growth, 3.0);
+}
+
+TEST(QueueSystemTest, LongestQueueFirstBeatsObliviousGreedyWhenAsymmetric) {
+  // Unequal arrival rates: backlog-aware scheduling keeps the loaded link's
+  // queue shorter than oblivious decay-order greedy does.
+  const DenseFixture fixture(3);
+  const sinr::LinkSystem system(fixture.space, fixture.links, {2.0, 0.0});
+  QueueConfig config;
+  config.arrival_rates = {0.6, 0.05, 0.05};
+  config.slots = 6000;
+  config.scheduler = Scheduler::kLongestQueueFirst;
+  geom::Rng rng_a(6);
+  const QueueStats lqf = RunQueueSimulation(system, config, rng_a);
+  config.scheduler = Scheduler::kGreedyByDecay;
+  geom::Rng rng_b(6);
+  const QueueStats greedy = RunQueueSimulation(system, config, rng_b);
+  EXPECT_LE(lqf.mean_queue, greedy.mean_queue * 1.5);
+  EXPECT_GT(lqf.throughput, 0.5);
+}
+
+TEST(QueueSystemTest, ZeroArrivalsZeroEverything) {
+  const SparseFixture fixture(3);
+  const sinr::LinkSystem system(fixture.space, fixture.links, {2.0, 0.0});
+  geom::Rng rng(7);
+  const auto config =
+      UniformArrivals(system, 0.0, Scheduler::kLongestQueueFirst, 500);
+  const QueueStats stats = RunQueueSimulation(system, config, rng);
+  EXPECT_EQ(stats.arrived_total, 0);
+  EXPECT_EQ(stats.served_total, 0);
+  EXPECT_DOUBLE_EQ(stats.mean_queue, 0.0);
+}
+
+}  // namespace
+}  // namespace decaylib::dynamics

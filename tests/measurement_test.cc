@@ -1,0 +1,179 @@
+#include "measurement/rssi.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/metricity.h"
+#include "geom/samplers.h"
+#include "measurement/prr.h"
+#include "spaces/samplers.h"
+
+namespace decaylib::measurement {
+namespace {
+
+core::DecaySpace SmallTruth(std::uint64_t seed) {
+  geom::Rng rng(seed);
+  const auto pts = geom::SampleUniform(10, 8.0, 8.0, rng);
+  return core::DecaySpace::Geometric(pts, 2.5);
+}
+
+TEST(RssiTest, NoiselessUnquantisedRoundTripIsExact) {
+  const core::DecaySpace truth = SmallTruth(1);
+  RssiConfig config;
+  config.quantization_db = 0.0;
+  config.noise_sigma_db = 0.0;
+  config.sensitivity_dbm = -1000.0;
+  geom::Rng rng(2);
+  const RssiTable table = SimulateRssi(truth, config, rng);
+  const core::DecaySpace inferred = InferDecayFromRssi(table, config);
+  for (int u = 0; u < truth.size(); ++u) {
+    for (int v = 0; v < truth.size(); ++v) {
+      if (u != v) {
+        EXPECT_NEAR(inferred(u, v) / truth(u, v), 1.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(RssiTest, QuantisationErrorBounded) {
+  const core::DecaySpace truth = SmallTruth(3);
+  RssiConfig config;
+  config.quantization_db = 1.0;
+  config.noise_sigma_db = 0.0;
+  config.sensitivity_dbm = -1000.0;
+  geom::Rng rng(4);
+  const RssiTable table = SimulateRssi(truth, config, rng);
+  const core::DecaySpace inferred = InferDecayFromRssi(table, config);
+  // Half a dB of rounding = factor 10^{0.05} ~ 1.122 either way.
+  const double tol = std::pow(10.0, 0.051);
+  for (int u = 0; u < truth.size(); ++u) {
+    for (int v = 0; v < truth.size(); ++v) {
+      if (u == v) continue;
+      const double ratio = inferred(u, v) / truth(u, v);
+      EXPECT_LE(ratio, tol);
+      EXPECT_GE(ratio, 1.0 / tol);
+    }
+  }
+}
+
+TEST(RssiTest, CensoringKicksInForWeakLinks) {
+  core::DecaySpace truth(2);
+  truth.SetSymmetric(0, 1, 1e12);  // -120 dBm at tx 0: below sensitivity
+  RssiConfig config;
+  config.sensitivity_dbm = -95.0;
+  config.noise_sigma_db = 0.0;
+  geom::Rng rng(5);
+  const RssiTable table = SimulateRssi(truth, config, rng);
+  EXPECT_FALSE(table[0][1].has_value());
+  EXPECT_DOUBLE_EQ(CensoredFraction(table), 1.0);
+  const core::DecaySpace inferred = InferDecayFromRssi(table, config, 1e15);
+  EXPECT_DOUBLE_EQ(inferred(0, 1), 1e15);
+}
+
+TEST(RssiTest, AveragingReducesNoise) {
+  const core::DecaySpace truth = SmallTruth(6);
+  RssiConfig one;
+  one.readings_per_pair = 1;
+  one.quantization_db = 0.0;
+  one.noise_sigma_db = 4.0;
+  one.sensitivity_dbm = -1000.0;
+  RssiConfig many = one;
+  many.readings_per_pair = 64;
+
+  auto mean_abs_error = [&](const RssiConfig& config, std::uint64_t seed) {
+    geom::Rng rng(seed);
+    const RssiTable table = SimulateRssi(truth, config, rng);
+    const core::DecaySpace inferred = InferDecayFromRssi(table, config);
+    double total = 0.0;
+    int count = 0;
+    for (int u = 0; u < truth.size(); ++u) {
+      for (int v = 0; v < truth.size(); ++v) {
+        if (u == v) continue;
+        total += std::abs(10.0 * std::log10(inferred(u, v) / truth(u, v)));
+        ++count;
+      }
+    }
+    return total / count;
+  };
+  EXPECT_LT(mean_abs_error(many, 7), mean_abs_error(one, 7));
+}
+
+TEST(CaptureModelTest, MonotoneInSinr) {
+  const CaptureModel capture{2.0, 8.0};
+  EXPECT_DOUBLE_EQ(capture.ReceptionProbability(0.0), 0.0);
+  EXPECT_LT(capture.ReceptionProbability(1.0),
+            capture.ReceptionProbability(2.0));
+  EXPECT_DOUBLE_EQ(capture.ReceptionProbability(2.0), 0.5);  // at beta
+  EXPECT_GT(capture.ReceptionProbability(20.0), 0.95);
+  EXPECT_LT(capture.ReceptionProbability(0.2), 0.05);
+}
+
+TEST(PrrTest, StrongLinksHaveHighPrr) {
+  core::DecaySpace truth(2);
+  truth.SetSymmetric(0, 1, 10.0);  // SINR = 1/(1e-6*10) = 1e5 >> beta
+  PrrConfig config;
+  geom::Rng rng(8);
+  const auto prr = SimulatePrr(truth, config, rng);
+  EXPECT_GT(prr[0][1], 0.99);
+}
+
+TEST(PrrTest, InversionRecoversDecayInTheActiveRegion) {
+  // PRR inversion is informative where the logistic is not saturated:
+  // pick decays so SINR sits near beta.
+  PrrConfig config;
+  config.probes = 2000;
+  config.noise = 1e-2;
+  // SINR = 1 / (noise * f); f = 50 -> SINR = 2 = beta (50% PRR).
+  core::DecaySpace truth(3);
+  truth.SetSymmetric(0, 1, 50.0);
+  truth.SetSymmetric(0, 2, 30.0);
+  truth.SetSymmetric(1, 2, 80.0);
+  geom::Rng rng(9);
+  const auto prr = SimulatePrr(truth, config, rng);
+  const core::DecaySpace inferred = InferDecayFromPrr(prr, config);
+  for (int u = 0; u < 3; ++u) {
+    for (int v = 0; v < 3; ++v) {
+      if (u == v) continue;
+      EXPECT_NEAR(std::log(inferred(u, v) / truth(u, v)), 0.0, 0.2)
+          << u << "," << v;
+    }
+  }
+}
+
+TEST(PrrTest, SaturatedRatesClampToFiniteDecay) {
+  PrrConfig config;
+  config.probes = 100;
+  core::DecaySpace truth(2);
+  truth.SetSymmetric(0, 1, 1.0);  // overwhelming SINR: PRR = 1
+  geom::Rng rng(10);
+  const auto prr = SimulatePrr(truth, config, rng);
+  EXPECT_DOUBLE_EQ(prr[0][1], 1.0);
+  const core::DecaySpace inferred = InferDecayFromPrr(prr, config);
+  EXPECT_TRUE(std::isfinite(inferred(0, 1)));
+  EXPECT_GT(inferred(0, 1), 0.0);
+}
+
+TEST(MeasurementIntegrationTest, InferredMetricityTracksTruth) {
+  // End-to-end: a shadowed space measured via RSSI keeps its metricity
+  // within quantisation slack.
+  geom::Rng rng(11);
+  const auto pts = geom::SampleUniform(12, 10.0, 10.0, rng);
+  geom::Rng rng2(12);
+  const core::DecaySpace truth =
+      spaces::ShadowedGeometric(pts, 2.8, 5.0, rng2, true);
+  RssiConfig config;
+  config.quantization_db = 0.5;
+  config.noise_sigma_db = 0.25;
+  config.readings_per_pair = 16;
+  config.sensitivity_dbm = -1000.0;
+  geom::Rng rng3(13);
+  const RssiTable table = SimulateRssi(truth, config, rng3);
+  const core::DecaySpace inferred = InferDecayFromRssi(table, config);
+  const double zeta_truth = core::Metricity(truth);
+  const double zeta_inferred = core::Metricity(inferred);
+  EXPECT_NEAR(zeta_inferred, zeta_truth, 0.35 * zeta_truth);
+}
+
+}  // namespace
+}  // namespace decaylib::measurement

@@ -1,0 +1,152 @@
+#include "geom/point.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace decaylib::geom {
+namespace {
+
+TEST(Vec2Test, Arithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Vec2{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Vec2{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Vec2{2.0, 4.0}));
+  EXPECT_EQ((2.0 * a), (Vec2{2.0, 4.0}));
+  EXPECT_EQ((a / 2.0), (Vec2{0.5, 1.0}));
+}
+
+TEST(Vec2Test, DotAndCross) {
+  const Vec2 a{1.0, 0.0};
+  const Vec2 b{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.Cross(b), 1.0);
+  EXPECT_DOUBLE_EQ(b.Cross(a), -1.0);
+}
+
+TEST(Vec2Test, NormAndNormalize) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.NormSq(), 25.0);
+  const Vec2 unit = v.Normalized();
+  EXPECT_NEAR(unit.Norm(), 1.0, 1e-12);
+  EXPECT_EQ((Vec2{}.Normalized()), (Vec2{}));
+}
+
+TEST(Vec2Test, RotationQuarterTurn) {
+  const Vec2 v{1.0, 0.0};
+  const Vec2 r = v.Rotated(M_PI / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+}
+
+TEST(Vec2Test, AngleMeasuredFromXAxis) {
+  EXPECT_NEAR((Vec2{1.0, 1.0}).Angle(), M_PI / 4.0, 1e-12);
+  EXPECT_NEAR((Vec2{-1.0, 0.0}).Angle(), M_PI, 1e-12);
+}
+
+TEST(Vec3Test, BasicOps) {
+  const Vec3 a{1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(a.Norm(), 3.0);
+  EXPECT_DOUBLE_EQ(Distance(Vec3{0, 0, 0}, a), 3.0);
+  EXPECT_EQ((a + a), (Vec3{2.0, 4.0, 4.0}));
+}
+
+TEST(SegmentTest, LengthAndMidpoint) {
+  const Segment s{{0.0, 0.0}, {4.0, 0.0}};
+  EXPECT_DOUBLE_EQ(s.Length(), 4.0);
+  EXPECT_EQ(s.Midpoint(), (Vec2{2.0, 0.0}));
+}
+
+TEST(SegmentsIntersectTest, ProperCrossing) {
+  const Segment a{{0.0, 0.0}, {2.0, 2.0}};
+  const Segment b{{0.0, 2.0}, {2.0, 0.0}};
+  EXPECT_TRUE(SegmentsIntersect(a, b));
+}
+
+TEST(SegmentsIntersectTest, DisjointParallel) {
+  const Segment a{{0.0, 0.0}, {2.0, 0.0}};
+  const Segment b{{0.0, 1.0}, {2.0, 1.0}};
+  EXPECT_FALSE(SegmentsIntersect(a, b));
+}
+
+TEST(SegmentsIntersectTest, TouchingEndpointCounts) {
+  const Segment a{{0.0, 0.0}, {1.0, 1.0}};
+  const Segment b{{1.0, 1.0}, {2.0, 0.0}};
+  EXPECT_TRUE(SegmentsIntersect(a, b));
+}
+
+TEST(SegmentsIntersectTest, CollinearOverlap) {
+  const Segment a{{0.0, 0.0}, {2.0, 0.0}};
+  const Segment b{{1.0, 0.0}, {3.0, 0.0}};
+  EXPECT_TRUE(SegmentsIntersect(a, b));
+}
+
+TEST(SegmentsIntersectTest, NearMissDoesNotCount) {
+  const Segment a{{0.0, 0.0}, {1.0, 0.0}};
+  const Segment b{{0.5, 0.001}, {0.5, 1.0}};
+  EXPECT_FALSE(SegmentsIntersect(a, b));
+}
+
+TEST(SegmentIntersectionTest, CrossingPoint) {
+  const Segment a{{0.0, 0.0}, {2.0, 2.0}};
+  const Segment b{{0.0, 2.0}, {2.0, 0.0}};
+  const auto p = SegmentIntersection(a, b);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_NEAR(p->x, 1.0, 1e-12);
+  EXPECT_NEAR(p->y, 1.0, 1e-12);
+}
+
+TEST(SegmentIntersectionTest, ParallelReturnsNothing) {
+  const Segment a{{0.0, 0.0}, {2.0, 0.0}};
+  const Segment b{{0.0, 1.0}, {2.0, 1.0}};
+  EXPECT_FALSE(SegmentIntersection(a, b).has_value());
+}
+
+TEST(SegmentIntersectionTest, NonOverlappingLinesReturnsNothing) {
+  const Segment a{{0.0, 0.0}, {1.0, 0.0}};
+  const Segment b{{3.0, -1.0}, {3.0, 1.0}};
+  EXPECT_FALSE(SegmentIntersection(a, b).has_value());
+}
+
+TEST(DistancePointSegmentTest, ProjectionInside) {
+  const Segment s{{0.0, 0.0}, {4.0, 0.0}};
+  EXPECT_DOUBLE_EQ(DistancePointSegment({2.0, 3.0}, s), 3.0);
+}
+
+TEST(DistancePointSegmentTest, ClampsToEndpoints) {
+  const Segment s{{0.0, 0.0}, {4.0, 0.0}};
+  EXPECT_DOUBLE_EQ(DistancePointSegment({-3.0, 4.0}, s), 5.0);
+  EXPECT_DOUBLE_EQ(DistancePointSegment({7.0, 4.0}, s), 5.0);
+}
+
+TEST(DistancePointSegmentTest, DegenerateSegment) {
+  const Segment s{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(DistancePointSegment({4.0, 5.0}, s), 5.0);
+}
+
+TEST(MirrorAcrossLineTest, MirrorAcrossXAxis) {
+  const Segment s{{0.0, 0.0}, {1.0, 0.0}};
+  const Vec2 m = MirrorAcrossLine({2.0, 3.0}, s);
+  EXPECT_NEAR(m.x, 2.0, 1e-12);
+  EXPECT_NEAR(m.y, -3.0, 1e-12);
+}
+
+TEST(MirrorAcrossLineTest, PointOnLineIsFixed) {
+  const Segment s{{0.0, 0.0}, {2.0, 2.0}};
+  const Vec2 m = MirrorAcrossLine({1.0, 1.0}, s);
+  EXPECT_NEAR(m.x, 1.0, 1e-12);
+  EXPECT_NEAR(m.y, 1.0, 1e-12);
+}
+
+TEST(MirrorAcrossLineTest, MirrorTwiceIsIdentity) {
+  const Segment s{{0.0, 1.0}, {3.0, 5.0}};
+  const Vec2 p{2.0, -1.0};
+  const Vec2 twice = MirrorAcrossLine(MirrorAcrossLine(p, s), s);
+  EXPECT_NEAR(twice.x, p.x, 1e-12);
+  EXPECT_NEAR(twice.y, p.y, 1e-12);
+}
+
+}  // namespace
+}  // namespace decaylib::geom

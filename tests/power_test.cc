@@ -1,0 +1,108 @@
+#include "sinr/power.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/decay_space.h"
+#include "geom/rng.h"
+#include "geom/samplers.h"
+
+namespace decaylib::sinr {
+namespace {
+
+LinkSystem RandomSystem(int links, double alpha, double noise,
+                        std::uint64_t seed, core::DecaySpace& storage) {
+  geom::Rng rng(seed);
+  const auto pts = geom::SampleUniform(2 * links, 10.0, 10.0, rng);
+  storage = core::DecaySpace::Geometric(pts, alpha);
+  std::vector<Link> link_list;
+  for (int i = 0; i < links; ++i) link_list.push_back({2 * i, 2 * i + 1});
+  return LinkSystem(storage, link_list, {1.0, noise});
+}
+
+TEST(PowerTest, UniformAllEqual) {
+  core::DecaySpace storage(1);
+  const LinkSystem system = RandomSystem(5, 2.0, 0.0, 1, storage);
+  const PowerAssignment p = UniformPower(system, 3.0);
+  ASSERT_EQ(p.size(), 5u);
+  for (double x : p) EXPECT_DOUBLE_EQ(x, 3.0);
+}
+
+TEST(PowerTest, LinearProportionalToDecay) {
+  core::DecaySpace storage(1);
+  const LinkSystem system = RandomSystem(5, 2.0, 0.0, 2, storage);
+  const PowerAssignment p = LinearPower(system, 2.0);
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_DOUBLE_EQ(p[static_cast<std::size_t>(v)],
+                     2.0 * system.LinkDecay(v));
+  }
+}
+
+TEST(PowerTest, MeanIsSquareRoot) {
+  core::DecaySpace storage(1);
+  const LinkSystem system = RandomSystem(4, 3.0, 0.0, 3, storage);
+  const PowerAssignment p = MeanPower(system);
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_NEAR(p[static_cast<std::size_t>(v)],
+                std::sqrt(system.LinkDecay(v)), 1e-9);
+  }
+}
+
+// Power-law assignments with tau in [0,1] are monotone (Sec. 2.4); tau > 1
+// violates the received-signal condition.
+class PowerLawMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLawMonotonicity, TauInUnitIntervalIsMonotone) {
+  const double tau = GetParam();
+  core::DecaySpace storage(1);
+  const LinkSystem system = RandomSystem(8, 2.5, 0.0, 4, storage);
+  const PowerAssignment p = PowerLaw(system, tau);
+  EXPECT_TRUE(IsMonotonePower(system, p));
+}
+
+INSTANTIATE_TEST_SUITE_P(TauSweep, PowerLawMonotonicity,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+TEST(PowerTest, SuperLinearIsNotMonotone) {
+  core::DecaySpace storage(1);
+  const LinkSystem system = RandomSystem(8, 2.5, 0.0, 5, storage);
+  const PowerAssignment p = PowerLaw(system, 1.5);
+  EXPECT_FALSE(IsMonotonePower(system, p));
+}
+
+TEST(PowerTest, DecreasingPowerIsNotMonotone) {
+  core::DecaySpace storage(1);
+  const LinkSystem system = RandomSystem(8, 2.5, 0.0, 6, storage);
+  PowerAssignment p = UniformPower(system);
+  // Give the longest link the least power: violates P_v <= P_w.
+  const auto order = system.OrderByDecay();
+  p[static_cast<std::size_t>(order.back())] = 0.01;
+  EXPECT_FALSE(IsMonotonePower(system, p));
+}
+
+TEST(PowerTest, ScaledToOvercomeNoiseMeetsMargin) {
+  core::DecaySpace storage(1);
+  const LinkSystem system = RandomSystem(6, 3.0, 1e-3, 7, storage);
+  const PowerAssignment p =
+      ScaledToOvercomeNoise(system, UniformPower(system), 2.0);
+  for (int v = 0; v < system.NumLinks(); ++v) {
+    EXPECT_TRUE(system.CanOvercomeNoise(v, p));
+    // Margin 2: signal at least twice the threshold.
+    EXPECT_GE(p[static_cast<std::size_t>(v)] /
+                  (system.config().beta * system.config().noise *
+                   system.LinkDecay(v)),
+              2.0 - 1e-9);
+  }
+}
+
+TEST(PowerTest, ScaledIsNoOpWithoutNoise) {
+  core::DecaySpace storage(1);
+  const LinkSystem system = RandomSystem(4, 2.0, 0.0, 8, storage);
+  const PowerAssignment p =
+      ScaledToOvercomeNoise(system, UniformPower(system, 5.0), 2.0);
+  for (double x : p) EXPECT_DOUBLE_EQ(x, 5.0);
+}
+
+}  // namespace
+}  // namespace decaylib::sinr

@@ -1,0 +1,162 @@
+// Cross-cutting structural properties of the decay-space machinery --
+// parameterized sweeps pinning down invariants the individual module tests
+// do not cover.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/decay_space.h"
+#include "core/dimensions.h"
+#include "core/fading.h"
+#include "core/metricity.h"
+#include "geom/rng.h"
+#include "geom/samplers.h"
+#include "spaces/constructions.h"
+#include "spaces/samplers.h"
+
+namespace decaylib::core {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<int> {
+ protected:
+  geom::Rng MakeRng() const {
+    return geom::Rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  }
+};
+
+// Removing nodes can only remove constraining triplets: metricity of any
+// subspace is at most the metricity of the space.
+TEST_P(SeededProperty, MetricityMonotoneUnderSubspaces) {
+  geom::Rng rng = MakeRng();
+  const DecaySpace space = spaces::LogUniformSpace(10, 1e4, rng, false);
+  const double zeta = Metricity(space);
+  std::vector<int> nodes{0, 2, 3, 5, 7, 9};
+  const DecaySpace sub = space.Subspace(nodes);
+  EXPECT_LE(Metricity(sub), zeta + 1e-9);
+}
+
+// The defining property: the quasi-metric at zeta satisfies the (directed)
+// triangle inequality; at zeta * 0.9 it generically does not when zeta > 0.
+TEST_P(SeededProperty, QuasiMetricTriangleAtZeta) {
+  geom::Rng rng = MakeRng();
+  const DecaySpace space = spaces::LogUniformSpace(8, 1e3, rng, true);
+  const double zeta = Metricity(space);
+  if (zeta <= 0.0) return;
+  EXPECT_LE(QuasiMetric(space, zeta).MaxTriangleViolation(), 1e-7);
+  EXPECT_LE(QuasiMetric(space, zeta * 1.5).MaxTriangleViolation(), 1e-7)
+      << "raising the exponent must keep the triangle inequality";
+}
+
+// Scaling all decays by c != 1 changes metricity (the inequality is not
+// homogeneous); specifically, scaling *up* by c >= 1 can only weaken the
+// constraints when decays start above 1 (b^s+c^s grows slower than ...);
+// we pin the direction empirically: scale-up with decays >= 1 lowers zeta.
+TEST_P(SeededProperty, ScalingUpLowersMetricityForSuperUnitSpaces) {
+  geom::Rng rng = MakeRng();
+  const DecaySpace space = spaces::LogUniformSpace(8, 100.0, rng, true);
+  ASSERT_GE(space.MinDecay(), 1.0);
+  const double zeta = Metricity(space);
+  const double zeta_scaled = Metricity(space.Scaled(10.0));
+  EXPECT_LE(zeta_scaled, zeta + 1e-9);
+}
+
+// Symmetrisation by min/max brackets the asymmetric space's metricity from
+// neither side in general -- but both symmetrisations are valid spaces and
+// their metricities are finite; pin validity.
+TEST_P(SeededProperty, SymmetrizationsRemainValid) {
+  geom::Rng rng = MakeRng();
+  const DecaySpace space = spaces::LogUniformSpace(8, 1e3, rng, false);
+  EXPECT_FALSE(space.SymmetrizedMin().Validate().has_value());
+  EXPECT_FALSE(space.SymmetrizedMax().Validate().has_value());
+  EXPECT_FALSE(space.SymmetrizedGeomMean().Validate().has_value());
+  EXPECT_TRUE(space.SymmetrizedGeomMean().IsSymmetric(1e-12));
+}
+
+// gamma_z(r) can only shrink when r grows past every realised decay gap:
+// with fewer admissible sender sets and the same weights, the max-sum
+// decreases; the r-prefactor means gamma itself need not be monotone, so we
+// check the max-sum form.
+TEST_P(SeededProperty, FadingMaxSumAntitoneInR) {
+  geom::Rng rng = MakeRng();
+  const auto pts = geom::SampleUniform(12, 10.0, 10.0, rng);
+  const DecaySpace space = DecaySpace::Geometric(pts, 3.0);
+  const double s_small = FadingValueExact(space, 0, 2.0).gamma / 2.0;
+  const double s_large = FadingValueExact(space, 0, 20.0).gamma / 20.0;
+  EXPECT_GE(s_small + 1e-12, s_large);
+}
+
+// Guards from the greedy construction always guard, on asymmetric spaces
+// too (the construction never used symmetry).
+TEST_P(SeededProperty, GreedyGuardsGuardAsymmetric) {
+  geom::Rng rng = MakeRng();
+  const DecaySpace space = spaces::LogUniformSpace(10, 100.0, rng, false);
+  for (int x = 0; x < space.size(); x += 3) {
+    EXPECT_TRUE(GuardsNode(space, x, GreedyGuards(space, x)));
+  }
+}
+
+// Packings found greedily are packings, and exact >= greedy, at every scale.
+TEST_P(SeededProperty, PackingSandwich) {
+  geom::Rng rng = MakeRng();
+  const DecaySpace space = spaces::LogUniformSpace(12, 1e3, rng, true);
+  std::vector<int> body;
+  for (int i = 0; i < space.size(); ++i) body.push_back(i);
+  for (const double t : {1.0, 10.0, 100.0}) {
+    const auto greedy = GreedyPacking(space, body, t);
+    EXPECT_TRUE(IsPacking(space, greedy, t));
+    EXPECT_GE(PackingNumberExact(space, body, t),
+              static_cast<int>(greedy.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty, ::testing::Range(1, 13));
+
+// Deterministic cross-checks that don't need seeds.
+
+TEST(PropertyTest, MetricityOfTheorem3MatchesClosedForm) {
+  // On the empty graph no triplet constrains the space (every two-leg path
+  // around a non-edge pair has a leg of the same decay n), so zeta = 0; on
+  // a star graph the hub gives non-adjacent leaf pairs a short two-leg path
+  // (1/2, 1/2) around their decay-n separation, so zeta is exactly
+  // TripletZeta(n, 1/2, 1/2).
+  graph::Graph empty(6);
+  EXPECT_DOUBLE_EQ(Metricity(spaces::Theorem3Instance(empty).space), 0.0);
+
+  graph::Graph star(6);
+  for (int v = 1; v < 6; ++v) star.AddEdge(0, v);
+  const double zeta = Metricity(spaces::Theorem3Instance(star).space);
+  EXPECT_NEAR(zeta, TripletZeta(6.0, 0.5, 0.5), 1e-6);
+}
+
+TEST(PropertyTest, LineMetricityWitnessIsConsecutive) {
+  const DecaySpace space = spaces::LineSpace(10, 1.0, 3.0);
+  const MetricityResult result = ComputeMetricity(space);
+  EXPECT_NEAR(result.zeta, 3.0, 1e-6);
+  // The witness triplet must be collinear-with-midpoint: z strictly between
+  // x and y at equal distance (positions differ by the same gap).
+  const int gap_xz = std::abs(result.arg_x - result.arg_z);
+  const int gap_zy = std::abs(result.arg_z - result.arg_y);
+  EXPECT_EQ(gap_xz, gap_zy);
+}
+
+TEST(PropertyTest, UniformSpaceFadingValue) {
+  // All decays 1: for r < 1 every singleton set is r-separated... and any
+  // pair too (1 > r); gamma_z(r) = r * (n-1) / 1.
+  const DecaySpace space = spaces::UniformSpace(6);
+  const FadingValue v = FadingValueExact(space, 0, 0.5);
+  EXPECT_DOUBLE_EQ(v.gamma, 0.5 * 5.0);
+  // For r >= 1 no sender is separated from the listener: gamma = 0.
+  EXPECT_DOUBLE_EQ(FadingValueExact(space, 0, 1.0).gamma, 0.0);
+}
+
+TEST(PropertyTest, WelzlGuardsForAnchor) {
+  // v_{-1} needs many guards (its independent set is everything), while in
+  // the uniform space one guard suffices: the two extremes bracket reality.
+  const DecaySpace welzl = spaces::WelzlSpace(6);
+  const auto guards = GreedyGuards(welzl, 0);
+  EXPECT_TRUE(GuardsNode(welzl, 0, guards));
+  EXPECT_GE(guards.size(), 6u);
+}
+
+}  // namespace
+}  // namespace decaylib::core

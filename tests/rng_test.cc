@@ -1,0 +1,169 @@
+#include "geom/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace decaylib::geom {
+namespace {
+
+TEST(SplitMix64Test, AdvancesState) {
+  std::uint64_t state = 42;
+  const std::uint64_t a = SplitMix64(state);
+  const std::uint64_t b = SplitMix64(state);
+  EXPECT_NE(a, b);
+}
+
+TEST(Mix64Test, DeterministicAndSpreads) {
+  EXPECT_EQ(Mix64(1), Mix64(1));
+  EXPECT_NE(Mix64(1), Mix64(2));
+  // Single-bit input changes flip roughly half the output bits (avalanche).
+  const std::uint64_t x = Mix64(0x1234);
+  const std::uint64_t y = Mix64(0x1235);
+  const int flipped = __builtin_popcountll(x ^ y);
+  EXPECT_GT(flipped, 16);
+  EXPECT_LT(flipped, 48);
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(7);
+  Rng b(8);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 90);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(1);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, BelowIsUnbiasedAcrossSmallRange) {
+  Rng rng(3);
+  std::vector<int> counts(5, 0);
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[static_cast<std::size_t>(rng.Below(5))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.2, 0.02);
+  }
+}
+
+TEST(RngTest, IntInInclusiveBounds) {
+  Rng rng(4);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.IntIn(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values appear
+}
+
+TEST(RngTest, ChanceEdgeCases) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.Chance(0.0));
+  EXPECT_FALSE(rng.Chance(-1.0));
+  EXPECT_TRUE(rng.Chance(1.0));
+  EXPECT_TRUE(rng.Chance(2.0));
+}
+
+TEST(RngTest, ChanceFrequencyMatchesP) {
+  Rng rng(6);
+  int hits = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.Chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(7);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.02);
+  EXPECT_NEAR(sq / trials, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalShifted) {
+  Rng rng(8);
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sum += rng.Normal(10.0, 2.0);
+  EXPECT_NEAR(sum / trials, 10.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanIsInverseRate) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    const double x = rng.Exponential(2.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(10);
+  std::vector<int> v(20);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), shuffled.begin()) &&
+               true)  // overwhelmingly unlikely to be identity
+      << "shuffle returned the identity permutation";
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(v, shuffled);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(11);
+  Rng b = a.Split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace decaylib::geom

@@ -1,0 +1,97 @@
+#include "geom/samplers.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace decaylib::geom {
+namespace {
+
+TEST(SampleUniformTest, CountAndBounds) {
+  Rng rng(1);
+  const auto pts = SampleUniform(200, 10.0, 5.0, rng);
+  ASSERT_EQ(pts.size(), 200u);
+  for (const Vec2& p : pts) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LT(p.x, 10.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LT(p.y, 5.0);
+  }
+}
+
+TEST(SampleGridTest, ExactCountAndCorners) {
+  const auto pts = SampleGrid(16, 3.0, 3.0);
+  ASSERT_EQ(pts.size(), 16u);
+  EXPECT_EQ(pts.front(), (Vec2{0.0, 0.0}));
+  EXPECT_EQ(pts.back(), (Vec2{3.0, 3.0}));
+}
+
+TEST(SampleGridTest, NonSquareCountTruncates) {
+  const auto pts = SampleGrid(10, 1.0, 1.0);
+  EXPECT_EQ(pts.size(), 10u);
+}
+
+TEST(SampleGridTest, SinglePointCentered) {
+  const auto pts = SampleGrid(1, 4.0, 6.0);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_EQ(pts[0], (Vec2{2.0, 3.0}));
+}
+
+TEST(SampleClustersTest, CountMatches) {
+  Rng rng(2);
+  const auto pts = SampleClusters(100, 4, 10.0, 10.0, 0.5, rng);
+  EXPECT_EQ(pts.size(), 100u);
+}
+
+TEST(SampleLineTest, PointsOnSegment) {
+  Rng rng(3);
+  const Vec2 a{0.0, 0.0};
+  const Vec2 b{10.0, 10.0};
+  const auto pts = SampleLine(50, a, b, rng);
+  ASSERT_EQ(pts.size(), 50u);
+  for (const Vec2& p : pts) {
+    EXPECT_NEAR(p.x, p.y, 1e-12);  // on the diagonal
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 10.0);
+  }
+}
+
+TEST(SampleAnnulusTest, RadiiRespected) {
+  Rng rng(4);
+  const Vec2 center{5.0, 5.0};
+  const auto pts = SampleAnnulus(300, center, 2.0, 4.0, rng);
+  ASSERT_EQ(pts.size(), 300u);
+  for (const Vec2& p : pts) {
+    const double r = Distance(center, p);
+    EXPECT_GE(r, 2.0 - 1e-9);
+    EXPECT_LE(r, 4.0 + 1e-9);
+  }
+}
+
+class MinDistanceTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MinDistanceTest, PairwiseSeparationHolds) {
+  Rng rng(5);
+  const double min_dist = GetParam();
+  const auto pts = SampleMinDistance(60, 20.0, 20.0, min_dist, rng);
+  EXPECT_GT(pts.size(), 0u);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      EXPECT_GE(Distance(pts[i], pts[j]), min_dist);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Separations, MinDistanceTest,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.0));
+
+TEST(SampleMinDistanceTest, CrowdedBoxReturnsFewer) {
+  Rng rng(6);
+  // 100 points at pairwise distance 5 cannot fit a 10x10 box.
+  const auto pts = SampleMinDistance(100, 10.0, 10.0, 5.0, rng, 200);
+  EXPECT_LT(pts.size(), 100u);
+  EXPECT_GE(pts.size(), 1u);
+}
+
+}  // namespace
+}  // namespace decaylib::geom
