@@ -12,6 +12,7 @@
 #include "core/metricity.h"
 #include "env/propagation.h"
 #include "geom/samplers.h"
+#include "sinr/kernel.h"
 #include "sinr/power.h"
 
 using namespace decaylib;
@@ -32,6 +33,15 @@ void BM_Metricity(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_Metricity)->Arg(16)->Arg(32)->Arg(64)->Complexity();
+
+void BM_MetricityNaive(benchmark::State& state) {
+  const core::DecaySpace space = MakeSpace(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ComputeMetricityNaive(space));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MetricityNaive)->Arg(16)->Arg(32)->Arg(64)->Complexity();
 
 void BM_Phi(benchmark::State& state) {
   const core::DecaySpace space = MakeSpace(static_cast<int>(state.range(0)));
@@ -71,6 +81,64 @@ void BM_Algorithm1(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Algorithm1)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Algorithm1Naive(benchmark::State& state) {
+  const int links = static_cast<int>(state.range(0));
+  geom::Rng rng(3);
+  bench::PlanarDeployment dep(links, 30.0, 0.5, 1.5, rng);
+  const core::DecaySpace space = core::DecaySpace::Geometric(dep.points, 3.0);
+  const sinr::LinkSystem system(space, dep.links, {1.0, 0.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(capacity::RunAlgorithm1Naive(system, 3.0));
+  }
+}
+BENCHMARK(BM_Algorithm1Naive)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Algorithm1WarmKernel(benchmark::State& state) {
+  const int links = static_cast<int>(state.range(0));
+  geom::Rng rng(3);
+  bench::PlanarDeployment dep(links, 30.0, 0.5, 1.5, rng);
+  const core::DecaySpace space = core::DecaySpace::Geometric(dep.points, 3.0);
+  const sinr::LinkSystem system(space, dep.links, {1.0, 0.0});
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(capacity::RunAlgorithm1(kernel, 3.0));
+  }
+}
+BENCHMARK(BM_Algorithm1WarmKernel)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_KernelCacheBuild(benchmark::State& state) {
+  const int links = static_cast<int>(state.range(0));
+  geom::Rng rng(6);
+  bench::PlanarDeployment dep(links, 30.0, 0.5, 1.5, rng);
+  const core::DecaySpace space = core::DecaySpace::Geometric(dep.points, 3.0);
+  const sinr::LinkSystem system(space, dep.links, {1.0, 0.0});
+  const auto power = sinr::UniformPower(system);
+  for (auto _ : state) {
+    sinr::KernelCache kernel(system, power);
+    benchmark::DoNotOptimize(kernel.AffectanceRaw(0, 1));
+  }
+}
+BENCHMARK(BM_KernelCacheBuild)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AffectanceMatrixCached(benchmark::State& state) {
+  const int links = static_cast<int>(state.range(0));
+  geom::Rng rng(2);
+  bench::PlanarDeployment dep(links, 25.0, 0.5, 1.5, rng);
+  const core::DecaySpace space = core::DecaySpace::Geometric(dep.points, 3.0);
+  const sinr::LinkSystem system(space, dep.links, {1.0, 0.0});
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
+  for (auto _ : state) {
+    double total = 0.0;
+    for (int v = 0; v < links; ++v) {
+      for (int w = 0; w < links; ++w) {
+        total += kernel.Affectance(w, v);
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_AffectanceMatrixCached)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_GreedyFeasible(benchmark::State& state) {
   const int links = static_cast<int>(state.range(0));

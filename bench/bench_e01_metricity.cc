@@ -16,12 +16,14 @@
 
 using namespace decaylib;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report("E01", argc, argv);
   bench::Banner("E1", "Metricity of decay spaces",
                 "zeta = alpha for geometric decay; walls/shadowing push zeta "
                 "beyond alpha (Sec. 2.2 + sibling paper [24])");
 
   {
+    bench::WallTimer timer;
     std::printf("\n(a) Collinear geometric spaces: zeta should equal alpha\n\n");
     bench::Table table({"alpha", "zeta(line)", "zeta(plane n=48)", "phi(line)"});
     for (const double alpha : {1.0, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0}) {
@@ -34,9 +36,11 @@ int main() {
                     bench::Fmt(core::ComputePhi(line).phi)});
     }
     table.Print();
+    report.Record("collinear_sweep", 48, timer.ElapsedMs());
   }
 
   {
+    bench::WallTimer timer;
     std::printf(
         "\n(b) Office environments: wall density sweep (alpha = 2.8, 32 "
         "nodes, 30m x 30m)\n\n");
@@ -62,9 +66,11 @@ int main() {
                     bench::Fmt(std::log2(space.DecaySpread()))});
     }
     table.Print();
+    report.Record("office_sweep", 32, timer.ElapsedMs());
   }
 
   {
+    bench::WallTimer timer;
     std::printf("\n(c) Lognormal shadowing sweep (alpha = 3, 32 nodes)\n\n");
     bench::Table table({"sigma_dB", "zeta", "zeta/alpha"});
     geom::Rng rng(13);
@@ -78,6 +84,7 @@ int main() {
                     bench::Fmt(zeta / 3.0)});
     }
     table.Print();
+    report.Record("shadowing_sweep", 32, timer.ElapsedMs());
   }
 
   std::printf(

@@ -17,12 +17,14 @@
 
 using namespace decaylib;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report("E08", argc, argv);
   bench::Banner("E8", "Algorithm 1 capacity approximation (Theorem 5)",
                 "zeta^{O(1)} approximation; O(alpha^4) on the plane, "
                 "sub-exponential in alpha");
 
   {
+    bench::WallTimer timer;
     std::printf("\n(a) vs exact OPT, 16 links, mean over 8 seeds\n\n");
     bench::Table table({"alpha", "OPT", "alg1", "half-aff", "greedy",
                         "OPT/alg1", "alpha^4 (ref)", "3^alpha (ref)"});
@@ -56,9 +58,11 @@ int main() {
            bench::Fmt(std::pow(3.0, alpha), 0)});
     }
     table.Print();
+    report.Record("vs_exact_opt", 16, timer.ElapsedMs());
   }
 
   {
+    bench::WallTimer timer;
     std::printf("\n(b) larger deployments (120 links, no exact OPT)\n\n");
     bench::Table table({"alpha", "alg1", "half-aff", "greedy",
                         "greedy/alg1"});
@@ -79,6 +83,7 @@ int main() {
                                std::max<std::size_t>(1, alg1.size()), 2)});
     }
     table.Print();
+    report.Record("large_deployments", 120, timer.ElapsedMs());
   }
 
   std::printf(

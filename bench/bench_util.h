@@ -1,9 +1,12 @@
-// Shared helpers for the experiment benches: markdown table printing and
-// common instance builders.
+// Shared helpers for the experiment benches: markdown table printing, common
+// instance builders, wall-clock timing, and the machine-readable --json
+// reporting mode.
 #pragma once
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -12,6 +15,9 @@
 #include "sinr/link_system.h"
 
 namespace decaylib::bench {
+
+// M_PI is a POSIX extension, not standard C++; keep a local constant.
+inline constexpr double kPi = 3.14159265358979323846;
 
 // Prints a markdown table row-by-row with right-aligned cells.
 class Table {
@@ -76,6 +82,81 @@ inline void Banner(const char* id, const char* title, const char* claim) {
   std::printf("================================================================\n");
 }
 
+// Monotonic wall clock in milliseconds.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double ElapsedMs() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Machine-readable timing records.  Construct with the bench id and the
+// program arguments; when --json is among them, the destructor writes
+// BENCH_<id>.json in the working directory:
+//   {"bench": "E18", "phases": [
+//     {"name": "alg1_naive", "n": 512, "wall_ms": 1234.5}, ...]}
+// Record() is cheap and safe to call unconditionally; without --json the
+// report is simply dropped, so benches pay nothing for instrumenting every
+// phase.  This gives the perf trajectory of the repo a stable, parseable
+// artifact from every bench run.
+class JsonReport {
+ public:
+  JsonReport(std::string id, int argc, char** argv) : id_(std::move(id)) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) enabled_ = true;
+    }
+  }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  // One timing record: a named phase over an instance of size n.
+  void Record(const std::string& phase, long long n, double wall_ms) {
+    if (enabled_) phases_.push_back({phase, n, wall_ms});
+  }
+
+  ~JsonReport() {
+    if (!enabled_) return;
+    const std::string path = "BENCH_" + id_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(out, "{\"bench\": \"%s\", \"phases\": [", id_.c_str());
+    for (std::size_t i = 0; i < phases_.size(); ++i) {
+      std::fprintf(out,
+                   "%s\n  {\"name\": \"%s\", \"n\": %lld, \"wall_ms\": %.6g}",
+                   i == 0 ? "" : ",", phases_[i].name.c_str(), phases_[i].n,
+                   phases_[i].wall_ms);
+    }
+    std::fprintf(out, "\n]}\n");
+    std::fclose(out);
+    std::printf("wrote %s (%zu phases)\n", path.c_str(), phases_.size());
+  }
+
+ private:
+  struct Phase {
+    std::string name;
+    long long n;
+    double wall_ms;
+  };
+
+  std::string id_;
+  bool enabled_ = false;
+  std::vector<Phase> phases_;
+};
+
 // A random planar link deployment: link i occupies nodes 2i (sender) and
 // 2i+1 (receiver), with lengths in [min_len, max_len] and senders uniform in
 // a box x box square.
@@ -85,9 +166,11 @@ struct PlanarDeployment {
 
   PlanarDeployment(int link_count, double box, double min_len, double max_len,
                    geom::Rng& rng) {
+    points.reserve(2 * static_cast<std::size_t>(link_count));
+    links.reserve(static_cast<std::size_t>(link_count));
     for (int i = 0; i < link_count; ++i) {
       const geom::Vec2 s{rng.Uniform(0.0, box), rng.Uniform(0.0, box)};
-      const double angle = rng.Uniform(0.0, 2.0 * M_PI);
+      const double angle = rng.Uniform(0.0, 2.0 * kPi);
       const double len = rng.Uniform(min_len, max_len);
       points.push_back(s);
       points.push_back(s + geom::Vec2{len, 0.0}.Rotated(angle));

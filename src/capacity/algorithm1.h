@@ -12,11 +12,19 @@
 // The final filter is needed because links admitted later can push an
 // earlier link's in-affectance past the admission margin; Markov's
 // inequality guarantees |S| >= |X| / 2 (Eqn. 5 in the proof of Theorem 5).
+//
+// The default entry points run on the cached SINR kernel (sinr::KernelCache):
+// separation tests become decay-domain comparisons and the in/out-affectance
+// budgets incremental accumulator reads, so a run costs O(n^2) cache build
+// plus O(n |X|) admission work with no pow on the hot path.  The *Naive
+// variants recompute every kernel entry through the LinkSystem methods; they
+// are kept as the reference path that property tests compare against.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "sinr/kernel.h"
 #include "sinr/link_system.h"
 
 namespace decaylib::capacity {
@@ -32,5 +40,29 @@ Algorithm1Result RunAlgorithm1(const sinr::LinkSystem& system, double zeta,
                                std::span<const int> candidates);
 
 Algorithm1Result RunAlgorithm1(const sinr::LinkSystem& system, double zeta);
+
+// Cached-kernel entry points: reuse a prebuilt kernel (e.g. across the slots
+// of a schedule).  The kernel's power assignment is used as-is; build it
+// with UniformPower for the paper's algorithm.
+Algorithm1Result RunAlgorithm1(const sinr::KernelCache& kernel, double zeta,
+                               std::span<const int> candidates);
+
+Algorithm1Result RunAlgorithm1(const sinr::KernelCache& kernel, double zeta);
+
+// The admission loop + Markov filter over an explicit candidate order
+// (already sorted by the caller).  Shared by RunAlgorithm1 (decay order) and
+// WeightedAlgorithm1 (weight order).
+Algorithm1Result GreedyAdmission(const sinr::KernelCache& kernel, double zeta,
+                                 std::span<const int> order);
+
+// Reference implementation on the naive LinkSystem methods; recomputes every
+// affectance and separation from scratch.  Kept for property tests and
+// speedup benchmarks.
+Algorithm1Result RunAlgorithm1Naive(const sinr::LinkSystem& system,
+                                    double zeta,
+                                    std::span<const int> candidates);
+
+Algorithm1Result RunAlgorithm1Naive(const sinr::LinkSystem& system,
+                                    double zeta);
 
 }  // namespace decaylib::capacity

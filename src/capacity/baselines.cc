@@ -8,32 +8,41 @@ namespace decaylib::capacity {
 
 namespace {
 
-std::vector<int> DecayOrder(const sinr::LinkSystem& system,
+std::vector<int> DecayOrder(const sinr::KernelCache& kernel,
                             std::span<const int> candidates) {
   std::vector<int> order(candidates.begin(), candidates.end());
   std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-    return system.LinkDecay(a) < system.LinkDecay(b);
+    return kernel.LinkDecay(a) < kernel.LinkDecay(b);
   });
   return order;
 }
 
-std::vector<int> AdmitWhileFeasible(const sinr::LinkSystem& system,
+// Admit each link of `order` in turn while the set stays feasible.  The
+// incremental check against the accumulator reproduces, bit for bit, the
+// naive push-IsFeasible-pop loop: in-affectance sums accumulate in the same
+// admission order, and the candidate's own row adds a trailing 0.
+std::vector<int> AdmitWhileFeasible(const sinr::KernelCache& kernel,
                                     const std::vector<int>& order) {
-  const sinr::PowerAssignment power = sinr::UniformPower(system);
-  std::vector<int> chosen;
+  sinr::AffectanceAccumulator acc(kernel);
   for (int v : order) {
-    if (!system.CanOvercomeNoise(v, power)) continue;
-    chosen.push_back(v);
-    if (!system.IsFeasible(chosen, power)) chosen.pop_back();
+    if (acc.Contains(v)) continue;  // duplicate candidate ids admit once
+    if (!kernel.CanOvercomeNoise(v)) continue;
+    if (acc.CanAddFeasibly(v)) acc.Add(v);
   }
-  return chosen;
+  return acc.members();
 }
 
 }  // namespace
 
+std::vector<int> GreedyFeasible(const sinr::KernelCache& kernel,
+                                std::span<const int> candidates) {
+  return AdmitWhileFeasible(kernel, DecayOrder(kernel, candidates));
+}
+
 std::vector<int> GreedyFeasible(const sinr::LinkSystem& system,
                                 std::span<const int> candidates) {
-  return AdmitWhileFeasible(system, DecayOrder(system, candidates));
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
+  return GreedyFeasible(kernel, candidates);
 }
 
 std::vector<int> GreedyFeasible(const sinr::LinkSystem& system) {
@@ -41,21 +50,26 @@ std::vector<int> GreedyFeasible(const sinr::LinkSystem& system) {
   return GreedyFeasible(system, all);
 }
 
-std::vector<int> GreedyHalfAffectance(const sinr::LinkSystem& system,
+std::vector<int> GreedyHalfAffectance(const sinr::KernelCache& kernel,
                                       std::span<const int> candidates) {
-  const sinr::PowerAssignment power = sinr::UniformPower(system);
-  std::vector<int> X;
-  for (int v : DecayOrder(system, candidates)) {
-    if (!system.CanOvercomeNoise(v, power)) continue;
-    const double budget = system.OutAffectance(v, X, power) +
-                          system.InAffectance(X, v, power);
-    if (budget <= 0.5) X.push_back(v);
+  sinr::AffectanceAccumulator acc(kernel);
+  for (int v : DecayOrder(kernel, candidates)) {
+    if (acc.Contains(v)) continue;
+    if (!kernel.CanOvercomeNoise(v)) continue;
+    const double budget = acc.Out(v) + acc.In(v);
+    if (budget <= 0.5) acc.Add(v);
   }
   std::vector<int> selected;
-  for (int v : X) {
-    if (system.InAffectance(X, v, power) <= 1.0) selected.push_back(v);
+  for (int v : acc.members()) {
+    if (acc.In(v) <= 1.0) selected.push_back(v);
   }
   return selected;
+}
+
+std::vector<int> GreedyHalfAffectance(const sinr::LinkSystem& system,
+                                      std::span<const int> candidates) {
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
+  return GreedyHalfAffectance(kernel, candidates);
 }
 
 std::vector<int> GreedyHalfAffectance(const sinr::LinkSystem& system) {
@@ -68,7 +82,8 @@ std::vector<int> RandomFeasible(const sinr::LinkSystem& system,
                                 geom::Rng& rng) {
   std::vector<int> order(candidates.begin(), candidates.end());
   rng.Shuffle(order);
-  return AdmitWhileFeasible(system, order);
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
+  return AdmitWhileFeasible(kernel, order);
 }
 
 }  // namespace decaylib::capacity

@@ -11,21 +11,30 @@
 //    separation condition (the source of the plane's polynomial bound).
 //  * RandomFeasible: admit in random order while feasible; a sanity floor.
 //
-// All baselines use uniform power and return feasible sets.
+// All baselines use uniform power and return feasible sets.  Each has a
+// cached-kernel overload running on sinr::KernelCache (incremental
+// feasibility: O(|S|) per candidate instead of O(|S|^2) re-summation); the
+// LinkSystem overloads build the kernel internally and produce identical
+// results.
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "geom/rng.h"
+#include "sinr/kernel.h"
 #include "sinr/link_system.h"
 
 namespace decaylib::capacity {
 
+std::vector<int> GreedyFeasible(const sinr::KernelCache& kernel,
+                                std::span<const int> candidates);
 std::vector<int> GreedyFeasible(const sinr::LinkSystem& system,
                                 std::span<const int> candidates);
 std::vector<int> GreedyFeasible(const sinr::LinkSystem& system);
 
+std::vector<int> GreedyHalfAffectance(const sinr::KernelCache& kernel,
+                                      std::span<const int> candidates);
 std::vector<int> GreedyHalfAffectance(const sinr::LinkSystem& system,
                                       std::span<const int> candidates);
 std::vector<int> GreedyHalfAffectance(const sinr::LinkSystem& system);

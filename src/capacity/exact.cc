@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sinr/kernel.h"
 #include "sinr/power.h"
 #include "sinr/power_control.h"
 
@@ -49,13 +50,16 @@ class Solver {
 std::vector<int> ExactCapacity(const sinr::LinkSystem& system,
                                const sinr::PowerAssignment& power,
                                std::span<const int> candidates) {
+  // The branch and bound calls the feasibility oracle on every explored
+  // node; the cached kernel turns each affectance term into a lookup.
+  const sinr::KernelCache kernel(system, power);
   // Links that cannot even overcome noise alone can never appear.
   std::vector<int> universe;
   for (int v : candidates) {
-    if (system.CanOvercomeNoise(v, power)) universe.push_back(v);
+    if (kernel.CanOvercomeNoise(v)) universe.push_back(v);
   }
   auto feasible = [&](const std::vector<int>& S) {
-    return system.IsFeasible(S, power);
+    return kernel.IsFeasible(S);
   };
   return Solver(std::move(universe), feasible).Solve();
 }

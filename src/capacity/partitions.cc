@@ -17,13 +17,13 @@ namespace {
 // class where its in-affectance from the links already in the class is at
 // most `budget`.
 std::vector<std::vector<int>> FirstFitByInAffectance(
-    const sinr::LinkSystem& system, const std::vector<int>& order,
-    const sinr::PowerAssignment& power, double budget) {
+    const sinr::KernelCache& kernel, const std::vector<int>& order,
+    double budget) {
   std::vector<std::vector<int>> classes;
   for (int v : order) {
     bool placed = false;
     for (auto& cls : classes) {
-      if (system.InAffectance(cls, v, power) <= budget) {
+      if (kernel.InAffectance(cls, v) <= budget) {
         cls.push_back(v);
         placed = true;
         break;
@@ -36,19 +36,19 @@ std::vector<std::vector<int>> FirstFitByInAffectance(
 
 }  // namespace
 
-std::vector<std::vector<int>> SignalStrengthen(
-    const sinr::LinkSystem& system, std::span<const int> S,
-    const sinr::PowerAssignment& power, double p, double q) {
+std::vector<std::vector<int>> SignalStrengthen(const sinr::KernelCache& kernel,
+                                               std::span<const int> S,
+                                               double p, double q) {
   DL_CHECK(p > 0.0 && q >= p, "signal strengthening needs q >= p > 0");
   const double budget = 1.0 / (2.0 * q);
 
   // Pass A: increasing decay order; in-affectance from *shorter* links.
   std::vector<int> increasing(S.begin(), S.end());
   std::stable_sort(increasing.begin(), increasing.end(), [&](int a, int b) {
-    return system.LinkDecay(a) < system.LinkDecay(b);
+    return kernel.LinkDecay(a) < kernel.LinkDecay(b);
   });
   const std::vector<std::vector<int>> coarse =
-      FirstFitByInAffectance(system, increasing, power, budget);
+      FirstFitByInAffectance(kernel, increasing, budget);
 
   // Pass B within each class: decreasing decay order; in-affectance from
   // *longer* links.  Each final class then has total in-affectance at most
@@ -57,16 +57,23 @@ std::vector<std::vector<int>> SignalStrengthen(
   for (const auto& cls : coarse) {
     std::vector<int> decreasing = cls;
     std::stable_sort(decreasing.begin(), decreasing.end(), [&](int a, int b) {
-      return system.LinkDecay(a) > system.LinkDecay(b);
+      return kernel.LinkDecay(a) > kernel.LinkDecay(b);
     });
-    auto fine = FirstFitByInAffectance(system, decreasing, power, budget);
+    auto fine = FirstFitByInAffectance(kernel, decreasing, budget);
     for (auto& group : fine) result.push_back(std::move(group));
   }
   return result;
 }
 
+std::vector<std::vector<int>> SignalStrengthen(
+    const sinr::LinkSystem& system, std::span<const int> S,
+    const sinr::PowerAssignment& power, double p, double q) {
+  const sinr::KernelCache kernel(system, power);
+  return SignalStrengthen(kernel, S, p, q);
+}
+
 std::vector<std::vector<int>> SeparationPartition(
-    const sinr::LinkSystem& system, std::span<const int> S, double eta,
+    const sinr::KernelCache& kernel, std::span<const int> S, double eta,
     double zeta) {
   DL_CHECK(eta > 0.0 && zeta > 0.0, "eta and zeta must be positive");
   // Non-increasing link length: when v is placed, all previously placed
@@ -74,20 +81,16 @@ std::vector<std::vector<int>> SeparationPartition(
   // bounds the back-degree by the packing argument of Lemma B.3.
   std::vector<int> order(S.begin(), S.end());
   std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-    return system.LinkDecay(a) > system.LinkDecay(b);
+    return kernel.LinkDecay(a) > kernel.LinkDecay(b);
   });
-  auto conflict = [&](int v, int w) {
-    const double need =
-        eta * std::max(system.LinkLength(v, zeta), system.LinkLength(w, zeta));
-    return system.LinkDistance(v, w, zeta) < need;
-  };
+  const sinr::SeparationOracle oracle(kernel, eta, zeta);
   std::vector<std::vector<int>> classes;
   for (int v : order) {
     bool placed = false;
     for (auto& cls : classes) {
       bool clash = false;
       for (int w : cls) {
-        if (conflict(v, w)) {
+        if (oracle.ConflictMaxLength(v, w)) {
           clash = true;
           break;
         }
@@ -103,19 +106,26 @@ std::vector<std::vector<int>> SeparationPartition(
   return classes;
 }
 
+std::vector<std::vector<int>> SeparationPartition(
+    const sinr::LinkSystem& system, std::span<const int> S, double eta,
+    double zeta) {
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
+  return SeparationPartition(kernel, S, eta, zeta);
+}
+
 std::vector<std::vector<int>> Lemma41Partition(const sinr::LinkSystem& system,
                                                std::span<const int> S,
                                                double zeta) {
-  const sinr::PowerAssignment power = sinr::UniformPower(system);
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
   const double beta = system.config().beta;
   const double strengthened = std::exp(2.0) / beta;  // e^2 / beta
   // S is feasible = 1-feasible; strengthen to e^2/beta-feasible classes
   // (each then 1/zeta-separated by Lemma B.2), then expand the separation.
   const auto coarse =
-      SignalStrengthen(system, S, power, 1.0, std::max(1.0, strengthened));
+      SignalStrengthen(kernel, S, 1.0, std::max(1.0, strengthened));
   std::vector<std::vector<int>> result;
   for (const auto& cls : coarse) {
-    auto fine = SeparationPartition(system, cls, zeta, zeta);
+    auto fine = SeparationPartition(kernel, cls, zeta, zeta);
     for (auto& group : fine) result.push_back(std::move(group));
   }
   return result;

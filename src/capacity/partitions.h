@@ -14,17 +14,25 @@
 //    non-increasing length order (a rho-inductive ordering).
 //  * Lemma 4.1: composition of B.1 + B.2 + B.3 -- a feasible set partitions
 //    into O(zeta^{2A'}) zeta-separated sets.
+//
+// All partitions run on the cached SINR kernel; the LinkSystem signatures
+// build the kernel internally, the KernelCache overloads reuse a prebuilt
+// one (e.g. when chaining B.1 and B.3 as Lemma41Partition does).
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "sinr/kernel.h"
 #include "sinr/link_system.h"
 
 namespace decaylib::capacity {
 
 // Lemma B.1.  Requires q >= p > 0 and S p-feasible under `power`; returns
 // groups, each q-feasible, at most ceil(2q/p)^2 of them.
+std::vector<std::vector<int>> SignalStrengthen(const sinr::KernelCache& kernel,
+                                               std::span<const int> S,
+                                               double p, double q);
 std::vector<std::vector<int>> SignalStrengthen(
     const sinr::LinkSystem& system, std::span<const int> S,
     const sinr::PowerAssignment& power, double p, double q);
@@ -34,6 +42,9 @@ std::vector<std::vector<int>> SignalStrengthen(
 // links iff d(l_v, l_w) < eta * max(d_vv, d_ww).  (The classes are
 // eta-separated by construction; the doubling dimension only controls how
 // many classes are needed.)
+std::vector<std::vector<int>> SeparationPartition(
+    const sinr::KernelCache& kernel, std::span<const int> S, double eta,
+    double zeta);
 std::vector<std::vector<int>> SeparationPartition(
     const sinr::LinkSystem& system, std::span<const int> S, double eta,
     double zeta);

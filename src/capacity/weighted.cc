@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "capacity/algorithm1.h"
 #include "core/check.h"
+#include "sinr/kernel.h"
 #include "sinr/power.h"
 
 namespace decaylib::capacity {
@@ -18,7 +20,7 @@ WeightedResult WeightedGreedy(const sinr::LinkSystem& system,
                               std::span<const double> weights) {
   const int n = system.NumLinks();
   DL_CHECK(static_cast<int>(weights.size()) == n, "one weight per link");
-  const sinr::PowerAssignment power = sinr::UniformPower(system);
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
 
   // Density = weight / (1 + total clamped affectance mass the link
   // exchanges with everyone): heavy, quiet links first.
@@ -27,7 +29,7 @@ WeightedResult WeightedGreedy(const sinr::LinkSystem& system,
     double mass = 0.0;
     for (int w = 0; w < n; ++w) {
       if (w == v) continue;
-      mass += system.Affectance(v, w, power) + system.Affectance(w, v, power);
+      mass += kernel.Affectance(v, w) + kernel.Affectance(w, v);
     }
     density[static_cast<std::size_t>(v)] =
         weights[static_cast<std::size_t>(v)] / (1.0 + mass);
@@ -39,15 +41,16 @@ WeightedResult WeightedGreedy(const sinr::LinkSystem& system,
            density[static_cast<std::size_t>(b)];
   });
 
-  WeightedResult result;
+  // Admit while feasible, with the incremental accumulator standing in for
+  // the naive push-IsFeasible-pop re-summation (bit-identical decisions).
+  sinr::AffectanceAccumulator acc(kernel);
   for (int v : order) {
     if (weights[static_cast<std::size_t>(v)] <= 0.0) continue;
-    if (!system.CanOvercomeNoise(v, power)) continue;
-    result.selected.push_back(v);
-    if (!system.IsFeasible(result.selected, power)) {
-      result.selected.pop_back();
-    }
+    if (!kernel.CanOvercomeNoise(v)) continue;
+    if (acc.CanAddFeasibly(v)) acc.Add(v);
   }
+  WeightedResult result;
+  result.selected = acc.members();
   result.weight = TotalWeight(result.selected, weights);
   return result;
 }
@@ -58,7 +61,7 @@ WeightedResult WeightedAlgorithm1(const sinr::LinkSystem& system,
   const int n = system.NumLinks();
   DL_CHECK(static_cast<int>(weights.size()) == n, "one weight per link");
   DL_CHECK(zeta > 0.0, "zeta must be positive");
-  const sinr::PowerAssignment power = sinr::UniformPower(system);
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
 
   std::vector<int> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
@@ -66,20 +69,15 @@ WeightedResult WeightedAlgorithm1(const sinr::LinkSystem& system,
     return weights[static_cast<std::size_t>(a)] >
            weights[static_cast<std::size_t>(b)];
   });
+  // Non-positive weights are skipped by the naive loop before any other
+  // test; filtering them from the order preserves the remaining decisions.
+  std::erase_if(order, [&](int v) {
+    return weights[static_cast<std::size_t>(v)] <= 0.0;
+  });
 
-  std::vector<int> X;
-  for (int v : order) {
-    if (weights[static_cast<std::size_t>(v)] <= 0.0) continue;
-    if (!system.CanOvercomeNoise(v, power)) continue;
-    if (!system.IsSeparatedFrom(v, X, zeta / 2.0, zeta)) continue;
-    const double budget = system.OutAffectance(v, X, power) +
-                          system.InAffectance(X, v, power);
-    if (budget <= 0.5) X.push_back(v);
-  }
+  const Algorithm1Result admission = GreedyAdmission(kernel, zeta, order);
   WeightedResult result;
-  for (int v : X) {
-    if (system.InAffectance(X, v, power) <= 1.0) result.selected.push_back(v);
-  }
+  result.selected = admission.selected;
   result.weight = TotalWeight(result.selected, weights);
   return result;
 }
@@ -90,9 +88,7 @@ class WeightedSolver {
  public:
   WeightedSolver(const sinr::LinkSystem& system,
                  std::span<const double> weights)
-      : system_(system),
-        weights_(weights),
-        power_(sinr::UniformPower(system)) {
+      : kernel_(system, sinr::UniformPower(system)), weights_(weights) {
     // Heavy-first order makes the remaining-weight bound effective.
     order_.resize(static_cast<std::size_t>(system.NumLinks()));
     std::iota(order_.begin(), order_.end(), 0);
@@ -124,9 +120,9 @@ class WeightedSolver {
     }
     const int v = order_[index];
     const double wv = weights_[static_cast<std::size_t>(v)];
-    if (wv > 0.0 && system_.CanOvercomeNoise(v, power_)) {
+    if (wv > 0.0 && kernel_.CanOvercomeNoise(v)) {
       current.push_back(v);
-      if (system_.IsFeasible(current, power_)) {
+      if (kernel_.IsFeasible(current)) {
         Recurse(index + 1, current, weight + wv);
       }
       current.pop_back();
@@ -134,9 +130,8 @@ class WeightedSolver {
     Recurse(index + 1, current, weight);
   }
 
-  const sinr::LinkSystem& system_;
+  sinr::KernelCache kernel_;
   std::span<const double> weights_;
-  sinr::PowerAssignment power_;
   std::vector<int> order_;
   std::vector<double> suffix_weight_;
   WeightedResult best_;

@@ -2,10 +2,46 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "core/check.h"
 
 namespace decaylib::core {
+
+namespace {
+
+// Number of worker threads for an n-sized outer loop: never more threads
+// than rows, and only one for small inputs where spawn overhead dominates.
+int WorkerCount(int n) {
+  const unsigned hc = std::thread::hardware_concurrency();
+  int workers = static_cast<int>(hc == 0 ? 1 : hc);
+  workers = std::min(workers, n);
+  if (n < 64) workers = 1;
+  return std::max(1, workers);
+}
+
+// Splits [0, n) into `workers` contiguous chunks and runs fn(chunk_index,
+// begin, end) on each, inline when there is a single worker.
+template <typename Fn>
+void ParallelChunks(int n, int workers, Fn fn) {
+  if (workers <= 1) {
+    fn(0, 0, n);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  const int per = (n + workers - 1) / workers;
+  for (int t = 0; t < workers; ++t) {
+    const int begin = t * per;
+    const int end = std::min(n, begin + per);
+    if (begin >= end) break;
+    threads.emplace_back([=] { fn(t, begin, end); });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+}  // namespace
 
 double TripletZeta(double a, double b, double c, double tol) {
   DL_CHECK(a > 0.0 && b > 0.0 && c > 0.0, "triplet decays must be positive");
@@ -38,6 +74,74 @@ double TripletZeta(double a, double b, double c, double tol) {
 
 MetricityResult ComputeMetricity(const DecaySpace& space, double tol) {
   const int n = space.size();
+  const double* f = space.Raw().data();
+  const std::size_t sn = static_cast<std::size_t>(n);
+
+  // Prune slack: TripletZeta bisects to relative tolerance `tol`, so the
+  // value the naive scan records can exceed a triplet's exact root by
+  // ~tol (plus pow rounding, covered by the 1e-13 floor).  Pruning against
+  // incumbent / (1 + slack) guarantees that every triple whose *recorded*
+  // zeta could beat the incumbent is still bisected, keeping the scan's
+  // update sequence -- and hence value and witness -- identical to
+  // ComputeMetricityNaive's.
+  const double slack = 1.0 + 4.0 * tol + 1e-13;
+
+  const int workers = WorkerCount(n);
+  std::vector<MetricityResult> partial(static_cast<std::size_t>(workers));
+
+  // Each chunk prunes only against its own incumbent.  Sharing the best
+  // across threads would prune more, but on bitwise-tied extrema in
+  // different chunks the race would decide which witness survives; the
+  // chunk-local scan is deterministic and the merge below provably returns
+  // the naive (lexicographically first) witness.
+  ParallelChunks(n, workers, [&](int chunk, int begin, int end) {
+    MetricityResult local;
+    for (int x = begin; x < end; ++x) {
+      const double* row_x = f + static_cast<std::size_t>(x) * sn;
+      for (int y = 0; y < n; ++y) {
+        if (y == x) continue;
+        const double a = row_x[y];
+        for (int z = 0; z < n; ++z) {
+          if (z == x || z == y) continue;
+          const double b = row_x[z];
+          if (a <= b) continue;
+          const double c = f[static_cast<std::size_t>(z) * sn +
+                             static_cast<std::size_t>(y)];
+          if (a <= c) continue;
+          // Prune: h is strictly decreasing, so this triplet can only beat
+          // the incumbent if h(slack / incumbent) < 0.  Two pows replace
+          // the full bisection for almost every triple once the incumbent
+          // warms.
+          if (local.zeta > 0.0) {
+            const double s = slack / local.zeta;
+            if (std::pow(b / a, s) + std::pow(c / a, s) - 1.0 >= 0.0) continue;
+          }
+          const double zeta = TripletZeta(a, b, c, tol);
+          if (zeta > local.zeta) {
+            local.zeta = zeta;
+            local.arg_x = x;
+            local.arg_y = y;
+            local.arg_z = z;
+          }
+        }
+      }
+    }
+    partial[static_cast<std::size_t>(chunk)] = local;
+  });
+
+  // Deterministic merge: chunks cover increasing x ranges, within a chunk
+  // the scan runs in the naive lexicographic order with the naive update
+  // rule, and ties across chunks resolve to the earlier chunk -- so the
+  // first strictly-greater zeta reproduces the naive argmax exactly.
+  MetricityResult result;
+  for (const MetricityResult& p : partial) {
+    if (p.zeta > result.zeta) result = p;
+  }
+  return result;
+}
+
+MetricityResult ComputeMetricityNaive(const DecaySpace& space, double tol) {
+  const int n = space.size();
   MetricityResult result;
   for (int x = 0; x < n; ++x) {
     for (int y = 0; y < n; ++y) {
@@ -66,6 +170,73 @@ double Metricity(const DecaySpace& space, double tol) {
 }
 
 PhiResult ComputePhi(const DecaySpace& space) {
+  const int n = space.size();
+  const double* f = space.Raw().data();
+  const std::size_t sn = static_cast<std::size_t>(n);
+
+  // Transpose copy: the inner loop reads f(y, z) for fixed z over all y,
+  // which is a stride-n walk on the row-major matrix; ft makes it
+  // contiguous.
+  std::vector<double> ft(sn * sn);
+  for (std::size_t y = 0; y < sn; ++y) {
+    for (std::size_t z = 0; z < sn; ++z) {
+      ft[z * sn + y] = f[y * sn + z];
+    }
+  }
+
+  const int workers = WorkerCount(n);
+  std::vector<PhiResult> partial(static_cast<std::size_t>(workers));
+
+  // Chunk-local incumbents and a guard-banded multiplication prune: a
+  // candidate clearly below the incumbent (by more than 1e-9 relative,
+  // which dwarfs the few-ulp disagreement between `fxz <= g * denom` and
+  // `fxz / denom <= g`) skips the division; everything near or above it is
+  // decided by the naive division comparison, so the update sequence --
+  // value and witness -- matches ComputePhiNaive's exactly.
+  ParallelChunks(n, workers, [&](int chunk, int begin, int end) {
+    PhiResult local;
+    for (int x = begin; x < end; ++x) {
+      const double* row_x = f + static_cast<std::size_t>(x) * sn;
+      for (int z = 0; z < n; ++z) {
+        if (z == x) continue;
+        const double fxz = row_x[z];
+        const double* col_z = ft.data() + static_cast<std::size_t>(z) * sn;
+        // Stale after an in-loop update, i.e. merely prunes less until the
+        // next z iteration; the update test below always uses the live value.
+        const double guard = local.phi_factor * (1.0 - 1e-9);
+        for (int y = 0; y < n; ++y) {
+          if (y == x || y == z) continue;
+          const double denom = row_x[y] + col_z[y];
+          if (fxz <= guard * denom) continue;
+          const double factor = fxz / denom;
+          if (factor > local.phi_factor) {
+            local.phi_factor = factor;
+            local.arg_x = x;
+            local.arg_y = y;
+            local.arg_z = z;
+          }
+        }
+      }
+    }
+    partial[static_cast<std::size_t>(chunk)] = local;
+  });
+
+  // Same deterministic merge as ComputeMetricity: first strictly-greater
+  // wins, reproducing the naive lexicographic argmax.
+  PhiResult result;
+  for (const PhiResult& p : partial) {
+    if (p.phi_factor > result.phi_factor) {
+      result.phi_factor = p.phi_factor;
+      result.arg_x = p.arg_x;
+      result.arg_y = p.arg_y;
+      result.arg_z = p.arg_z;
+    }
+  }
+  result.phi = result.phi_factor > 0.0 ? std::log2(result.phi_factor) : 0.0;
+  return result;
+}
+
+PhiResult ComputePhiNaive(const DecaySpace& space) {
   const int n = space.size();
   PhiResult result;
   for (int x = 0; x < n; ++x) {

@@ -19,6 +19,20 @@
 // "zeta <= phi" in the text is a typo: the 3-point example above has bounded
 // phi and unbounded zeta, so the inequality can only hold in this direction).
 // Tests verify phi <= zeta on random spaces.
+//
+// ComputeMetricity and ComputePhi are the dominant O(n^3) costs of the
+// experiment suite; the default entry points prune triples against the
+// running incumbent before solving them, iterate in flat row-major order
+// over the raw decay matrix, and split the outer loop across hardware
+// threads.  Pruning is sound because h(s) = (b/a)^s + (c/a)^s - 1 is
+// strictly decreasing: a triplet can only beat the incumbent zeta_best if
+// h(1/zeta_best) < 0, a two-pow test that replaces the full bisection for
+// the overwhelming majority of triples.  Both prunes carry a tolerance
+// slack (and incumbents are chunk-local rather than shared across threads),
+// so the optimised scans return the *same* extremum and the same witness
+// triplet as the naive references -- exactly, not approximately; the
+// equality tests compare with EXPECT_EQ.  The *Naive variants keep the
+// original exhaustive scans as the reference path for those tests.
 #pragma once
 
 #include "core/decay_space.h"
@@ -40,9 +54,16 @@ struct MetricityResult {
 // a = f(x,y) > max(b, c), b = f(x,z), c = f(z,y), the function
 // h(s) = (b/a)^s + (c/a)^s - 1 is strictly decreasing with h(0) = 1, so the
 // triplet's constraint holds iff s = 1/zeta is at most its unique root;
-// zeta(D) is the max of 1/root over constraining triplets.  O(n^3) triplets,
-// each solved by bisection to relative tolerance `tol`.
+// zeta(D) is the max of 1/root over constraining triplets.  O(n^3) triplets;
+// only those that can beat the incumbent are solved by bisection to relative
+// tolerance `tol`.  Parallel over the outer loop; deterministic result.
 MetricityResult ComputeMetricity(const DecaySpace& space, double tol = 1e-12);
+
+// Reference implementation: bisects every constraining triplet, single
+// threaded, in the original loop order.  Kept for equality tests and
+// speedup benchmarks.
+MetricityResult ComputeMetricityNaive(const DecaySpace& space,
+                                      double tol = 1e-12);
 
 // Convenience: just the number.
 double Metricity(const DecaySpace& space, double tol = 1e-12);
@@ -59,8 +80,14 @@ struct PhiResult {
   int arg_z = -1;
 };
 
-// Computes the variant metricity phi (Sec. 4.2).  O(n^3).
+// Computes the variant metricity phi (Sec. 4.2).  O(n^3) with a
+// multiplication-only prune against the incumbent (the division only runs
+// on improvements), transposed row access for cache locality, and the outer
+// loop split across hardware threads; deterministic result.
 PhiResult ComputePhi(const DecaySpace& space);
+
+// Reference single-threaded exhaustive scan, for tests and benchmarks.
+PhiResult ComputePhiNaive(const DecaySpace& space);
 
 // The a-priori upper bound lg(max f / min f) from the remark after Def. 2.2.
 double MetricityUpperBound(const DecaySpace& space);

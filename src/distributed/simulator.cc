@@ -13,6 +13,17 @@ RoundSimulator::RoundSimulator(const core::DecaySpace& space,
   DL_CHECK(config.power > 0.0, "power must be positive");
   DL_CHECK(config.beta >= 1.0, "thresholding model assumes beta >= 1");
   DL_CHECK(config.noise >= 0.0, "noise must be non-negative");
+  // Precompute the received-power kernel once; a protocol run queries it
+  // n times per round for many rounds.
+  const std::size_t n = static_cast<std::size_t>(space.size());
+  recv_gain_.resize(n * n);
+  for (int listener = 0; listener < space.size(); ++listener) {
+    double* row = recv_gain_.data() + static_cast<std::size_t>(listener) * n;
+    for (int sender = 0; sender < space.size(); ++sender) {
+      row[sender] =
+          sender == listener ? 0.0 : config_.power / space(sender, listener);
+    }
+  }
 }
 
 std::optional<int> RoundSimulator::Heard(
@@ -22,17 +33,18 @@ std::optional<int> RoundSimulator::Heard(
       transmitters.end()) {
     return std::nullopt;
   }
-  // Total received power at the listener.
-  double total = 0.0;
-  for (int u : transmitters) {
-    total += config_.power / (*space_)(u, listener);
-  }
-  // With beta >= 1 at most one sender can clear the threshold; the strongest
+  const double* gains = recv_gain_.data() + static_cast<std::size_t>(listener) *
+                                                static_cast<std::size_t>(
+                                                    space_->size());
+  // Total received power at the listener, and the strongest sender -- with
+  // beta >= 1 at most one sender can clear the threshold, so the strongest
   // is the only candidate.
+  double total = 0.0;
   std::optional<int> best;
   double best_signal = 0.0;
   for (int u : transmitters) {
-    const double signal = config_.power / (*space_)(u, listener);
+    const double signal = gains[static_cast<std::size_t>(u)];
+    total += signal;
     if (signal > best_signal) {
       best_signal = signal;
       best = u;

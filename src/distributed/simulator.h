@@ -52,6 +52,10 @@ class RoundSimulator {
  private:
   const core::DecaySpace* space_;
   RadioConfig config_;
+  // Cached received power, [listener * n + sender] = P / f(sender, listener):
+  // Heard() runs over a contiguous row instead of re-deriving each gain from
+  // the decay space per round.
+  std::vector<double> recv_gain_;
 };
 
 }  // namespace decaylib::distributed

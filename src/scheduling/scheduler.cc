@@ -6,22 +6,26 @@
 #include "capacity/algorithm1.h"
 #include "capacity/baselines.h"
 #include "core/check.h"
+#include "sinr/kernel.h"
 #include "sinr/power.h"
 
 namespace decaylib::scheduling {
 
 Schedule ScheduleLinks(const sinr::LinkSystem& system, double zeta,
                        Extractor extractor, std::span<const int> candidates) {
+  // One kernel build serves every slot extraction: the affectance and
+  // distance kernels do not depend on the shrinking candidate set.
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
   Schedule schedule;
   std::vector<int> remaining(candidates.begin(), candidates.end());
   while (!remaining.empty()) {
     std::vector<int> slot;
     switch (extractor) {
       case Extractor::kAlgorithm1:
-        slot = capacity::RunAlgorithm1(system, zeta, remaining).selected;
+        slot = capacity::RunAlgorithm1(kernel, zeta, remaining).selected;
         break;
       case Extractor::kGreedyFeasible:
-        slot = capacity::GreedyFeasible(system, remaining);
+        slot = capacity::GreedyFeasible(kernel, remaining);
         break;
     }
     if (slot.empty()) {
@@ -30,7 +34,7 @@ Schedule ScheduleLinks(const sinr::LinkSystem& system, double zeta,
       // inside the extractor still occupy a slot of their own).
       const auto shortest = std::min_element(
           remaining.begin(), remaining.end(), [&](int a, int b) {
-            return system.LinkDecay(a) < system.LinkDecay(b);
+            return kernel.LinkDecay(a) < kernel.LinkDecay(b);
           });
       slot.push_back(*shortest);
     }
@@ -54,10 +58,10 @@ Schedule ScheduleLinks(const sinr::LinkSystem& system, double zeta,
 
 bool ValidateSchedule(const sinr::LinkSystem& system, const Schedule& schedule,
                       std::span<const int> candidates) {
-  const sinr::PowerAssignment power = sinr::UniformPower(system);
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
   std::multiset<int> scheduled;
   for (const auto& slot : schedule.slots) {
-    if (slot.size() > 1 && !system.IsFeasible(slot, power)) return false;
+    if (slot.size() > 1 && !kernel.IsFeasible(slot)) return false;
     scheduled.insert(slot.begin(), slot.end());
   }
   std::multiset<int> wanted(candidates.begin(), candidates.end());

@@ -1,0 +1,202 @@
+// Cached SINR kernel layer: precompute-once, reuse-everywhere.
+//
+// Every algorithm in the library (Algorithm 1 capacity, weighted capacity,
+// partitions, scheduling, exact solvers) reduces to dense pairwise kernels
+// over the decay space: affectances a_w(v), link quasi-distances
+// d(l_v, l_w) = min-endpoint-decay^{1/zeta}, and running in/out-affectance
+// sums.  The naive LinkSystem methods recompute every kernel entry on every
+// query -- AffectanceRaw re-derives the noise factor c_v per pair, and
+// LinkDistance performs four std::pow calls per pair per call.  KernelCache
+// materialises the n x n matrices once so that queries become O(1) lookups;
+// AffectanceAccumulator turns the O(|S|) re-summations of greedy admission
+// loops into O(1) reads with O(n) per-admission updates; SeparationOracle
+// evaluates eta/zeta separation predicates in the decay domain without any
+// pow on the hot path.
+//
+// Bit-exactness contract: for the same (system, power), every query method
+// here returns *bit-for-bit* the same double as the corresponding naive
+// LinkSystem method.  The cached entries are computed with the identical
+// floating-point expression (same association order), and aggregate sums run
+// in the same iteration order.  Two non-obvious identities make this work:
+//   * min over the four endpoint quasi-distances commutes with pow:
+//     pow is weakly monotone, so min_i pow(f_i, s) == pow(min_i f_i, s) --
+//     the distance matrix therefore needs one pow per pair, not four;
+//   * x / x == 1.0 exactly in IEEE arithmetic, so under uniform power the
+//     ratio P_w / P_v can be elided from the affectance expression without
+//     changing the rounded result.
+// The only deliberate deviation is SeparationOracle's fast path, which
+// compares in the decay domain (m >= eta^zeta * f_vv instead of
+// m^{1/zeta} >= eta * f_vv^{1/zeta}); the two forms are equivalent in exact
+// arithmetic and the oracle falls back to the naive pow expression inside a
+// 1e-9 relative guard band, so decisions match the naive path except for
+// inputs engineered to sit within ~1e-9 of a separation threshold.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sinr/link_system.h"
+
+namespace decaylib::sinr {
+
+// Precomputed affectance/distance kernels for one (LinkSystem, power) pair.
+// Holds a reference to the system; the system (and its decay space) must
+// outlive the cache.  Construction costs O(n^2) time and memory.
+class KernelCache {
+ public:
+  KernelCache(const LinkSystem& system, PowerAssignment power);
+
+  int NumLinks() const noexcept { return n_; }
+  const LinkSystem& system() const noexcept { return *system_; }
+  const PowerAssignment& power() const noexcept { return power_; }
+
+  // f_vv, hoisted out of the space.
+  double LinkDecay(int v) const {
+    return link_decay_[static_cast<std::size_t>(v)];
+  }
+
+  bool CanOvercomeNoise(int v) const {
+    return can_overcome_[static_cast<std::size_t>(v)] != 0;
+  }
+
+  // c_v = beta / (1 - beta N f_vv / P_v); only meaningful when
+  // CanOvercomeNoise(v).
+  double NoiseFactor(int v) const {
+    return noise_factor_[static_cast<std::size_t>(v)];
+  }
+
+  // a_w(v) without the min(1, .) clamp; 0 when w == v or when l_v cannot
+  // overcome noise (the naive path aborts on the latter; callers check
+  // CanOvercomeNoise first, as every algorithm in the library does).
+  double AffectanceRaw(int w, int v) const {
+    return aff_raw_[static_cast<std::size_t>(w) * static_cast<std::size_t>(n_) +
+                    static_cast<std::size_t>(v)];
+  }
+
+  double Affectance(int w, int v) const {
+    const double raw = AffectanceRaw(w, v);
+    return raw < 1.0 ? raw : 1.0;
+  }
+
+  // min{f(s_v,r_w), f(s_w,r_v), f(s_v,s_w), f(r_v,r_w)}: the link
+  // quasi-distance before the ^{1/zeta}; zeta-independent.  Symmetric only
+  // when the decay space is (the sender-sender / receiver-receiver legs are
+  // ordered pairs).
+  double MinPairDecay(int v, int w) const {
+    return min_pair_decay_[static_cast<std::size_t>(v) *
+                               static_cast<std::size_t>(n_) +
+                           static_cast<std::size_t>(w)];
+  }
+
+  // --- aggregate queries, bit-identical to the LinkSystem versions -------
+
+  double InAffectance(std::span<const int> S, int v) const;
+  double OutAffectance(int v, std::span<const int> S) const;
+  bool IsFeasible(std::span<const int> S) const;
+  bool IsKFeasible(std::span<const int> S, double K) const;
+  double MaxInAffectance(std::span<const int> S) const;
+
+  // d_vv^{1/zeta} and d(l_v, l_w); one pow per call against cached decays.
+  double LinkLength(int v, double zeta) const;
+  double LinkDistance(int v, int w, double zeta) const;
+  bool IsSeparatedFrom(int v, std::span<const int> L, double eta,
+                       double zeta) const;
+
+  // Link ids sorted by non-decreasing f_vv (ties by id), as
+  // LinkSystem::OrderByDecay but against the cached decay array.
+  std::vector<int> OrderByDecay() const;
+
+  // True when every power entry is bitwise identical (enables the
+  // ratio-elision fast path during construction; queries are unaffected).
+  bool HasUniformPower() const noexcept { return uniform_power_; }
+
+ private:
+  friend class AffectanceAccumulator;
+
+  const LinkSystem* system_;
+  PowerAssignment power_;
+  int n_;
+  bool uniform_power_;
+  std::vector<double> link_decay_;    // f_vv
+  std::vector<char> can_overcome_;    // P_v / f_vv > beta N
+  std::vector<double> noise_factor_;  // c_v (0 when !can_overcome_)
+  std::vector<double> aff_raw_;       // [w*n + v] = a_w(v), unclamped
+  std::vector<double> aff_raw_t_;     // [v*n + w] = a_w(v)  (transpose)
+  std::vector<double> min_pair_decay_;  // [v*n + w], symmetric
+};
+
+// Running in/out-affectance sums over a growing (or shrinking) set of links.
+// Add/Remove are O(n); queries are O(1).  Sums accumulate in insertion
+// order, so after Add(s_1), ..., Add(s_k):
+//     In(v)  == system.InAffectance({s_1..s_k}, v, power)   bit-for-bit,
+//     Out(v) == system.OutAffectance(v, {s_1..s_k}, power)  bit-for-bit,
+// and likewise for the unclamped Raw variants.  Remove subtracts the entry
+// that Add added; note that floating-point subtraction does not perfectly
+// undo earlier absorption, so heavy add/remove churn can drift by ulps from
+// a from-scratch sum (the greedy admission loops only ever Add).
+class AffectanceAccumulator {
+ public:
+  explicit AffectanceAccumulator(const KernelCache& kernel);
+
+  void Add(int v);
+  void Remove(int v);
+  void Clear();
+
+  const std::vector<int>& members() const noexcept { return members_; }
+  int size() const noexcept { return static_cast<int>(members_.size()); }
+  bool Contains(int v) const {
+    return in_set_[static_cast<std::size_t>(v)] != 0;
+  }
+
+  // Sum over current members w of min(1, a_w(v)) resp. min(1, a_v(w)).
+  double In(int v) const { return in_[static_cast<std::size_t>(v)]; }
+  double Out(int v) const { return out_[static_cast<std::size_t>(v)]; }
+  // Unclamped sums (the feasibility form).
+  double InRaw(int v) const { return in_raw_[static_cast<std::size_t>(v)]; }
+  double OutRaw(int v) const { return out_raw_[static_cast<std::size_t>(v)]; }
+
+  // True iff members() + {v} is feasible, deciding exactly as the naive
+  // push-IsFeasible-pop loop does: the candidate's in-affectance is the
+  // running raw sum (its own entry contributes a trailing +0), and each
+  // member's new total is its running sum plus the candidate's row entry.
+  // The caller must have checked kernel.CanOvercomeNoise(v).
+  bool CanAddFeasibly(int v) const;
+
+ private:
+  const KernelCache* kernel_;
+  std::vector<int> members_;
+  std::vector<char> in_set_;
+  std::vector<double> in_, out_, in_raw_, out_raw_;
+};
+
+// Separation predicates for fixed (eta, zeta), evaluated in the decay
+// domain: d(l_v, l_w) >= eta * d_vv  <=>  MinPairDecay >= eta^zeta * f_vv
+// (exact arithmetic).  No pow on the hot path; a 1e-9 relative guard band
+// around the threshold falls back to the naive pow comparison, so decisions
+// are bit-compatible with LinkSystem::IsSeparatedFrom except for inputs
+// within the band of a threshold.
+class SeparationOracle {
+ public:
+  SeparationOracle(const KernelCache& kernel, double eta, double zeta);
+
+  // d(l_v, l_w) >= eta * d_vv (asymmetric: v's length sets the scale).
+  bool IsSeparated(int v, int w) const;
+
+  // True iff IsSeparated(v, w) for every w in L (entries equal to v skip).
+  bool IsSeparatedFrom(int v, std::span<const int> L) const;
+
+  // d(l_v, l_w) < eta * max(d_vv, d_ww): the conflict test of the
+  // separation partition (Lemma B.3).
+  bool ConflictMaxLength(int v, int w) const;
+
+ private:
+  bool Decide(double min_pair, double scale_decay) const;
+
+  const KernelCache* kernel_;
+  double eta_;
+  double inv_zeta_;
+  double eta_pow_;  // eta^zeta
+  static constexpr double kBand = 1e-9;
+};
+
+}  // namespace decaylib::sinr

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "core/decay_space.h"
 #include "geom/rng.h"
@@ -159,6 +160,81 @@ TEST(ZetaPhiTripleTest, PhiBoundedZetaGrows) {
     last_zeta = zeta;
   }
   EXPECT_GT(last_zeta, 4.0);  // far above the phi bound
+}
+
+// --- pruned/parallel vs naive equality -------------------------------------
+//
+// ComputeMetricity and ComputePhi prune against the incumbent and may split
+// work across threads; they must still return the same extremum *and the
+// same witness triplet* as the exhaustive reference scans (the prunes carry
+// a tolerance slack and incumbents are chunk-local, so the update sequence
+// is identical to the naive one).  Everything is compared exactly.
+
+class PrunedMetricityEquality : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrunedMetricityEquality, MatchesNaiveOnRandomSpaces) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  geom::Rng rng(seed);
+  const std::vector<DecaySpace> cases = {
+      spaces::RandomGeometric(26, 12.0, 12.0, 3.0, rng),
+      spaces::LogUniformSpace(22, 300.0, rng, /*symmetric=*/false),
+      spaces::LogUniformSpace(20, 50.0, rng, /*symmetric=*/true),
+      spaces::LineSpace(14, 1.0, 2.0 + 0.5 * static_cast<double>(seed % 5)),
+  };
+  for (const DecaySpace& space : cases) {
+    const MetricityResult pruned = ComputeMetricity(space);
+    const MetricityResult naive = ComputeMetricityNaive(space);
+    EXPECT_EQ(pruned.zeta, naive.zeta);
+    EXPECT_EQ(pruned.arg_x, naive.arg_x);
+    EXPECT_EQ(pruned.arg_y, naive.arg_y);
+    EXPECT_EQ(pruned.arg_z, naive.arg_z);
+    if (naive.zeta > 0.0) {
+      ASSERT_GE(pruned.arg_x, 0);
+      EXPECT_EQ(TripletZeta(space(pruned.arg_x, pruned.arg_y),
+                            space(pruned.arg_x, pruned.arg_z),
+                            space(pruned.arg_z, pruned.arg_y)),
+                pruned.zeta);
+    } else {
+      EXPECT_EQ(pruned.arg_x, -1);
+    }
+
+    const PhiResult fast_phi = ComputePhi(space);
+    const PhiResult naive_phi = ComputePhiNaive(space);
+    EXPECT_EQ(fast_phi.phi_factor, naive_phi.phi_factor);
+    EXPECT_EQ(fast_phi.phi, naive_phi.phi);
+    EXPECT_EQ(fast_phi.arg_x, naive_phi.arg_x);
+    EXPECT_EQ(fast_phi.arg_y, naive_phi.arg_y);
+    EXPECT_EQ(fast_phi.arg_z, naive_phi.arg_z);
+    if (naive_phi.phi_factor > 0.0) {
+      ASSERT_GE(fast_phi.arg_x, 0);
+      EXPECT_EQ(space(fast_phi.arg_x, fast_phi.arg_z) /
+                    (space(fast_phi.arg_x, fast_phi.arg_y) +
+                     space(fast_phi.arg_y, fast_phi.arg_z)),
+                fast_phi.phi_factor);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrunedMetricityEquality,
+                         ::testing::Range(1, 11));
+
+TEST(PrunedMetricityEquality, MatchesNaiveAcrossThreadChunks) {
+  // n >= 64 engages the multi-threaded path on machines with >1 core (and
+  // the chunked merge either way).
+  geom::Rng rng(99);
+  const DecaySpace space = spaces::RandomGeometric(72, 15.0, 15.0, 2.8, rng);
+  const MetricityResult pruned = ComputeMetricity(space);
+  const MetricityResult naive = ComputeMetricityNaive(space);
+  EXPECT_EQ(pruned.zeta, naive.zeta);
+  EXPECT_EQ(pruned.arg_x, naive.arg_x);
+  EXPECT_EQ(pruned.arg_y, naive.arg_y);
+  EXPECT_EQ(pruned.arg_z, naive.arg_z);
+  const PhiResult fast_phi = ComputePhi(space);
+  const PhiResult naive_phi = ComputePhiNaive(space);
+  EXPECT_EQ(fast_phi.phi_factor, naive_phi.phi_factor);
+  EXPECT_EQ(fast_phi.arg_x, naive_phi.arg_x);
+  EXPECT_EQ(fast_phi.arg_y, naive_phi.arg_y);
+  EXPECT_EQ(fast_phi.arg_z, naive_phi.arg_z);
 }
 
 TEST(ZetaPhiTripleTest, ZetaMatchesAsymptoticShape) {
