@@ -1,0 +1,126 @@
+// E19 -- scenario engine: batched multi-instance throughput over warm
+// kernel caches.
+//
+// Pushes every builtin deployment scenario (uniform, clustered hotspots,
+// highway corridor, heterogeneous-power grid, symmetric and asymmetric
+// shadowing -- six distinct kinds) through one engine::BatchRunner: each
+// instance's sinr::KernelCache is built once and Algorithm 1, the greedy
+// baseline, weighted capacity, the Lemma 4.1 partition and full scheduling
+// all run against the warm cache.  Reports per-scenario and aggregate
+// batched throughput (instances/sec) and verifies that the deterministic
+// aggregate report is bit-identical between the single-threaded and pooled
+// runs before any number is quoted (exit 1 on divergence).
+//
+// Flags: --links <n per instance> (default 96), --instances <per scenario>
+//        (default 6), --threads <pool size> (default hardware), --json
+//        (write BENCH_E19.json: bench_util.h-format phases + per-scenario
+//        aggregates).
+//
+// Run in a Release build; the Assert build's DL_CHECK instrumentation
+// dominates the kernel builds.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/batch_runner.h"
+#include "engine/report.h"
+#include "engine/scenario.h"
+
+using namespace decaylib;
+
+int main(int argc, char** argv) {
+  int links = 96;
+  int instances = 6;
+  int threads = 0;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--links") == 0 && i + 1 < argc) {
+      links = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--instances") == 0 && i + 1 < argc) {
+      instances = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--links N] [--instances K] [--threads T] "
+                   "[--json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (links < 2 || instances < 1) {
+    std::fprintf(stderr, "need --links >= 2 and --instances >= 1\n");
+    return 2;
+  }
+
+  bench::Banner("E19", "Scenario engine: batched multi-instance runner",
+                "many heterogeneous deployments run through one warm-cache "
+                "batch; aggregates are thread-count invariant");
+
+  std::vector<engine::ScenarioSpec> specs = engine::BuiltinScenarios();
+  for (engine::ScenarioSpec& spec : specs) {
+    spec.links = links;
+    spec.instances = instances;
+  }
+  std::printf("\n%zu scenario kinds x %d instances x %d links\n\n",
+              specs.size(), instances, links);
+
+  engine::BatchConfig pooled;
+  // An explicit --threads is honoured for the quoted pooled timing; the
+  // default pins at least 4 workers so the determinism check below
+  // compares genuinely different interleavings even on single-core
+  // machines.
+  if (threads > 0) {
+    pooled.threads = threads;
+  } else {
+    const unsigned hc = std::thread::hardware_concurrency();
+    pooled.threads = static_cast<int>(hc > 4 ? hc : 4);
+  }
+  std::printf("pooled run: %d worker threads\n", pooled.threads);
+  bench::WallTimer timer;
+  const std::vector<engine::ScenarioResult> results =
+      engine::BatchRunner(pooled).Run(specs);
+  const double pooled_ms = timer.ElapsedMs();
+
+  engine::BatchConfig serial = pooled;
+  serial.threads = 1;
+  timer.Reset();
+  const std::vector<engine::ScenarioResult> reference =
+      engine::BatchRunner(serial).Run(specs);
+  const double serial_ms = timer.ElapsedMs();
+
+  const bool gate_meaningful = pooled.threads > 1;
+  if (gate_meaningful && engine::AggregateSignature(results) !=
+                             engine::AggregateSignature(reference)) {
+    std::printf(
+        "ERROR: aggregate report differs between thread counts -- the "
+        "batch runner is not deterministic\n");
+    return 1;
+  }
+
+  engine::PrintReport(results);
+
+  const double total_instances =
+      static_cast<double>(specs.size()) * static_cast<double>(instances);
+  std::printf(
+      "\naggregate throughput: %s instances/s pooled (%s ms), "
+      "%s instances/s single-threaded (%s ms)\n",
+      bench::Fmt(1000.0 * total_instances / pooled_ms, 1).c_str(),
+      bench::Fmt(pooled_ms, 1).c_str(),
+      bench::Fmt(1000.0 * total_instances / serial_ms, 1).c_str(),
+      bench::Fmt(serial_ms, 1).c_str());
+  if (gate_meaningful) {
+    std::printf("aggregates bit-identical across thread counts: yes\n");
+  } else {
+    std::printf(
+        "determinism check skipped: --threads 1 makes both runs serial\n");
+  }
+
+  if (json && !engine::WriteJsonReport("E19", results)) return 1;
+  return 0;
+}

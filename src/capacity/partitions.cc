@@ -113,11 +113,10 @@ std::vector<std::vector<int>> SeparationPartition(
   return SeparationPartition(kernel, S, eta, zeta);
 }
 
-std::vector<std::vector<int>> Lemma41Partition(const sinr::LinkSystem& system,
+std::vector<std::vector<int>> Lemma41Partition(const sinr::KernelCache& kernel,
                                                std::span<const int> S,
                                                double zeta) {
-  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
-  const double beta = system.config().beta;
+  const double beta = kernel.system().config().beta;
   const double strengthened = std::exp(2.0) / beta;  // e^2 / beta
   // S is feasible = 1-feasible; strengthen to e^2/beta-feasible classes
   // (each then 1/zeta-separated by Lemma B.2), then expand the separation.
@@ -129,6 +128,13 @@ std::vector<std::vector<int>> Lemma41Partition(const sinr::LinkSystem& system,
     for (auto& group : fine) result.push_back(std::move(group));
   }
   return result;
+}
+
+std::vector<std::vector<int>> Lemma41Partition(const sinr::LinkSystem& system,
+                                               std::span<const int> S,
+                                               double zeta) {
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
+  return Lemma41Partition(kernel, S, zeta);
 }
 
 }  // namespace decaylib::capacity

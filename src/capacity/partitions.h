@@ -52,6 +52,9 @@ std::vector<std::vector<int>> SeparationPartition(
 // Lemma 4.1.  Partitions a feasible set S (uniform power) into zeta-separated
 // sets: signal-strengthen to e^2/beta-feasible classes, then separation-
 // partition each to zeta-separated classes.
+std::vector<std::vector<int>> Lemma41Partition(const sinr::KernelCache& kernel,
+                                               std::span<const int> S,
+                                               double zeta);
 std::vector<std::vector<int>> Lemma41Partition(const sinr::LinkSystem& system,
                                                std::span<const int> S,
                                                double zeta);

@@ -16,11 +16,10 @@ double TotalWeight(std::span<const int> S, std::span<const double> weights) {
   return total;
 }
 
-WeightedResult WeightedGreedy(const sinr::LinkSystem& system,
+WeightedResult WeightedGreedy(const sinr::KernelCache& kernel,
                               std::span<const double> weights) {
-  const int n = system.NumLinks();
+  const int n = kernel.NumLinks();
   DL_CHECK(static_cast<int>(weights.size()) == n, "one weight per link");
-  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
 
   // Density = weight / (1 + total clamped affectance mass the link
   // exchanges with everyone): heavy, quiet links first.
@@ -55,13 +54,18 @@ WeightedResult WeightedGreedy(const sinr::LinkSystem& system,
   return result;
 }
 
-WeightedResult WeightedAlgorithm1(const sinr::LinkSystem& system,
+WeightedResult WeightedGreedy(const sinr::LinkSystem& system,
+                              std::span<const double> weights) {
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
+  return WeightedGreedy(kernel, weights);
+}
+
+WeightedResult WeightedAlgorithm1(const sinr::KernelCache& kernel,
                                   std::span<const double> weights,
                                   double zeta) {
-  const int n = system.NumLinks();
+  const int n = kernel.NumLinks();
   DL_CHECK(static_cast<int>(weights.size()) == n, "one weight per link");
   DL_CHECK(zeta > 0.0, "zeta must be positive");
-  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
 
   std::vector<int> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
@@ -80,6 +84,13 @@ WeightedResult WeightedAlgorithm1(const sinr::LinkSystem& system,
   result.selected = admission.selected;
   result.weight = TotalWeight(result.selected, weights);
   return result;
+}
+
+WeightedResult WeightedAlgorithm1(const sinr::LinkSystem& system,
+                                  std::span<const double> weights,
+                                  double zeta) {
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
+  return WeightedAlgorithm1(kernel, weights, zeta);
 }
 
 namespace {

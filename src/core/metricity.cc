@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -184,15 +185,41 @@ PhiResult ComputePhi(const DecaySpace& space) {
     }
   }
 
+  // Row/column minima for the per-(x,z) block prune: for every admissible
+  // waypoint y, the computed denominator fl(f(x,y) + f(y,z)) is at least
+  // fl(row_min[x] + col_min[z]) -- fl(a+b) and fl(a/b) are monotone, so
+  // fl(fxz / denom) <= fl(fxz / (row_min[x] + col_min[z])) holds *exactly*,
+  // not just up to rounding.  When that upper bound does not beat the
+  // incumbent, the whole inner y loop is skipped: an O(n^2) precomputation
+  // that elides O(n^3) work on spaces with any decay spread.  (The minima
+  // range over y != x resp. y != z, a superset of the admissible waypoints,
+  // which only weakens the bound -- never unsoundly.)
+  std::vector<double> row_min(sn), col_min(sn);
+  for (std::size_t x = 0; x < sn; ++x) {
+    double rm = std::numeric_limits<double>::infinity();
+    double cm = std::numeric_limits<double>::infinity();
+    const double* row_x = f + x * sn;
+    const double* col_x = ft.data() + x * sn;
+    for (std::size_t y = 0; y < sn; ++y) {
+      if (y == x) continue;
+      rm = std::min(rm, row_x[y]);
+      cm = std::min(cm, col_x[y]);
+    }
+    row_min[x] = rm;
+    col_min[x] = cm;
+  }
+
   const int workers = WorkerCount(n);
   std::vector<PhiResult> partial(static_cast<std::size_t>(workers));
 
-  // Chunk-local incumbents and a guard-banded multiplication prune: a
-  // candidate clearly below the incumbent (by more than 1e-9 relative,
+  // Chunk-local incumbents and two prunes.  The block prune above skips
+  // entire (x,z) pairs whose exact upper bound cannot beat the incumbent.
+  // Inside surviving blocks, a guard-banded multiplication prune drops
+  // candidates clearly below the incumbent (by more than 1e-9 relative,
   // which dwarfs the few-ulp disagreement between `fxz <= g * denom` and
-  // `fxz / denom <= g`) skips the division; everything near or above it is
-  // decided by the naive division comparison, so the update sequence --
-  // value and witness -- matches ComputePhiNaive's exactly.
+  // `fxz / denom <= g`); everything near or above it is decided by the
+  // naive division comparison, so the update sequence -- value and
+  // witness -- matches ComputePhiNaive's exactly.
   ParallelChunks(n, workers, [&](int chunk, int begin, int end) {
     PhiResult local;
     for (int x = begin; x < end; ++x) {
@@ -200,7 +227,42 @@ PhiResult ComputePhi(const DecaySpace& space) {
       for (int z = 0; z < n; ++z) {
         if (z == x) continue;
         const double fxz = row_x[z];
+        if (fxz / (row_min[static_cast<std::size_t>(x)] +
+                   col_min[static_cast<std::size_t>(z)]) <=
+            local.phi_factor) {
+          continue;
+        }
         const double* col_z = ft.data() + static_cast<std::size_t>(z) * sn;
+        // Row-min formulation: the exact denominator minimum for this
+        // (x,z), as a branch-free min-plus reduction over four independent
+        // accumulators (min is exactly associative and the adds are
+        // elementwise, so the split changes nothing but the dependency
+        // chain, which is what lets the compiler run it 4-wide).  The
+        // y == x and y == z entries contribute the value fxz itself (their
+        // other leg is the diagonal 0), i.e. a factor of exactly 1 -- they
+        // can shrink dmin only when every admissible factor is below 1, so
+        // the bound fxz / dmin >= any admissible fl(fxz / denom) still
+        // holds exactly (fl(+), fl(/), min are monotone).  Only blocks
+        // whose bound beats the incumbent fall through to the
+        // witness-exact scalar scan below.
+        double d0 = fxz + fxz, d1 = d0, d2 = d0, d3 = d0;
+        int y4 = 0;
+        for (; y4 + 4 <= n; y4 += 4) {
+          const double e0 = row_x[y4] + col_z[y4];
+          const double e1 = row_x[y4 + 1] + col_z[y4 + 1];
+          const double e2 = row_x[y4 + 2] + col_z[y4 + 2];
+          const double e3 = row_x[y4 + 3] + col_z[y4 + 3];
+          d0 = e0 < d0 ? e0 : d0;
+          d1 = e1 < d1 ? e1 : d1;
+          d2 = e2 < d2 ? e2 : d2;
+          d3 = e3 < d3 ? e3 : d3;
+        }
+        for (; y4 < n; ++y4) {
+          const double e = row_x[y4] + col_z[y4];
+          d0 = e < d0 ? e : d0;
+        }
+        const double dmin = std::min(std::min(d0, d1), std::min(d2, d3));
+        if (fxz / dmin <= local.phi_factor) continue;
         // Stale after an in-loop update, i.e. merely prunes less until the
         // next z iteration; the update test below always uses the live value.
         const double guard = local.phi_factor * (1.0 - 1e-9);

@@ -80,10 +80,13 @@ struct PhiResult {
   int arg_z = -1;
 };
 
-// Computes the variant metricity phi (Sec. 4.2).  O(n^3) with a
-// multiplication-only prune against the incumbent (the division only runs
-// on improvements), transposed row access for cache locality, and the outer
-// loop split across hardware threads; deterministic result.
+// Computes the variant metricity phi (Sec. 4.2).  O(n^3) with a per-(x,z)
+// row-min block prune (fxz / (min_y f(x,y) + min_y f(y,z)) bounds every
+// factor of the block exactly, by monotonicity of rounded + and /, so whole
+// inner loops are skipped once the incumbent warms), a multiplication-only
+// per-candidate prune inside surviving blocks, transposed row access for
+// cache locality, and the outer loop split across hardware threads;
+// deterministic result, identical to ComputePhiNaive's.
 PhiResult ComputePhi(const DecaySpace& space);
 
 // Reference single-threaded exhaustive scan, for tests and benchmarks.

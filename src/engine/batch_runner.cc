@@ -1,0 +1,240 @@
+#include "engine/batch_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <thread>
+
+#include "capacity/algorithm1.h"
+#include "capacity/baselines.h"
+#include "capacity/partitions.h"
+#include "capacity/weighted.h"
+#include "core/check.h"
+#include "geom/rng.h"
+#include "scheduling/scheduler.h"
+#include "sinr/kernel.h"
+
+namespace decaylib::engine {
+
+namespace {
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+// Per-instance task weights: a stream independent of the instance builder's
+// (distinct mixing constant), deterministic in (spec.seed, index).
+std::vector<double> InstanceWeights(const ScenarioSpec& spec, int index,
+                                    int n) {
+  geom::Rng rng(geom::Mix64(spec.seed ^ 0xa5b35705f00dfeedULL) +
+                0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1));
+  std::vector<double> weights(static_cast<std::size_t>(n));
+  for (double& w : weights) w = rng.Uniform(0.5, 2.0);
+  return weights;
+}
+
+// Builds the instance, warms its kernel once, and runs every configured
+// task against it.  Deterministic in (spec, index, tasks).
+InstanceRecord RunInstance(const ScenarioSpec& spec, int index,
+                           const std::vector<TaskKind>& tasks) {
+  InstanceRecord rec;
+  rec.index = index;
+
+  const auto build_start = std::chrono::steady_clock::now();
+  const ScenarioInstance instance = BuildInstance(spec, index);
+  const sinr::KernelCache kernel(instance.system(), instance.power());
+  rec.build_ms = ElapsedMs(build_start);
+  rec.links = instance.NumLinks();
+  rec.zeta = instance.zeta();
+
+  const auto task_start = std::chrono::steady_clock::now();
+  const std::vector<int> all = sinr::AllLinks(instance.system());
+  const double zeta = instance.zeta();
+
+  // Algorithm 1's feasible set feeds the partition task too; run it at most
+  // once per instance.
+  std::optional<capacity::Algorithm1Result> alg1;
+  const auto ensure_alg1 = [&] {
+    if (!alg1) alg1 = capacity::RunAlgorithm1(kernel, zeta);
+  };
+
+  for (const TaskKind task : tasks) {
+    switch (task) {
+      case TaskKind::kAlgorithm1: {
+        ensure_alg1();
+        rec.alg1_size = static_cast<int>(alg1->selected.size());
+        rec.alg1_admitted = static_cast<int>(alg1->admitted.size());
+        rec.alg1_feasible =
+            alg1->selected.size() <= 1 || kernel.IsFeasible(alg1->selected);
+        break;
+      }
+      case TaskKind::kGreedyBaseline: {
+        rec.greedy_size =
+            static_cast<int>(capacity::GreedyFeasible(kernel, all).size());
+        break;
+      }
+      case TaskKind::kWeighted: {
+        const std::vector<double> weights =
+            InstanceWeights(spec, index, rec.links);
+        const capacity::WeightedResult res =
+            capacity::WeightedAlgorithm1(kernel, weights, zeta);
+        rec.weighted_value = res.weight;
+        rec.weighted_size = static_cast<int>(res.selected.size());
+        break;
+      }
+      case TaskKind::kPartitions: {
+        ensure_alg1();
+        rec.partition_classes = static_cast<int>(
+            capacity::Lemma41Partition(kernel, alg1->selected, zeta).size());
+        break;
+      }
+      case TaskKind::kSchedule: {
+        const scheduling::Schedule schedule = scheduling::ScheduleLinks(
+            kernel, zeta, scheduling::Extractor::kAlgorithm1, all);
+        rec.schedule_slots = schedule.Length();
+        rec.schedule_valid = scheduling::ValidateSchedule(kernel, schedule, all);
+        break;
+      }
+    }
+  }
+  rec.task_ms = ElapsedMs(task_start);
+  return rec;
+}
+
+// Sequential, instance-ordered reduction of the deterministic metrics.
+void Aggregate(ScenarioResult& result) {
+  MetricSummary zeta, alg1_size, alg1_admitted, greedy_size, weighted_value,
+      weighted_size, partition_classes, schedule_slots, alg1_infeasible,
+      schedule_invalid;
+  for (const InstanceRecord& rec : result.instances) {
+    zeta.Add(rec.zeta);
+    if (rec.alg1_size >= 0) {
+      alg1_size.Add(rec.alg1_size);
+      alg1_admitted.Add(rec.alg1_admitted);
+      alg1_infeasible.Add(rec.alg1_feasible ? 0.0 : 1.0);
+    }
+    if (rec.greedy_size >= 0) greedy_size.Add(rec.greedy_size);
+    if (rec.weighted_size >= 0) {
+      weighted_value.Add(rec.weighted_value);
+      weighted_size.Add(rec.weighted_size);
+    }
+    if (rec.partition_classes >= 0) {
+      partition_classes.Add(rec.partition_classes);
+    }
+    if (rec.schedule_slots >= 0) {
+      schedule_slots.Add(rec.schedule_slots);
+      schedule_invalid.Add(rec.schedule_valid ? 0.0 : 1.0);
+    }
+  }
+  result.aggregate = {
+      {"zeta", zeta},
+      {"alg1_size", alg1_size},
+      {"alg1_admitted", alg1_admitted},
+      {"alg1_infeasible", alg1_infeasible},
+      {"greedy_size", greedy_size},
+      {"weighted_value", weighted_value},
+      {"weighted_size", weighted_size},
+      {"partition_classes", partition_classes},
+      {"schedule_slots", schedule_slots},
+      {"schedule_invalid", schedule_invalid},
+  };
+}
+
+}  // namespace
+
+std::vector<TaskKind> AllTasks() {
+  return {TaskKind::kAlgorithm1, TaskKind::kGreedyBaseline,
+          TaskKind::kWeighted, TaskKind::kPartitions, TaskKind::kSchedule};
+}
+
+void MetricSummary::Add(double v) {
+  sum += v;
+  min = std::min(min, v);
+  max = std::max(max, v);
+  ++count;
+}
+
+BatchRunner::BatchRunner(BatchConfig config) : config_(std::move(config)) {}
+
+ScenarioResult BatchRunner::RunOne(const ScenarioSpec& spec) const {
+  DL_CHECK(spec.instances >= 1, "batch needs at least one instance");
+  ScenarioResult result;
+  result.spec = spec;
+  result.instances.resize(static_cast<std::size_t>(spec.instances));
+
+  int threads = config_.threads;
+  if (threads <= 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    threads = static_cast<int>(hc == 0 ? 1 : hc);
+  }
+  threads = std::min(threads, spec.instances);
+  // Measured-zeta specs run ComputeMetricity per instance, which splits
+  // its outer loop across all hardware threads once the space reaches 64
+  // nodes (WorkerCount in core/metricity.cc); running those builds from a
+  // pool of workers would oversubscribe the machine quadratically.
+  // Serialise the instances instead and let each metricity scan use the
+  // cores (the aggregate is thread-count invariant either way).  Below the
+  // threshold the metricity scan is single-threaded, so the pool keeps its
+  // workers.
+  if (spec.zeta < 0.0 && 2 * spec.links >= 64) threads = 1;
+
+  const auto batch_start = std::chrono::steady_clock::now();
+  // Work stealing over instance indices; records land in their own slot, so
+  // nothing about the interleaving survives into the results.
+  std::atomic<int> next{0};
+  const auto worker = [&] {
+    for (int i = next.fetch_add(1); i < spec.instances;
+         i = next.fetch_add(1)) {
+      result.instances[static_cast<std::size_t>(i)] =
+          RunInstance(spec, i, config_.tasks);
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  result.batch_wall_ms = ElapsedMs(batch_start);
+
+  for (const InstanceRecord& rec : result.instances) {
+    result.build_ms_total += rec.build_ms;
+    result.task_ms_total += rec.task_ms;
+  }
+  Aggregate(result);
+  return result;
+}
+
+std::vector<ScenarioResult> BatchRunner::Run(
+    std::span<const ScenarioSpec> specs) const {
+  std::vector<ScenarioResult> results;
+  results.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) results.push_back(RunOne(spec));
+  return results;
+}
+
+std::string AggregateSignature(std::span<const ScenarioResult> results) {
+  std::string out;
+  char buf[256];
+  for (const ScenarioResult& r : results) {
+    std::snprintf(buf, sizeof(buf), "%s topology=%s links=%d instances=%zu\n",
+                  r.spec.name.c_str(), r.spec.topology.c_str(), r.spec.links,
+                  r.instances.size());
+    out += buf;
+    for (const auto& [name, m] : r.aggregate) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %s sum=%.17g min=%.17g max=%.17g count=%lld\n",
+                    name.c_str(), m.sum, m.min, m.max, m.count);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace decaylib::engine

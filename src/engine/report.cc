@@ -1,0 +1,162 @@
+#include "engine/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace decaylib::engine {
+
+namespace {
+
+std::string Fmt(double v, int digits = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+// Scenario names are free-form user data; escape them before interpolating
+// into JSON string literals.
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+const MetricSummary* FindMetric(const ScenarioResult& r,
+                                const std::string& name) {
+  for (const auto& [key, m] : r.aggregate) {
+    if (key == name && m.count > 0) return &m;
+  }
+  return nullptr;
+}
+
+std::string MeanOf(const ScenarioResult& r, const std::string& name,
+                   int digits = 1) {
+  const MetricSummary* m = FindMetric(r, name);
+  return m != nullptr ? Fmt(m->Mean(), digits) : "-";
+}
+
+void PrintTable(const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> width(headers.size());
+  for (std::size_t c = 0; c < headers.size(); ++c) width[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string cell = c < row.size() ? row[c] : "";
+      line += " " + std::string(width[c] - cell.size(), ' ') + cell + " |";
+    }
+    std::printf("%s\n", line.c_str());
+  };
+  print_row(headers);
+  std::string sep = "|";
+  for (std::size_t c = 0; c < headers.size(); ++c) {
+    sep += std::string(width[c] + 2, '-') + "|";
+  }
+  std::printf("%s\n", sep.c_str());
+  for (const auto& row : rows) print_row(row);
+}
+
+}  // namespace
+
+void PrintReport(std::span<const ScenarioResult> results) {
+  std::vector<std::vector<std::string>> rows;
+  for (const ScenarioResult& r : results) {
+    rows.push_back({r.spec.name, r.spec.topology, std::to_string(r.spec.links),
+                    std::to_string(r.instances.size()),
+                    MeanOf(r, "zeta", 2), MeanOf(r, "alg1_size"),
+                    MeanOf(r, "greedy_size"), MeanOf(r, "schedule_slots"),
+                    Fmt(r.batch_wall_ms, 1), Fmt(r.Throughput(), 1)});
+  }
+  PrintTable({"scenario", "topology", "links", "inst", "zeta", "|S| alg1",
+              "|S| greedy", "slots", "batch ms", "inst/s"},
+             rows);
+
+  std::printf("feasibility/validation violations: %lld\n",
+              ViolationCount(results));
+}
+
+long long ViolationCount(std::span<const ScenarioResult> results) {
+  long long violations = 0;
+  for (const ScenarioResult& r : results) {
+    for (const auto& [name, m] : r.aggregate) {
+      if (name == "alg1_infeasible" || name == "schedule_invalid") {
+        violations += static_cast<long long>(m.sum);
+      }
+    }
+  }
+  return violations;
+}
+
+bool WriteJsonReport(const std::string& id,
+                     std::span<const ScenarioResult> results) {
+  const std::string path = "BENCH_" + id + ".json";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "WriteJsonReport: cannot write %s\n", path.c_str());
+    return false;
+  }
+
+  std::fprintf(out, "{\"bench\": \"%s\", \"phases\": [",
+               EscapeJson(id).c_str());
+  bool first = true;
+  for (const ScenarioResult& r : results) {
+    const auto phase = [&](const char* suffix, double wall_ms) {
+      std::fprintf(out,
+                   "%s\n  {\"name\": \"%s.%s\", \"n\": %d, \"wall_ms\": %.6g}",
+                   first ? "" : ",", EscapeJson(r.spec.name).c_str(), suffix,
+                   r.spec.links, wall_ms);
+      first = false;
+    };
+    phase("batch", r.batch_wall_ms);
+    phase("kernel_build", r.build_ms_total);
+    phase("tasks", r.task_ms_total);
+  }
+  std::fprintf(out, "\n],\n\"scenarios\": [");
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    std::fprintf(out,
+                 "%s\n  {\"name\": \"%s\", \"topology\": \"%s\", "
+                 "\"links\": %d, \"instances\": %zu, "
+                 "\"throughput_per_s\": %.6g, \"metrics\": {",
+                 i == 0 ? "" : ",", EscapeJson(r.spec.name).c_str(),
+                 EscapeJson(r.spec.topology).c_str(), r.spec.links,
+                 r.instances.size(), r.Throughput());
+    bool first_metric = true;
+    for (const auto& [name, m] : r.aggregate) {
+      if (m.count == 0) continue;
+      std::fprintf(out,
+                   "%s\n    \"%s\": {\"sum\": %.17g, \"mean\": %.17g, "
+                   "\"min\": %.17g, \"max\": %.17g, \"count\": %lld}",
+                   first_metric ? "" : ",", name.c_str(), m.sum, m.Mean(),
+                   m.min, m.max, m.count);
+      first_metric = false;
+    }
+    std::fprintf(out, "\n  }}");
+  }
+  std::fprintf(out, "\n]}\n");
+  std::fclose(out);
+  std::printf("wrote %s (%zu scenarios)\n", path.c_str(), results.size());
+  return true;
+}
+
+}  // namespace decaylib::engine

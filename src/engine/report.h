@@ -1,0 +1,33 @@
+// Report sinks for batched scenario runs: human-readable markdown tables
+// and a machine-readable JSON file compatible with the BENCH_<id>.json
+// timing-record format of bench/bench_util.h.
+//
+// The JSON keeps the exact `{"bench": id, "phases": [{"name", "n",
+// "wall_ms"}...]}` shape existing tooling parses (one phase per scenario
+// for batch wall / kernel build / task time), and adds a `"scenarios"`
+// array carrying the deterministic aggregates -- extra keys old parsers
+// simply ignore.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "engine/batch_runner.h"
+
+namespace decaylib::engine {
+
+// Prints one markdown table over all scenarios (per-family capacity,
+// rounds, throughput) followed by a per-metric aggregate block.
+void PrintReport(std::span<const ScenarioResult> results);
+
+// Total number of feasibility/validation violations across all scenarios
+// (the alg1_infeasible + schedule_invalid counters); anything non-zero
+// means an algorithm produced an infeasible set or an invalid schedule.
+long long ViolationCount(std::span<const ScenarioResult> results);
+
+// Writes BENCH_<id>.json in the working directory.  Returns false (and
+// prints to stderr) when the file cannot be written.
+bool WriteJsonReport(const std::string& id,
+                     std::span<const ScenarioResult> results);
+
+}  // namespace decaylib::engine

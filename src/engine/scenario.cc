@@ -1,0 +1,262 @@
+#include "engine/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <utility>
+
+#include "core/check.h"
+#include "core/metricity.h"
+#include "geom/rng.h"
+#include "geom/samplers.h"
+#include "sinr/power.h"
+#include "spaces/samplers.h"
+
+namespace decaylib::engine {
+
+namespace {
+
+// Seed policy: one independent, reproducible stream per (family, instance).
+std::uint64_t InstanceSeed(std::uint64_t base, int index) {
+  return geom::Mix64(base +
+                     0x9e3779b97f4a7c15ULL *
+                         (static_cast<std::uint64_t>(index) + 1));
+}
+
+// Geometric space over explicit points, with the spec's shadowing regime.
+core::DecaySpace SpaceFromPoints(const ScenarioSpec& spec,
+                                 const std::vector<geom::Vec2>& pts,
+                                 geom::Rng& rng) {
+  if (spec.sigma_db > 0.0) {
+    return spaces::ShadowedGeometric(pts, spec.alpha, spec.sigma_db, rng,
+                                     spec.symmetric_shadowing);
+  }
+  return core::DecaySpace::Geometric(pts, spec.alpha);
+}
+
+// --- topology generators ---------------------------------------------------
+//
+// Each produces a decay space over `points` nodes at roughly constant
+// density, so instance difficulty scales with size rather than crowding.
+
+core::DecaySpace UniformTopology(const ScenarioSpec& spec, int points,
+                                 geom::Rng& rng) {
+  const double box = 2.0 * std::sqrt(static_cast<double>(points));
+  const auto pts = geom::SampleUniform(points, box, box, rng);
+  return SpaceFromPoints(spec, pts, rng);
+}
+
+core::DecaySpace ClusteredTopology(const ScenarioSpec& spec, int points,
+                                   geom::Rng& rng) {
+  const double box = 2.0 * std::sqrt(static_cast<double>(points));
+  return spaces::ClusteredGeometric(points, spec.hotspots, box,
+                                    spec.cluster_sigma, spec.alpha,
+                                    spec.sigma_db, rng,
+                                    spec.symmetric_shadowing);
+}
+
+core::DecaySpace CorridorTopology(const ScenarioSpec& spec, int points,
+                                  geom::Rng& rng) {
+  const double length = 2.0 * static_cast<double>(points);
+  return spaces::CorridorSpace(points, length, spec.corridor_width,
+                               spec.alpha, spec.sigma_db, rng,
+                               spec.symmetric_shadowing);
+}
+
+core::DecaySpace GridTopology(const ScenarioSpec& spec, int points,
+                              geom::Rng& rng) {
+  // Cell centers on a regular grid (spacing ~2), each jittered inside its
+  // cell: a cellular layout with one node per cell.
+  const double side = 2.0 * std::ceil(std::sqrt(static_cast<double>(points)));
+  std::vector<geom::Vec2> pts = geom::SampleGrid(points, side, side);
+  for (geom::Vec2& p : pts) {
+    p.x += rng.Uniform(-0.5, 0.5);
+    p.y += rng.Uniform(-0.5, 0.5);
+  }
+  return SpaceFromPoints(spec, pts, rng);
+}
+
+using TopologyGenerator = core::DecaySpace (*)(const ScenarioSpec&, int,
+                                               geom::Rng&);
+
+const std::vector<std::pair<std::string, TopologyGenerator>>& TopologyTable() {
+  static const std::vector<std::pair<std::string, TopologyGenerator>> table = {
+      {"uniform", &UniformTopology},
+      {"clustered", &ClusteredTopology},
+      {"corridor", &CorridorTopology},
+      {"grid", &GridTopology},
+  };
+  return table;
+}
+
+TopologyGenerator FindTopology(const std::string& name) {
+  for (const auto& [key, gen] : TopologyTable()) {
+    if (key == name) return gen;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+ScenarioInstance::ScenarioInstance(std::unique_ptr<core::DecaySpace> space,
+                                   std::vector<sinr::Link> links,
+                                   sinr::SinrConfig config, double zeta)
+    : space_(std::move(space)),
+      system_(std::make_unique<sinr::LinkSystem>(*space_, std::move(links),
+                                                 config)),
+      power_(sinr::UniformPower(*system_)),
+      zeta_(zeta) {}
+
+std::vector<std::string> RegisteredTopologies() {
+  std::vector<std::string> names;
+  names.reserve(TopologyTable().size());
+  for (const auto& [key, gen] : TopologyTable()) names.push_back(key);
+  return names;
+}
+
+bool IsRegisteredTopology(const std::string& topology) {
+  return FindTopology(topology) != nullptr;
+}
+
+std::vector<sinr::Link> PairLinksByDecay(const core::DecaySpace& space) {
+  const int n = space.size();
+  DL_CHECK(n >= 2 && n % 2 == 0, "pairing needs an even number of nodes");
+  std::vector<std::tuple<double, int, int>> pairs;
+  pairs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n - 1) /
+                2);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      pairs.emplace_back(std::min(space(i, j), space(j, i)), i, j);
+    }
+  }
+  std::sort(pairs.begin(), pairs.end());
+  std::vector<char> used(static_cast<std::size_t>(n), 0);
+  std::vector<sinr::Link> links;
+  links.reserve(static_cast<std::size_t>(n / 2));
+  for (const auto& [decay, i, j] : pairs) {
+    if (used[static_cast<std::size_t>(i)] || used[static_cast<std::size_t>(j)])
+      continue;
+    used[static_cast<std::size_t>(i)] = 1;
+    used[static_cast<std::size_t>(j)] = 1;
+    // Orient along the weaker-decay direction (ties keep the lower id as
+    // sender), so the link's own decay f_vv is the pair's best case.
+    if (space(i, j) <= space(j, i)) {
+      links.push_back({i, j});
+    } else {
+      links.push_back({j, i});
+    }
+    if (static_cast<int>(links.size()) == n / 2) break;
+  }
+  return links;
+}
+
+ScenarioInstance BuildInstance(const ScenarioSpec& spec, int index) {
+  DL_CHECK(spec.links >= 1, "scenario needs at least one link");
+  DL_CHECK(index >= 0, "instance index must be non-negative");
+  const TopologyGenerator generator = FindTopology(spec.topology);
+  DL_CHECK(generator != nullptr, "unknown scenario topology");
+
+  geom::Rng rng(InstanceSeed(spec.seed, index));
+  const int points = 2 * spec.links;
+  auto space = std::make_unique<core::DecaySpace>(
+      generator(spec, points, rng));
+
+  // zeta policy: explicit > 0, geometric default (alpha) at 0, measured
+  // per instance when negative (falling back to alpha for unconstrained
+  // spaces, where any positive exponent works).
+  double zeta = spec.zeta;
+  if (zeta == 0.0) {
+    zeta = spec.alpha;
+  } else if (zeta < 0.0) {
+    const double measured = core::ComputeMetricity(*space).zeta;
+    zeta = measured > 0.0 ? measured : spec.alpha;
+  }
+
+  std::vector<sinr::Link> links = PairLinksByDecay(*space);
+  ScenarioInstance instance(std::move(space), std::move(links),
+                            {spec.beta, spec.noise}, zeta);
+
+  // The constructor's default power is already uniform; only replace it
+  // when the spec asks for a power law or a noise-overcoming rescale.
+  if (spec.power_tau != 0.0 || spec.noise > 0.0) {
+    sinr::PowerAssignment power =
+        spec.power_tau == 0.0
+            ? instance.power()
+            : sinr::PowerLaw(instance.system(), spec.power_tau);
+    if (spec.noise > 0.0) {
+      power = sinr::ScaledToOvercomeNoise(instance.system(), std::move(power));
+    }
+    instance.SetPower(std::move(power));
+  }
+  return instance;
+}
+
+std::vector<ScenarioSpec> BuiltinScenarios() {
+  std::vector<ScenarioSpec> specs;
+
+  ScenarioSpec uniform;
+  uniform.name = "uniform_dense";
+  uniform.topology = "uniform";
+  uniform.alpha = 3.0;
+  uniform.seed = 101;
+  specs.push_back(uniform);
+
+  ScenarioSpec clustered;
+  clustered.name = "clustered_hotspots";
+  clustered.topology = "clustered";
+  clustered.alpha = 3.5;
+  clustered.hotspots = 6;
+  clustered.cluster_sigma = 1.5;
+  clustered.seed = 202;
+  specs.push_back(clustered);
+
+  ScenarioSpec corridor;
+  corridor.name = "highway_corridor";
+  corridor.topology = "corridor";
+  corridor.alpha = 3.0;
+  corridor.corridor_width = 2.0;
+  corridor.seed = 303;
+  specs.push_back(corridor);
+
+  ScenarioSpec grid;
+  grid.name = "grid_hetero_power";
+  grid.topology = "grid";
+  grid.alpha = 3.0;
+  grid.power_tau = 0.5;  // mean power: heterogeneous but monotone
+  grid.noise = 0.01;
+  grid.seed = 404;
+  specs.push_back(grid);
+
+  ScenarioSpec shadowed_sym;
+  shadowed_sym.name = "shadowed_symmetric";
+  shadowed_sym.topology = "uniform";
+  shadowed_sym.alpha = 3.0;
+  shadowed_sym.sigma_db = 6.0;
+  shadowed_sym.symmetric_shadowing = true;
+  // Shadowing pushes metricity above alpha; 2 lg(shadow range) of headroom
+  // keeps the separation test meaningful without measuring per instance.
+  shadowed_sym.zeta = 4.0;
+  shadowed_sym.seed = 505;
+  specs.push_back(shadowed_sym);
+
+  ScenarioSpec shadowed_asym;
+  shadowed_asym.name = "shadowed_asymmetric";
+  shadowed_asym.topology = "uniform";
+  shadowed_asym.alpha = 3.0;
+  shadowed_asym.sigma_db = 6.0;
+  shadowed_asym.symmetric_shadowing = false;
+  shadowed_asym.zeta = -1.0;  // measured per instance
+  shadowed_asym.seed = 606;
+  specs.push_back(shadowed_asym);
+
+  return specs;
+}
+
+std::optional<ScenarioSpec> FindBuiltinScenario(const std::string& name) {
+  for (ScenarioSpec& spec : BuiltinScenarios()) {
+    if (spec.name == name) return std::move(spec);
+  }
+  return std::nullopt;
+}
+
+}  // namespace decaylib::engine

@@ -1,0 +1,118 @@
+// Declarative deployment scenarios (the workload layer of the library).
+//
+// A ScenarioSpec describes a *family* of deployments as pure data: which
+// topology generator lays out the nodes, how many links and instances, the
+// decay model (path-loss exponent + shadowing regime), the power assignment,
+// the SINR configuration, and the seed/zeta policies.  BuildInstance turns
+// (spec, instance index) into a concrete ScenarioInstance -- deterministic:
+// the same pair always yields bit-identical decay matrices, links and
+// powers, regardless of which thread or process builds it.
+//
+// Topology generators are looked up in a registry by name; the built-in
+// kinds cover uniform boxes, Matérn-style clustered hotspots, line/highway
+// corridors and jittered grid cells (spaces/samplers.h provides the
+// underlying decay-space samplers).  A generator only produces a decay
+// space over 2 * links nodes; links are then formed by a topology-agnostic
+// greedy pairing that repeatedly matches the two unused nodes with the
+// smallest symmetrised decay, so every topology yields short, plausible
+// sender/receiver pairs without bespoke per-topology link logic.
+//
+// BuiltinScenarios() is the registry of named presets the batch runner,
+// scenario_runner CLI and benches share: one spec per deployment family
+// (uniform, clustered, corridor, heterogeneous-power grid, symmetric and
+// asymmetric shadowing).  docs/scenarios.md documents the schema and how to
+// add a new scenario.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/decay_space.h"
+#include "sinr/link_system.h"
+
+namespace decaylib::engine {
+
+// Pure-data description of a deployment family.  Every field has a sane
+// default so specs can be written as designated initialisers.
+struct ScenarioSpec {
+  std::string name;                  // display name of the family
+  std::string topology = "uniform";  // registered topology kind
+
+  int links = 64;      // links per instance (2 * links nodes)
+  int instances = 8;   // instances in a batch
+
+  // Decay model.
+  double alpha = 3.0;     // path-loss exponent
+  double sigma_db = 0.0;  // lognormal shadowing std dev in dB (0 = none)
+  bool symmetric_shadowing = true;
+
+  // Power and SINR regime.
+  double power_tau = 0.0;  // P_v proportional to f_vv^tau (0 = uniform)
+  double beta = 1.0;       // SINR threshold
+  double noise = 0.0;      // ambient noise (power is rescaled to overcome it)
+
+  // zeta policy: > 0 uses the value as-is, == 0 uses alpha (the geometric
+  // bound), < 0 measures ComputeMetricity per instance (exact but O(n^3)).
+  double zeta = 0.0;
+
+  // Seed policy: instance i seeds its generator stream with
+  // Mix64(seed + golden * (i + 1)) (InstanceSeed in scenario.cc), so
+  // instances are independent and reproducible.
+  std::uint64_t seed = 1;
+
+  // Topology shape knobs (ignored by topologies that do not use them).
+  int hotspots = 5;             // clustered: number of hotspot centers
+  double cluster_sigma = 1.5;   // clustered: point spread around a center
+  double corridor_width = 2.0;  // corridor: strip width (length scales w/ n)
+};
+
+// One realised deployment: a decay space, a link system over it, a power
+// assignment and the resolved zeta.  Owns the space and system behind
+// stable pointers, so instances can be moved around freely (the LinkSystem
+// holds a reference to its space).
+class ScenarioInstance {
+ public:
+  ScenarioInstance(std::unique_ptr<core::DecaySpace> space,
+                   std::vector<sinr::Link> links, sinr::SinrConfig config,
+                   double zeta);
+
+  const core::DecaySpace& space() const noexcept { return *space_; }
+  const sinr::LinkSystem& system() const noexcept { return *system_; }
+  const sinr::PowerAssignment& power() const noexcept { return power_; }
+  double zeta() const noexcept { return zeta_; }
+  int NumLinks() const noexcept { return system_->NumLinks(); }
+
+  void SetPower(sinr::PowerAssignment power) { power_ = std::move(power); }
+
+ private:
+  std::unique_ptr<core::DecaySpace> space_;
+  std::unique_ptr<sinr::LinkSystem> system_;
+  sinr::PowerAssignment power_;
+  double zeta_;
+};
+
+// Registered topology kinds, in registration order.
+std::vector<std::string> RegisteredTopologies();
+bool IsRegisteredTopology(const std::string& topology);
+
+// Builds instance `index` of the family.  Deterministic in (spec, index).
+// Aborts (DL_CHECK) on an unknown topology or non-positive sizes.
+ScenarioInstance BuildInstance(const ScenarioSpec& spec, int index);
+
+// Topology-agnostic sender/receiver pairing over an even-sized decay space:
+// repeatedly links the two unused nodes with the smallest symmetrised decay
+// (ties by node ids), orienting each link along its weaker-decay direction.
+// Deterministic; O(n^2 log n).
+std::vector<sinr::Link> PairLinksByDecay(const core::DecaySpace& space);
+
+// The named scenario presets shared by the batch runner, the CLI and the
+// benches: one per deployment family, each with a distinct base seed.
+std::vector<ScenarioSpec> BuiltinScenarios();
+
+// Looks a builtin up by name.
+std::optional<ScenarioSpec> FindBuiltinScenario(const std::string& name);
+
+}  // namespace decaylib::engine

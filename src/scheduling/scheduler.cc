@@ -11,11 +11,8 @@
 
 namespace decaylib::scheduling {
 
-Schedule ScheduleLinks(const sinr::LinkSystem& system, double zeta,
+Schedule ScheduleLinks(const sinr::KernelCache& kernel, double zeta,
                        Extractor extractor, std::span<const int> candidates) {
-  // One kernel build serves every slot extraction: the affectance and
-  // distance kernels do not depend on the shrinking candidate set.
-  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
   Schedule schedule;
   std::vector<int> remaining(candidates.begin(), candidates.end());
   while (!remaining.empty()) {
@@ -51,14 +48,21 @@ Schedule ScheduleLinks(const sinr::LinkSystem& system, double zeta,
 }
 
 Schedule ScheduleLinks(const sinr::LinkSystem& system, double zeta,
+                       Extractor extractor, std::span<const int> candidates) {
+  // One kernel build serves every slot extraction: the affectance and
+  // distance kernels do not depend on the shrinking candidate set.
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
+  return ScheduleLinks(kernel, zeta, extractor, candidates);
+}
+
+Schedule ScheduleLinks(const sinr::LinkSystem& system, double zeta,
                        Extractor extractor) {
   const std::vector<int> all = sinr::AllLinks(system);
   return ScheduleLinks(system, zeta, extractor, all);
 }
 
-bool ValidateSchedule(const sinr::LinkSystem& system, const Schedule& schedule,
+bool ValidateSchedule(const sinr::KernelCache& kernel, const Schedule& schedule,
                       std::span<const int> candidates) {
-  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
   std::multiset<int> scheduled;
   for (const auto& slot : schedule.slots) {
     if (slot.size() > 1 && !kernel.IsFeasible(slot)) return false;
@@ -66,6 +70,12 @@ bool ValidateSchedule(const sinr::LinkSystem& system, const Schedule& schedule,
   }
   std::multiset<int> wanted(candidates.begin(), candidates.end());
   return scheduled == wanted;
+}
+
+bool ValidateSchedule(const sinr::LinkSystem& system, const Schedule& schedule,
+                      std::span<const int> candidates) {
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
+  return ValidateSchedule(kernel, schedule, candidates);
 }
 
 }  // namespace decaylib::scheduling

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "sinr/kernel.h"
 #include "sinr/link_system.h"
 
 namespace decaylib::scheduling {
@@ -29,7 +30,13 @@ struct Schedule {
 // Schedules all candidate links (uniform power).  `zeta` is the metricity of
 // the underlying space (used by Algorithm 1's separation test).  Guarantees
 // termination: if an extraction round returns an empty set while links
-// remain, the shortest remaining link is scheduled alone.
+// remain, the shortest remaining link is scheduled alone.  The KernelCache
+// overload reuses a prebuilt kernel (e.g. across the tasks of a batched
+// scenario run); the LinkSystem signatures build a uniform-power kernel
+// internally and produce identical schedules.
+Schedule ScheduleLinks(const sinr::KernelCache& kernel, double zeta,
+                       Extractor extractor, std::span<const int> candidates);
+
 Schedule ScheduleLinks(const sinr::LinkSystem& system, double zeta,
                        Extractor extractor, std::span<const int> candidates);
 
@@ -38,6 +45,8 @@ Schedule ScheduleLinks(const sinr::LinkSystem& system, double zeta,
 
 // True iff every slot is feasible under uniform power and the slots
 // partition exactly the given candidate set.
+bool ValidateSchedule(const sinr::KernelCache& kernel, const Schedule& schedule,
+                      std::span<const int> candidates);
 bool ValidateSchedule(const sinr::LinkSystem& system, const Schedule& schedule,
                       std::span<const int> candidates);
 

@@ -36,4 +36,31 @@ core::DecaySpace RandomGeometric(int n, double w, double h, double alpha,
 // points = m^k; keep m^k small.
 core::DecaySpace HyperGridSpace(int m, int k, double alpha);
 
+// Matérn-style hotspot deployment: `hotspots` parent centers uniform in a
+// box x box region, n points normal(sigma) around uniformly chosen parents,
+// decay = d^alpha times optional lognormal shadowing (sigma_db = 0 disables
+// it; see ShadowedGeometric for the noise model).
+//
+// Metricity: without shadowing this is a planar geometric space, so
+// zeta <= alpha, and the dense hotspots make near-collinear triplets (and
+// hence zeta ~ alpha) overwhelmingly likely even at small n.  Shadowing
+// multiplies ratios by up to 10^{+-k sigma_db/10}, so zeta can exceed alpha
+// by ~ lg of that factor; the quasi-metric keeps doubling dimension ~ 2.
+core::DecaySpace ClusteredGeometric(int n, int hotspots, double box,
+                                    double sigma, double alpha,
+                                    double sigma_db, geom::Rng& rng,
+                                    bool symmetric = true);
+
+// Line/highway corridor deployment: n points uniform in a length x width
+// strip with width << length (width = 0 collapses to a pure line), decay =
+// d^alpha times optional lognormal shadowing as above.
+//
+// Metricity: the strip is nearly one-dimensional, so without shadowing
+// zeta <= alpha with near-equality witnessed by the abundant almost-evenly
+// split collinear triplets (the bound zeta = alpha is exact for a point
+// midway between two others); the quasi-metric has doubling dimension ~ 1.
+core::DecaySpace CorridorSpace(int n, double length, double width,
+                               double alpha, double sigma_db, geom::Rng& rng,
+                               bool symmetric = true);
+
 }  // namespace decaylib::spaces

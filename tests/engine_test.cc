@@ -1,0 +1,176 @@
+#include "engine/batch_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "engine/report.h"
+#include "engine/scenario.h"
+
+namespace decaylib::engine {
+namespace {
+
+// Shrinks a spec to test size.
+ScenarioSpec Small(ScenarioSpec spec, int links = 12, int instances = 3) {
+  spec.links = links;
+  spec.instances = instances;
+  return spec;
+}
+
+TEST(ScenarioRegistryTest, TopologiesRegistered) {
+  const std::vector<std::string> names = RegisteredTopologies();
+  EXPECT_GE(names.size(), 4u);
+  for (const std::string& name : names) {
+    EXPECT_TRUE(IsRegisteredTopology(name)) << name;
+  }
+  EXPECT_FALSE(IsRegisteredTopology("no_such_topology"));
+}
+
+TEST(ScenarioRegistryTest, BuiltinsAreWellFormed) {
+  const std::vector<ScenarioSpec> specs = BuiltinScenarios();
+  EXPECT_GE(specs.size(), 4u);
+  std::set<std::string> seen;
+  for (const ScenarioSpec& spec : specs) {
+    EXPECT_TRUE(IsRegisteredTopology(spec.topology)) << spec.name;
+    EXPECT_TRUE(seen.insert(spec.name).second) << "duplicate " << spec.name;
+    EXPECT_TRUE(FindBuiltinScenario(spec.name).has_value());
+  }
+  EXPECT_FALSE(FindBuiltinScenario("no_such_scenario").has_value());
+}
+
+TEST(ScenarioInstanceTest, BuildIsDeterministic) {
+  const ScenarioSpec spec = Small(BuiltinScenarios().at(1), 10, 2);
+  const ScenarioInstance a = BuildInstance(spec, 1);
+  const ScenarioInstance b = BuildInstance(spec, 1);
+  ASSERT_EQ(a.space().size(), b.space().size());
+  const auto raw_a = a.space().Raw();
+  const auto raw_b = b.space().Raw();
+  for (std::size_t i = 0; i < raw_a.size(); ++i) {
+    EXPECT_EQ(raw_a[i], raw_b[i]) << "entry " << i;
+  }
+  EXPECT_EQ(a.system().links(), b.system().links());
+  EXPECT_EQ(a.power(), b.power());
+  EXPECT_EQ(a.zeta(), b.zeta());
+}
+
+TEST(ScenarioInstanceTest, DistinctIndicesGiveDistinctInstances) {
+  const ScenarioSpec spec = Small(BuiltinScenarios().front(), 10, 2);
+  const ScenarioInstance a = BuildInstance(spec, 0);
+  const ScenarioInstance b = BuildInstance(spec, 1);
+  EXPECT_NE(std::vector<double>(a.space().Raw().begin(), a.space().Raw().end()),
+            std::vector<double>(b.space().Raw().begin(), b.space().Raw().end()));
+}
+
+TEST(ScenarioInstanceTest, PairingCoversEveryNodeExactlyOnce) {
+  const ScenarioSpec spec = Small(BuiltinScenarios().front(), 16, 1);
+  const ScenarioInstance instance = BuildInstance(spec, 0);
+  ASSERT_EQ(instance.NumLinks(), 16);
+  std::set<int> endpoints;
+  for (const sinr::Link& link : instance.system().links()) {
+    EXPECT_TRUE(endpoints.insert(link.sender).second);
+    EXPECT_TRUE(endpoints.insert(link.receiver).second);
+    // Orientation: the link's own decay is the weaker of the two directions.
+    EXPECT_LE(instance.space()(link.sender, link.receiver),
+              instance.space()(link.receiver, link.sender));
+  }
+  EXPECT_EQ(endpoints.size(), 32u);
+  EXPECT_EQ(*endpoints.begin(), 0);
+  EXPECT_EQ(*endpoints.rbegin(), 31);
+}
+
+// The engine's core contract: the deterministic aggregate report of a batch
+// does not depend on the worker-pool size.
+TEST(BatchRunnerTest, AggregateBitIdenticalAcrossThreadCounts) {
+  std::vector<ScenarioSpec> specs;
+  for (const ScenarioSpec& spec : BuiltinScenarios()) {
+    specs.push_back(Small(spec, 12, 4));
+  }
+
+  BatchConfig serial;
+  serial.threads = 1;
+  BatchConfig pooled;
+  pooled.threads = 4;
+
+  const auto a = BatchRunner(serial).Run(specs);
+  const auto b = BatchRunner(pooled).Run(specs);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    EXPECT_EQ(a[s].aggregate, b[s].aggregate) << specs[s].name;
+  }
+  EXPECT_EQ(AggregateSignature(a), AggregateSignature(b));
+}
+
+// Registry round trip: every builtin scenario builds, runs every task, and
+// produces finite, in-range statistics at small n.
+TEST(BatchRunnerTest, RegistryRoundTripFiniteStats) {
+  BatchConfig config;
+  config.threads = 2;
+  const BatchRunner runner(config);
+  for (const ScenarioSpec& builtin : BuiltinScenarios()) {
+    const ScenarioSpec spec = Small(builtin, 10, 2);
+    const ScenarioResult result = runner.RunOne(spec);
+    ASSERT_EQ(result.instances.size(), 2u) << spec.name;
+    for (const InstanceRecord& rec : result.instances) {
+      EXPECT_EQ(rec.links, 10) << spec.name;
+      EXPECT_TRUE(std::isfinite(rec.zeta)) << spec.name;
+      EXPECT_GT(rec.zeta, 0.0) << spec.name;
+      EXPECT_GE(rec.alg1_size, 1) << spec.name;
+      EXPECT_LE(rec.alg1_size, rec.links) << spec.name;
+      EXPECT_LE(rec.alg1_size, rec.alg1_admitted) << spec.name;
+      EXPECT_TRUE(rec.alg1_feasible) << spec.name;
+      EXPECT_GE(rec.greedy_size, 1) << spec.name;
+      EXPECT_LE(rec.greedy_size, rec.links) << spec.name;
+      EXPECT_TRUE(std::isfinite(rec.weighted_value)) << spec.name;
+      EXPECT_GT(rec.weighted_value, 0.0) << spec.name;
+      EXPECT_GE(rec.weighted_size, 1) << spec.name;
+      EXPECT_GE(rec.partition_classes, 1) << spec.name;
+      EXPECT_LE(rec.partition_classes, rec.alg1_size) << spec.name;
+      EXPECT_GE(rec.schedule_slots, 1) << spec.name;
+      EXPECT_LE(rec.schedule_slots, rec.links) << spec.name;
+      EXPECT_TRUE(rec.schedule_valid) << spec.name;
+    }
+    for (const auto& [name, m] : result.aggregate) {
+      if (m.count == 0) continue;
+      EXPECT_TRUE(std::isfinite(m.sum)) << spec.name << "/" << name;
+      EXPECT_TRUE(std::isfinite(m.min)) << spec.name << "/" << name;
+      EXPECT_TRUE(std::isfinite(m.max)) << spec.name << "/" << name;
+      EXPECT_LE(m.min, m.max) << spec.name << "/" << name;
+    }
+  }
+}
+
+TEST(BatchRunnerTest, TaskSubsetLeavesOtherMetricsUnset) {
+  BatchConfig config;
+  config.threads = 1;
+  config.tasks = {TaskKind::kAlgorithm1};
+  const ScenarioSpec spec = Small(BuiltinScenarios().front(), 8, 1);
+  const ScenarioResult result = BatchRunner(config).RunOne(spec);
+  const InstanceRecord& rec = result.instances.front();
+  EXPECT_GE(rec.alg1_size, 0);
+  EXPECT_EQ(rec.greedy_size, -1);
+  EXPECT_EQ(rec.weighted_size, -1);
+  EXPECT_EQ(rec.partition_classes, -1);
+  EXPECT_EQ(rec.schedule_slots, -1);
+}
+
+TEST(ReportTest, JsonReportRoundTrips) {
+  BatchConfig config;
+  config.threads = 1;
+  const ScenarioSpec spec = Small(BuiltinScenarios().front(), 8, 1);
+  const std::vector<ScenarioResult> results = {BatchRunner(config).RunOne(spec)};
+  ASSERT_TRUE(WriteJsonReport("ENGINE_TEST", results));
+  std::FILE* in = std::fopen("BENCH_ENGINE_TEST.json", "r");
+  ASSERT_NE(in, nullptr);
+  char buf[64] = {};
+  ASSERT_GT(std::fread(buf, 1, sizeof(buf) - 1, in), 0u);
+  std::fclose(in);
+  EXPECT_EQ(std::string(buf).rfind("{\"bench\": \"ENGINE_TEST\"", 0), 0u);
+  EXPECT_EQ(std::remove("BENCH_ENGINE_TEST.json"), 0);
+}
+
+}  // namespace
+}  // namespace decaylib::engine

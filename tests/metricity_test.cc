@@ -180,6 +180,11 @@ TEST_P(PrunedMetricityEquality, MatchesNaiveOnRandomSpaces) {
       spaces::LogUniformSpace(22, 300.0, rng, /*symmetric=*/false),
       spaces::LogUniformSpace(20, 50.0, rng, /*symmetric=*/true),
       spaces::LineSpace(14, 1.0, 2.0 + 0.5 * static_cast<double>(seed % 5)),
+      // Huge decay spread (dense hotspots, thin corridors) makes the
+      // per-(x,z) row-min block prune of ComputePhi fire on most pairs;
+      // these cases pin the pruned scan to the naive one where it matters.
+      spaces::ClusteredGeometric(18, 3, 40.0, 0.2, 4.0, 0.0, rng),
+      spaces::CorridorSpace(18, 200.0, 0.5, 3.0, 0.0, rng),
   };
   for (const DecaySpace& space : cases) {
     const MetricityResult pruned = ComputeMetricity(space);
@@ -235,6 +240,37 @@ TEST(PrunedMetricityEquality, MatchesNaiveAcrossThreadChunks) {
   EXPECT_EQ(fast_phi.arg_x, naive_phi.arg_x);
   EXPECT_EQ(fast_phi.arg_y, naive_phi.arg_y);
   EXPECT_EQ(fast_phi.arg_z, naive_phi.arg_z);
+}
+
+TEST(PrunedMetricityEquality, PhiBlockPruneMatchesNaiveOnAdversarialSpaces) {
+  // Spaces engineered around the block prune's edge: (a) a space where the
+  // first (x,z) blocks dominate and everything later prunes, (b) one where
+  // the maximum sits in the very last block, so pruning must never skip a
+  // winning pair, and (c) ties -- several triplets attaining the same
+  // factor, where the naive scan's first-wins witness must survive.
+  std::vector<DecaySpace> cases;
+  {
+    geom::Rng rng(31);
+    cases.push_back(spaces::LogUniformSpace(24, 1e6, rng, false));
+  }
+  {
+    DecaySpace space(12);  // uniform: every factor ties at 1/2
+    cases.push_back(space);
+  }
+  {
+    DecaySpace space(10, 1.0);
+    space.SetSymmetric(8, 9, 1000.0);  // winner lives in the last rows
+    cases.push_back(space);
+  }
+  for (const DecaySpace& space : cases) {
+    const PhiResult fast = ComputePhi(space);
+    const PhiResult naive = ComputePhiNaive(space);
+    EXPECT_EQ(fast.phi_factor, naive.phi_factor);
+    EXPECT_EQ(fast.phi, naive.phi);
+    EXPECT_EQ(fast.arg_x, naive.arg_x);
+    EXPECT_EQ(fast.arg_y, naive.arg_y);
+    EXPECT_EQ(fast.arg_z, naive.arg_z);
+  }
 }
 
 TEST(ZetaPhiTripleTest, ZetaMatchesAsymptoticShape) {

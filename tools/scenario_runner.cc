@@ -1,0 +1,155 @@
+// scenario_runner: run declarative deployment scenarios through the batched
+// multi-instance engine.
+//
+//   $ scenario_runner --list
+//   $ scenario_runner --smoke [--json]
+//   $ scenario_runner [--scenario NAME] [--links N] [--instances K]
+//                     [--threads T] [--seed S] [--json]
+//
+// Without --scenario, every builtin scenario runs.  --links / --instances /
+// --seed override the preset's values; --threads sizes the worker pool
+// (0 = hardware concurrency).  --json writes BENCH_SCENARIO.json in the
+// working directory (the bench_util.h record format plus a "scenarios"
+// aggregate array; see docs/scenarios.md).
+//
+// --smoke is the CI entry point: it shrinks every builtin to a small size,
+// runs the batch once single-threaded and once multi-threaded, and fails
+// (exit 1) unless the two deterministic aggregate reports are bit-identical
+// -- a fast end-to-end check of the whole engine stack.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/batch_runner.h"
+#include "engine/report.h"
+#include "engine/scenario.h"
+
+using namespace decaylib;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--list] [--smoke] [--scenario NAME] [--links N]\n"
+               "          [--instances K] [--threads T] [--seed S] [--json]\n",
+               argv0);
+  return 2;
+}
+
+int ListScenarios() {
+  std::printf("registered topologies:");
+  for (const std::string& name : engine::RegisteredTopologies()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\nbuiltin scenarios:\n");
+  for (const engine::ScenarioSpec& spec : engine::BuiltinScenarios()) {
+    std::printf(
+        "  %-22s topology=%-9s links=%d instances=%d alpha=%.2g "
+        "sigma_db=%.2g tau=%.2g zeta=%s\n",
+        spec.name.c_str(), spec.topology.c_str(), spec.links, spec.instances,
+        spec.alpha, spec.sigma_db, spec.power_tau,
+        spec.zeta > 0.0  ? std::to_string(spec.zeta).c_str()
+        : spec.zeta == 0 ? "alpha"
+                         : "measured");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list = false;
+  bool smoke = false;
+  bool json = false;
+  std::string scenario;
+  int links = 0;
+  int instances = 0;
+  int threads = 0;
+  long long seed = -1;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--list") == 0) {
+      list = true;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(arg, "--scenario") == 0 && i + 1 < argc) {
+      scenario = argv[++i];
+    } else if (std::strcmp(arg, "--links") == 0 && i + 1 < argc) {
+      links = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--instances") == 0 && i + 1 < argc) {
+      instances = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
+      seed = std::atoll(argv[++i]);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (list) return ListScenarios();
+
+  std::vector<engine::ScenarioSpec> specs;
+  if (!scenario.empty()) {
+    auto found = engine::FindBuiltinScenario(scenario);
+    if (!found) {
+      std::fprintf(stderr, "unknown scenario '%s'; try --list\n",
+                   scenario.c_str());
+      return 2;
+    }
+    specs.push_back(*std::move(found));
+  } else {
+    specs = engine::BuiltinScenarios();
+  }
+  for (engine::ScenarioSpec& spec : specs) {
+    if (smoke) {
+      spec.links = 24;
+      spec.instances = 4;
+    }
+    if (links > 0) spec.links = links;
+    if (instances > 0) spec.instances = instances;
+    if (seed >= 0) spec.seed = static_cast<std::uint64_t>(seed);
+  }
+
+  engine::BatchConfig config;
+  config.threads = threads;
+  // In smoke mode the pooled side is pinned to >= 4 workers so the
+  // determinism gate below compares genuinely different interleavings even
+  // on single-core runners (where hardware_concurrency() would make both
+  // runs serial and the check vacuous).
+  if (smoke && config.threads < 4) config.threads = 4;
+  const engine::BatchRunner runner(config);
+  const std::vector<engine::ScenarioResult> results = runner.Run(specs);
+  engine::PrintReport(results);
+
+  if (smoke) {
+    // Health gate: any infeasible set or invalid schedule fails the smoke
+    // even when it is perfectly deterministic.
+    if (engine::ViolationCount(results) != 0) {
+      std::fprintf(stderr,
+                   "FAIL: feasibility/validation violations in smoke run\n");
+      return 1;
+    }
+    // Determinism gate: the deterministic aggregate must not depend on the
+    // thread count.  Compare the pooled run against a single-threaded one.
+    engine::BatchConfig serial = config;
+    serial.threads = 1;
+    const std::vector<engine::ScenarioResult> reference =
+        engine::BatchRunner(serial).Run(specs);
+    if (engine::AggregateSignature(results) !=
+        engine::AggregateSignature(reference)) {
+      std::fprintf(stderr,
+                   "FAIL: aggregate report differs between thread counts\n");
+      return 1;
+    }
+    std::printf("smoke: aggregates bit-identical across thread counts\n");
+  }
+
+  if (json && !engine::WriteJsonReport("SCENARIO", results)) return 1;
+  return 0;
+}
