@@ -1,0 +1,200 @@
+// E20 -- sweep engine: parameter-grid throughput over shared kernel arenas.
+//
+// Two measurements, both gated on bit-identical results:
+//
+//  1. Grid A/B: one 3-axis sweep (links x alpha x power policy) runs twice,
+//     once with per-worker sinr::KernelArena reuse (every instance kernel
+//     rebuilt into a warm slab) and once with per-instance allocation.
+//     Reports end-to-end cells/sec for both.  Each cell also pays instance
+//     generation (space sampling + the O(n^2 log n) link pairing), which
+//     bounds how much of the end-to-end time the arena can touch.
+//  2. Kernel-rebuild A/B: for the largest cell shape, the same kernel is
+//     rebuilt many times through an arena vs freshly constructed -- the
+//     isolated cost of exactly what the arena replaces (alloc + clear vs
+//     overwrite-in-place), reported as rebuilds/sec.
+//
+// The deterministic sweep signatures of the two grid runs must be
+// bit-identical (arena reuse is invisible in the results) or the bench
+// exits 1 before quoting any number.
+//
+// Flags: --instances <per cell> (default 6), --threads <pool size>
+//        (default hardware), --repeat <timing passes, best-of> (default 3),
+//        --json (write BENCH_E20.json: arena/malloc wall-clock phases).
+//
+// Run in a Release build; the Assert build's DL_CHECK instrumentation
+// dominates the kernel builds.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/scenario.h"
+#include "sinr/kernel.h"
+#include "sweep/sweep.h"
+#include "sweep/sweep_report.h"
+#include "sweep/sweep_runner.h"
+#include "tool_args.h"
+
+using namespace decaylib;
+
+namespace {
+
+sweep::SweepSpec GridSpec(int instances) {
+  sweep::SweepSpec spec;
+  spec.name = "e20_grid";
+  spec.base.name = "e20_grid";
+  spec.base.topology = "uniform";
+  spec.base.instances = instances;
+  spec.base.seed = 2020;
+  // n x alpha x power policy (uniform / mean / linear).
+  spec.axes = {{"links", {64, 96, 128}},
+               {"alpha", {2.5, 3.0, 3.5}},
+               {"power_tau", {0.0, 0.5, 1.0}}};
+  spec.tasks = {engine::TaskKind::kAlgorithm1,
+                engine::TaskKind::kGreedyBaseline};
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int instances = 6;
+  int threads = 0;  // 0 = hardware concurrency (explicit values >= 1)
+  int repeat = 3;
+  bool parse_ok = true;
+  for (int i = 1; i < argc && parse_ok; ++i) {
+    if (std::strcmp(argv[i], "--instances") == 0 && i + 1 < argc) {
+      parse_ok = tools::ParseIntFlag("--instances", argv[++i], 1, 1 << 20,
+                                     &instances);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      parse_ok = tools::ParseIntFlag("--threads", argv[++i], 1, 1 << 16,
+                                     &threads);
+    } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
+      parse_ok = tools::ParseIntFlag("--repeat", argv[++i], 1, 1000, &repeat);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      // handled by bench::JsonReport
+    } else {
+      parse_ok = false;
+    }
+  }
+  if (!parse_ok) {
+    std::fprintf(stderr,
+                 "usage: %s [--instances K] [--threads T] [--repeat R] "
+                 "[--json]\n",
+                 argv[0]);
+    return 2;
+  }
+  bench::JsonReport report("E20", argc, argv);
+
+  bench::Banner("E20", "Sweep engine: grid throughput over kernel arenas",
+                "one parameter grid, kernels rebuilt into warm per-worker "
+                "arenas vs per-instance allocation; identical results, "
+                "higher cells/sec");
+
+  const sweep::SweepSpec spec = GridSpec(instances);
+  std::printf("\n%lld cells (links x alpha x power_tau) x %d instances\n\n",
+              sweep::GridSize(spec), instances);
+
+  sweep::SweepConfig arena_config;
+  arena_config.threads = threads;
+  arena_config.reuse_arena = true;
+  sweep::SweepConfig malloc_config = arena_config;
+  malloc_config.reuse_arena = false;
+
+  // Untimed warm-up pass (allocator, page cache): without it the first
+  // timed mode pays the cold start alone and the A/B is biased, visibly so
+  // at --repeat 1.  Its result also supplies the per-instance signature for
+  // the bit-transparency gate.
+  const std::string malloc_signature =
+      sweep::SweepSignature(sweep::SweepRunner(malloc_config).Run(spec));
+
+  // Best-of-R timing, alternating modes so neither systematically runs on
+  // a warmer machine than the other.
+  sweep::SweepResult arena_result;
+  double arena_ms = -1.0;
+  double malloc_ms = -1.0;
+  for (int r = 0; r < repeat; ++r) {
+    sweep::SweepResult a = sweep::SweepRunner(arena_config).Run(spec);
+    arena_ms = arena_ms < 0.0 ? a.wall_ms : std::min(arena_ms, a.wall_ms);
+    if (r == 0) arena_result = std::move(a);
+    const sweep::SweepResult m = sweep::SweepRunner(malloc_config).Run(spec);
+    malloc_ms = malloc_ms < 0.0 ? m.wall_ms : std::min(malloc_ms, m.wall_ms);
+  }
+
+  if (sweep::SweepSignature(arena_result) != malloc_signature) {
+    std::printf(
+        "ERROR: sweep signature differs between arena and per-instance "
+        "kernels -- arena reuse is not bit-transparent\n");
+    return 1;
+  }
+
+  sweep::PrintSweepReport(arena_result);
+
+  const double cells = static_cast<double>(arena_result.cells.size());
+  const double arena_cps = 1000.0 * cells / arena_ms;
+  const double malloc_cps = 1000.0 * cells / malloc_ms;
+  std::printf(
+      "\narena reuse:   %s cells/s (%s ms best of %d, %lld kernel rebuilds "
+      "through %s)\n",
+      bench::Fmt(arena_cps, 2).c_str(), bench::Fmt(arena_ms, 1).c_str(),
+      repeat, arena_result.arena_rebuilds, "per-worker arenas");
+  std::printf("per-instance:  %s cells/s (%s ms best of %d)\n",
+              bench::Fmt(malloc_cps, 2).c_str(),
+              bench::Fmt(malloc_ms, 1).c_str(), repeat);
+  std::printf("reuse speedup: %sx (results bit-identical)\n",
+              bench::Fmt(malloc_ms / arena_ms, 3).c_str());
+
+  report.Record("sweep_arena", static_cast<long long>(cells), arena_ms);
+  report.Record("sweep_malloc", static_cast<long long>(cells), malloc_ms);
+
+  // Isolated kernel-rebuild A/B at the largest cell shape: the cost of
+  // exactly what the arena replaces, free of instance generation and task
+  // time.
+  {
+    engine::ScenarioSpec shape = spec.base;
+    const sweep::SweepAxis& links_axis = spec.axes.front();
+    shape.links = static_cast<int>(links_axis.values.back());
+    const engine::ScenarioInstance inst = engine::BuildInstance(shape, 0);
+    const int reps = 60;
+
+    // Untimed warm-up build, for the same cold-start reason as above.
+    {
+      const sinr::KernelCache warm(inst.system(), inst.power());
+      volatile double sink = warm.LinkDecay(0);
+      (void)sink;
+    }
+
+    bench::WallTimer timer;
+    for (int r = 0; r < reps; ++r) {
+      const sinr::KernelCache kernel(inst.system(), inst.power());
+      volatile double sink = kernel.LinkDecay(0);
+      (void)sink;
+    }
+    const double fresh_ms = timer.ElapsedMs();
+
+    sinr::KernelArena arena;
+    // The first Rebuild pays the slab allocations; keep it out of the
+    // timing, matching the fresh path's untimed warm-up.
+    arena.Rebuild(inst.system(), inst.power());
+    timer.Reset();
+    for (int r = 0; r < reps; ++r) {
+      const sinr::KernelCache& kernel =
+          arena.Rebuild(inst.system(), inst.power());
+      volatile double sink = kernel.LinkDecay(0);
+      (void)sink;
+    }
+    const double arena_rebuild_ms = timer.ElapsedMs();
+
+    std::printf(
+        "\nkernel rebuild at n=%d: %s/s through arena vs %s/s fresh "
+        "(%sx per-build speedup)\n",
+        shape.links, bench::Fmt(1000.0 * reps / arena_rebuild_ms, 1).c_str(),
+        bench::Fmt(1000.0 * reps / fresh_ms, 1).c_str(),
+        bench::Fmt(fresh_ms / arena_rebuild_ms, 3).c_str());
+    report.Record("kernel_rebuild_arena", shape.links, arena_rebuild_ms);
+    report.Record("kernel_rebuild_fresh", shape.links, fresh_ms);
+  }
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include "geom/rng.h"
 #include "scheduling/scheduler.h"
 #include "sinr/kernel.h"
+#include "sinr/power_control.h"
 
 namespace decaylib::engine {
 
@@ -37,16 +38,58 @@ std::vector<double> InstanceWeights(const ScenarioSpec& spec, int index,
   return weights;
 }
 
+// Iteration/tolerance budget of the per-task power-control oracle: enough
+// to settle well-separated sets in tens of iterations while bounding the
+// near-threshold worst case (the verdict at the cap -- judge by the last
+// growth rate -- is deterministic either way).
+constexpr int kPowerControlIterations = 300;
+constexpr double kPowerControlTol = 1e-7;
+
+// Greedy admission in decay order with the cached power-control oracle: a
+// link joins when the grown set has no pairwise obstruction (the O(|S|)
+// certificate runs first) and the Foschini-Miljanic iteration contracts.
+// The power-control analogue of GreedyFeasible; comparing the two sizes is
+// the uniform-vs-power-control feasibility gap.
+std::vector<int> GreedyPowerControlFeasible(const sinr::KernelCache& kernel) {
+  const double beta = kernel.system().config().beta;
+  std::vector<int> S;
+  for (const int v : kernel.OrderByDecay()) {
+    bool obstructed = false;
+    for (const int w : S) {
+      if (sinr::PairwiseAffectanceProduct(kernel, v, w) > beta * beta) {
+        obstructed = true;
+        break;
+      }
+    }
+    if (obstructed) continue;
+    S.push_back(v);
+    if (!sinr::FeasibleWithPowerControl(kernel, S, kPowerControlIterations,
+                                        kPowerControlTol)
+             .feasible) {
+      S.pop_back();
+    }
+  }
+  return S;
+}
+
 // Builds the instance, warms its kernel once, and runs every configured
-// task against it.  Deterministic in (spec, index, tasks).
+// task against it.  Deterministic in (spec, index, tasks); the arena, when
+// provided, only changes where the kernel matrices live, not their bits.
 InstanceRecord RunInstance(const ScenarioSpec& spec, int index,
-                           const std::vector<TaskKind>& tasks) {
+                           const std::vector<TaskKind>& tasks,
+                           sinr::KernelArena* arena) {
   InstanceRecord rec;
   rec.index = index;
 
   const auto build_start = std::chrono::steady_clock::now();
   const ScenarioInstance instance = BuildInstance(spec, index);
-  const sinr::KernelCache kernel(instance.system(), instance.power());
+  std::optional<sinr::KernelCache> local;
+  if (arena == nullptr) {
+    local.emplace(instance.system(), instance.power());
+  }
+  const sinr::KernelCache& kernel =
+      arena != nullptr ? arena->Rebuild(instance.system(), instance.power())
+                       : *local;
   rec.build_ms = ElapsedMs(build_start);
   rec.links = instance.NumLinks();
   rec.zeta = instance.zeta();
@@ -99,6 +142,18 @@ InstanceRecord RunInstance(const ScenarioSpec& spec, int index,
         rec.schedule_valid = scheduling::ValidateSchedule(kernel, schedule, all);
         break;
       }
+      case TaskKind::kPowerControl: {
+        rec.pc_greedy_size =
+            static_cast<int>(GreedyPowerControlFeasible(kernel).size());
+        rec.pc_all_feasible =
+            sinr::FeasibleWithPowerControl(kernel, all, kPowerControlIterations,
+                                           kPowerControlTol)
+                    .feasible
+                ? 1
+                : 0;
+        rec.pc_obstructed = sinr::HasPairwiseObstruction(kernel, all) ? 1 : 0;
+        break;
+      }
     }
   }
   rec.task_ms = ElapsedMs(task_start);
@@ -109,7 +164,8 @@ InstanceRecord RunInstance(const ScenarioSpec& spec, int index,
 void Aggregate(ScenarioResult& result) {
   MetricSummary zeta, alg1_size, alg1_admitted, greedy_size, weighted_value,
       weighted_size, partition_classes, schedule_slots, alg1_infeasible,
-      schedule_invalid;
+      schedule_invalid, pc_greedy_size, pc_all_feasible, pc_obstructed,
+      pc_gain;
   for (const InstanceRecord& rec : result.instances) {
     zeta.Add(rec.zeta);
     if (rec.alg1_size >= 0) {
@@ -129,6 +185,15 @@ void Aggregate(ScenarioResult& result) {
       schedule_slots.Add(rec.schedule_slots);
       schedule_invalid.Add(rec.schedule_valid ? 0.0 : 1.0);
     }
+    if (rec.pc_greedy_size >= 0) {
+      pc_greedy_size.Add(rec.pc_greedy_size);
+      pc_all_feasible.Add(rec.pc_all_feasible);
+      pc_obstructed.Add(rec.pc_obstructed);
+      // The feasibility gap, per instance, when the uniform greedy also ran.
+      if (rec.greedy_size >= 0) {
+        pc_gain.Add(rec.pc_greedy_size - rec.greedy_size);
+      }
+    }
   }
   result.aggregate = {
       {"zeta", zeta},
@@ -141,6 +206,10 @@ void Aggregate(ScenarioResult& result) {
       {"partition_classes", partition_classes},
       {"schedule_slots", schedule_slots},
       {"schedule_invalid", schedule_invalid},
+      {"pc_greedy_size", pc_greedy_size},
+      {"pc_all_feasible", pc_all_feasible},
+      {"pc_obstructed", pc_obstructed},
+      {"pc_gain_vs_uniform", pc_gain},
   };
 }
 
@@ -148,7 +217,14 @@ void Aggregate(ScenarioResult& result) {
 
 std::vector<TaskKind> AllTasks() {
   return {TaskKind::kAlgorithm1, TaskKind::kGreedyBaseline,
-          TaskKind::kWeighted, TaskKind::kPartitions, TaskKind::kSchedule};
+          TaskKind::kWeighted,   TaskKind::kPartitions,
+          TaskKind::kSchedule,   TaskKind::kPowerControl};
+}
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hc = std::thread::hardware_concurrency();
+  return static_cast<int>(hc == 0 ? 1 : hc);
 }
 
 void MetricSummary::Add(double v) {
@@ -166,11 +242,10 @@ ScenarioResult BatchRunner::RunOne(const ScenarioSpec& spec) const {
   result.spec = spec;
   result.instances.resize(static_cast<std::size_t>(spec.instances));
 
-  int threads = config_.threads;
-  if (threads <= 0) {
-    const unsigned hc = std::thread::hardware_concurrency();
-    threads = static_cast<int>(hc == 0 ? 1 : hc);
-  }
+  int threads = ResolveThreads(config_.threads);
+  DL_CHECK(config_.arenas.empty() ||
+               static_cast<int>(config_.arenas.size()) >= threads,
+           "arena span must cover every worker thread");
   threads = std::min(threads, spec.instances);
   // Measured-zeta specs run ComputeMetricity per instance, which splits
   // its outer loop across all hardware threads once the space reaches 64
@@ -186,19 +261,22 @@ ScenarioResult BatchRunner::RunOne(const ScenarioSpec& spec) const {
   // Work stealing over instance indices; records land in their own slot, so
   // nothing about the interleaving survives into the results.
   std::atomic<int> next{0};
-  const auto worker = [&] {
+  const auto worker = [&](int t) {
+    sinr::KernelArena* arena =
+        t < static_cast<int>(config_.arenas.size()) ? &config_.arenas[t]
+                                                    : nullptr;
     for (int i = next.fetch_add(1); i < spec.instances;
          i = next.fetch_add(1)) {
       result.instances[static_cast<std::size_t>(i)] =
-          RunInstance(spec, i, config_.tasks);
+          RunInstance(spec, i, config_.tasks, arena);
     }
   };
   if (threads <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
     for (std::thread& t : pool) t.join();
   }
   result.batch_wall_ms = ElapsedMs(batch_start);

@@ -4,9 +4,10 @@
 // BatchRunner takes a list of ScenarioSpecs, instantiates every instance of
 // every family, builds each instance's sinr::KernelCache exactly once, and
 // runs a pluggable set of algorithm tasks (Algorithm 1, the greedy baseline,
-// weighted capacity, the Lemma 4.1 partition, full scheduling) against the
-// warm cache.  Work items are distributed over a thread pool, but every
-// deterministic statistic is invariant under the thread count:
+// weighted capacity, the Lemma 4.1 partition, full scheduling, the cached
+// power-control oracle) against the warm cache.  Work items are distributed
+// over a thread pool, but every deterministic statistic is invariant under
+// the thread count:
 //   * instances are built from (spec, index) alone (see BuildInstance), so
 //     a worker's identity never leaks into an instance;
 //   * per-instance records land in a preallocated slot indexed by instance,
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "engine/scenario.h"
+#include "sinr/kernel.h"
 
 namespace decaylib::engine {
 
@@ -42,6 +44,9 @@ enum class TaskKind {
   kWeighted,        // WeightedAlgorithm1 with per-instance random weights
   kPartitions,      // Lemma41Partition of Algorithm 1's feasible set
   kSchedule,        // ScheduleLinks (Algorithm 1 extractor)
+  kPowerControl,    // cached Foschini-Miljanic oracle: greedy admission under
+                    // arbitrary power control + all-links verdicts, charting
+                    // the uniform-vs-power-control feasibility gap
 };
 
 // All tasks, in the canonical execution order.
@@ -50,6 +55,12 @@ std::vector<TaskKind> AllTasks();
 struct BatchConfig {
   int threads = 0;  // worker threads; 0 = hardware concurrency
   std::vector<TaskKind> tasks = AllTasks();
+  // Optional per-worker kernel arenas: worker t rebuilds every instance
+  // kernel in arenas[t] instead of allocating a fresh KernelCache.  When
+  // non-empty the span must cover the resolved thread count and outlive
+  // every Run; results are bit-identical either way (the sweep runner uses
+  // this to keep matrix slabs warm across an entire parameter grid).
+  std::span<sinr::KernelArena> arenas = {};
 };
 
 // Per-instance outcome.  Algorithm fields are -1 when the task was not in
@@ -68,6 +79,9 @@ struct InstanceRecord {
   int partition_classes = -1;
   int schedule_slots = -1;
   bool schedule_valid = true;
+  int pc_greedy_size = -1;   // greedy admission with the power-control oracle
+  int pc_all_feasible = -1;  // 1 iff all links feasible under some power
+  int pc_obstructed = -1;    // 1 iff some pair can never coexist
 
   // Wall clock, non-deterministic: instance + kernel build, then all tasks.
   double build_ms = 0.0;
@@ -126,5 +140,9 @@ class BatchRunner {
 // summaries, %.17g so doubles round-trip exactly).  Two runs of the same
 // specs agree bit-for-bit on this string regardless of thread count.
 std::string AggregateSignature(std::span<const ScenarioResult> results);
+
+// The worker-pool size a config's `threads` value resolves to:
+// the value itself when positive, hardware concurrency (min 1) at 0.
+int ResolveThreads(int requested);
 
 }  // namespace decaylib::engine

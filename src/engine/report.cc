@@ -7,50 +7,22 @@
 
 namespace decaylib::engine {
 
-namespace {
-
-std::string Fmt(double v, int digits = 2) {
+std::string FmtFixed(double v, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
   return buf;
 }
 
-// Scenario names are free-form user data; escape them before interpolating
-// into JSON string literals.
-std::string EscapeJson(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
-
-const MetricSummary* FindMetric(const ScenarioResult& r,
-                                const std::string& name) {
-  for (const auto& [key, m] : r.aggregate) {
+const MetricSummary* FindAggregateMetric(const ScenarioResult& result,
+                                         const std::string& name) {
+  for (const auto& [key, m] : result.aggregate) {
     if (key == name && m.count > 0) return &m;
   }
   return nullptr;
 }
 
-std::string MeanOf(const ScenarioResult& r, const std::string& name,
-                   int digits = 1) {
-  const MetricSummary* m = FindMetric(r, name);
-  return m != nullptr ? Fmt(m->Mean(), digits) : "-";
-}
-
-void PrintTable(const std::vector<std::string>& headers,
-                const std::vector<std::vector<std::string>>& rows) {
+void PrintMarkdownTable(const std::vector<std::string>& headers,
+                        const std::vector<std::vector<std::string>>& rows) {
   std::vector<std::size_t> width(headers.size());
   for (std::size_t c = 0; c < headers.size(); ++c) width[c] = headers[c].size();
   for (const auto& row : rows) {
@@ -75,6 +47,34 @@ void PrintTable(const std::vector<std::string>& headers,
   for (const auto& row : rows) print_row(row);
 }
 
+namespace {
+
+// Scenario names are free-form user data; escape them before interpolating
+// into JSON string literals.
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string MeanOf(const ScenarioResult& r, const std::string& name,
+                   int digits = 1) {
+  const MetricSummary* m = FindAggregateMetric(r, name);
+  return m != nullptr ? FmtFixed(m->Mean(), digits) : "-";
+}
+
 }  // namespace
 
 void PrintReport(std::span<const ScenarioResult> results) {
@@ -83,12 +83,14 @@ void PrintReport(std::span<const ScenarioResult> results) {
     rows.push_back({r.spec.name, r.spec.topology, std::to_string(r.spec.links),
                     std::to_string(r.instances.size()),
                     MeanOf(r, "zeta", 2), MeanOf(r, "alg1_size"),
-                    MeanOf(r, "greedy_size"), MeanOf(r, "schedule_slots"),
-                    Fmt(r.batch_wall_ms, 1), Fmt(r.Throughput(), 1)});
+                    MeanOf(r, "greedy_size"), MeanOf(r, "pc_greedy_size"),
+                    MeanOf(r, "schedule_slots"),
+                    FmtFixed(r.batch_wall_ms, 1), FmtFixed(r.Throughput(), 1)});
   }
-  PrintTable({"scenario", "topology", "links", "inst", "zeta", "|S| alg1",
-              "|S| greedy", "slots", "batch ms", "inst/s"},
-             rows);
+  PrintMarkdownTable({"scenario", "topology", "links", "inst", "zeta",
+                      "|S| alg1", "|S| greedy", "|S| pc", "slots", "batch ms",
+                      "inst/s"},
+                     rows);
 
   std::printf("feasibility/validation violations: %lld\n",
               ViolationCount(results));

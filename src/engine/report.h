@@ -11,10 +11,23 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
 #include "engine/batch_runner.h"
 
 namespace decaylib::engine {
+
+// Fixed-point formatting helper shared by the report layers.
+std::string FmtFixed(double v, int digits = 2);
+
+// Looks a named metric up in a result's aggregate; nullptr when absent or
+// empty (count == 0).
+const MetricSummary* FindAggregateMetric(const ScenarioResult& result,
+                                         const std::string& name);
+
+// Prints a right-aligned markdown table (also used by the sweep reports).
+void PrintMarkdownTable(const std::vector<std::string>& headers,
+                        const std::vector<std::vector<std::string>>& rows);
 
 // Prints one markdown table over all scenarios (per-family capacity,
 // rounds, throughput) followed by a per-metric aggregate block.

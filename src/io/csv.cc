@@ -98,4 +98,37 @@ bool WriteDecayCsvFile(const core::DecaySpace& space,
   return out.good();
 }
 
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void WriteCsvTable(std::span<const std::string> header,
+                   std::span<const std::vector<std::string>> rows,
+                   std::ostream& out) {
+  const auto write_row = [&out](std::span<const std::string> row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << CsvEscape(row[c]) << (c + 1 < row.size() ? "," : "");
+    }
+    out << "\n";
+  };
+  write_row(header);
+  for (const std::vector<std::string>& row : rows) write_row(row);
+}
+
+bool WriteCsvTableFile(std::span<const std::string> header,
+                       std::span<const std::vector<std::string>> rows,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteCsvTable(header, rows, out);
+  return out.good();
+}
+
 }  // namespace decaylib::io

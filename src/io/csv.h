@@ -6,11 +6,16 @@
 // interchange: square CSV matrices of decays, with the diagonal written as 0
 // and ignored on read.  Parsing is strict -- a malformed matrix should fail
 // loudly at the boundary rather than produce a subtly wrong space.
+// Besides matrices, the module writes generic CSV tables (header + string
+// rows, RFC-4180-style quoting) -- the export path of the sweep engine's
+// per-cell results.
 #pragma once
 
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/decay_space.h"
 
@@ -30,5 +35,18 @@ ParseResult ReadDecayCsvFile(const std::string& path);
 // Writes the matrix with full round-trip precision (%.17g).
 void WriteDecayCsv(const core::DecaySpace& space, std::ostream& out);
 bool WriteDecayCsvFile(const core::DecaySpace& space, const std::string& path);
+
+// One CSV cell, quoted per RFC 4180 when it contains a comma, a double
+// quote, or a line break (embedded quotes are doubled).
+std::string CsvEscape(const std::string& cell);
+
+// Writes a header row followed by data rows.  Rows may be ragged; each is
+// emitted as-is (no padding to the header width).
+void WriteCsvTable(std::span<const std::string> header,
+                   std::span<const std::vector<std::string>> rows,
+                   std::ostream& out);
+bool WriteCsvTableFile(std::span<const std::string> header,
+                       std::span<const std::vector<std::string>> rows,
+                       const std::string& path);
 
 }  // namespace decaylib::io

@@ -17,8 +17,16 @@ std::size_t Idx(int a, int b, int n) {
 
 }  // namespace
 
-KernelCache::KernelCache(const LinkSystem& system, PowerAssignment power)
-    : system_(&system), power_(std::move(power)), n_(system.NumLinks()) {
+KernelCache::KernelCache(const LinkSystem& system, PowerAssignment power) {
+  std::vector<double> scratch;
+  Build(system, std::move(power), scratch);
+}
+
+void KernelCache::Build(const LinkSystem& system, PowerAssignment power,
+                        std::vector<double>& scratch) {
+  system_ = &system;
+  power_ = std::move(power);
+  n_ = system.NumLinks();
   DL_CHECK(static_cast<int>(power_.size()) == n_, "one power entry per link");
   const std::size_t n = static_cast<std::size_t>(n_);
   const core::DecaySpace& space = system.space();
@@ -33,6 +41,9 @@ KernelCache::KernelCache(const LinkSystem& system, PowerAssignment power)
     }
   }
 
+  // Every container below is fully overwritten (assign, or resize followed
+  // by a write to each entry), so rebuilding into a warm arena slot yields
+  // the same bits as a fresh construction.
   link_decay_.resize(n);
   can_overcome_.resize(n);
   noise_factor_.assign(n, 0.0);
@@ -60,17 +71,21 @@ KernelCache::KernelCache(const LinkSystem& system, PowerAssignment power)
     rcv[static_cast<std::size_t>(v)] = system.link(v).receiver;
   }
 
-  // cross[w*n + v] = f(s_w, r_v) = CrossDecay(w, v), then its transpose.
-  std::vector<double> cross(n * n);
+  // cross_decay_[w*n + v] = f(s_w, r_v) = CrossDecay(w, v), then its
+  // transpose into the arena scratch.  The cross matrix is kept as a member:
+  // it backs the CrossDecay query and the power-control kernels below.
+  cross_decay_.resize(n * n);
+  double* cross = cross_decay_.data();
   for (int w = 0; w < n_; ++w) {
-    double* out = cross.data() + static_cast<std::size_t>(w) * n;
+    double* out = cross + static_cast<std::size_t>(w) * n;
     const double* row_sw =
         fd + static_cast<std::size_t>(snd[static_cast<std::size_t>(w)]) * sm;
     for (int v = 0; v < n_; ++v) {
       out[v] = row_sw[static_cast<std::size_t>(rcv[static_cast<std::size_t>(v)])];
     }
   }
-  std::vector<double> cross_t(n * n);
+  scratch.resize(n * n);
+  double* cross_t = scratch.data();
   {
     constexpr std::size_t kTile = 32;
     for (std::size_t wb = 0; wb < n; wb += kTile) {
@@ -92,17 +107,22 @@ KernelCache::KernelCache(const LinkSystem& system, PowerAssignment power)
   // to LinkSystem::AffectanceRaw -- same expression, with c_v and f_vv
   // hoisted.  Under uniform power the P_w / P_v factor equals exactly 1.0
   // (IEEE x / x == 1.0), so the two extra ops can be skipped without
-  // changing the rounded result.
-  aff_raw_.assign(n * n, 0.0);
+  // changing the rounded result.  Every n x n matrix from here on writes
+  // its zero entries explicitly instead of pre-clearing with assign: on a
+  // warm arena slab the resize is then a no-op, saving one full memset pass
+  // per matrix per rebuild (a fresh vector still zero-initialises, so the
+  // cold path is unchanged).
+  aff_raw_.resize(n * n);
   for (int w = 0; w < n_; ++w) {
     const std::size_t sw = static_cast<std::size_t>(w);
     double* out = aff_raw_.data() + sw * n;
-    const double* cross_w = cross.data() + sw * n;
+    const double* cross_w = cross + sw * n;
     const double pw = power_[sw];
     for (int v = 0; v < n_; ++v) {
       const std::size_t sv = static_cast<std::size_t>(v);
-      if (v == w || !can_overcome_[sv]) continue;
-      if (uniform_power_) {
+      if (v == w || !can_overcome_[sv]) {
+        out[sv] = 0.0;
+      } else if (uniform_power_) {
         out[sv] = noise_factor_[sv] * (link_decay_[sv] / cross_w[sv]);
       } else {
         out[sv] =
@@ -110,19 +130,23 @@ KernelCache::KernelCache(const LinkSystem& system, PowerAssignment power)
       }
     }
   }
-  aff_raw_t_.assign(n * n, 0.0);
+  aff_raw_t_.resize(n * n);
   for (int v = 0; v < n_; ++v) {
     const std::size_t sv = static_cast<std::size_t>(v);
-    if (!can_overcome_[sv]) continue;
     double* out = aff_raw_t_.data() + sv * n;
-    const double* cross_v = cross_t.data() + sv * n;
+    if (!can_overcome_[sv]) {
+      std::fill(out, out + n, 0.0);
+      continue;
+    }
+    const double* cross_v = cross_t + sv * n;
     const double cv = noise_factor_[sv];
     const double fvv = link_decay_[sv];
     const double pv = power_[sv];
     for (int w = 0; w < n_; ++w) {
-      if (w == v) continue;
       const std::size_t sw = static_cast<std::size_t>(w);
-      if (uniform_power_) {
+      if (w == v) {
+        out[sw] = 0.0;
+      } else if (uniform_power_) {
         out[sw] = cv * (fvv / cross_v[sw]);
       } else {
         out[sw] = cv * (power_[sw] / pv * fvv / cross_v[sw]);
@@ -136,15 +160,18 @@ KernelCache::KernelCache(const LinkSystem& system, PowerAssignment power)
   // The matrix is stored for ordered (v, w): in an asymmetric space the
   // sender-sender and receiver-receiver legs are ordered pairs, so
   // d(l_v, l_w) need not equal d(l_w, l_v).
-  min_pair_decay_.assign(n * n, 0.0);
+  min_pair_decay_.resize(n * n);
   for (int v = 0; v < n_; ++v) {
     const std::size_t sv = static_cast<std::size_t>(v);
     double* out = min_pair_decay_.data() + sv * n;
     const double* row_sv = fd + static_cast<std::size_t>(snd[sv]) * sm;
     const double* row_rv = fd + static_cast<std::size_t>(rcv[sv]) * sm;
-    const double* cross_v = cross_t.data() + sv * n;  // f(s_w, r_v) over w
+    const double* cross_v = cross_t + sv * n;  // f(s_w, r_v) over w
     for (int w = 0; w < n_; ++w) {
-      if (w == v) continue;
+      if (w == v) {
+        out[static_cast<std::size_t>(w)] = 0.0;
+        continue;
+      }
       const std::size_t w_snd =
           static_cast<std::size_t>(snd[static_cast<std::size_t>(w)]);
       const std::size_t w_rcv =
@@ -157,6 +184,15 @@ KernelCache::KernelCache(const LinkSystem& system, PowerAssignment power)
           std::min(std::min(sv_rw, sw_rv), std::min(sv_sw, rv_rw));
     }
   }
+}
+
+// --- KernelArena -------------------------------------------------------------
+
+const KernelCache& KernelArena::Rebuild(const LinkSystem& system,
+                                        PowerAssignment power) {
+  slot_.Build(system, std::move(power), scratch_);
+  ++rebuilds_;
+  return slot_;
 }
 
 double KernelCache::InAffectance(std::span<const int> S, int v) const {

@@ -11,7 +11,11 @@
 // AffectanceAccumulator turns the O(|S|) re-summations of greedy admission
 // loops into O(1) reads with O(n) per-admission updates; SeparationOracle
 // evaluates eta/zeta separation predicates in the decay domain without any
-// pow on the hot path.
+// pow on the hot path.  The cache also materialises the cross-decay kernel
+// and derives the normalised-gain kernel from it, which back the cached
+// power-control oracle (power_control.h overloads); KernelArena rebuilds a
+// cache slot in place so batched/swept runs stop paying the allocator per
+// instance.
 //
 // Bit-exactness contract: for the same (system, power), every query method
 // here returns *bit-for-bit* the same double as the corresponding naive
@@ -78,6 +82,25 @@ class KernelCache {
     return raw < 1.0 ? raw : 1.0;
   }
 
+  // f_wv = f(s_w, r_v), cached; bit-identical to LinkSystem::CrossDecay.
+  double CrossDecay(int w, int v) const {
+    return cross_decay_[static_cast<std::size_t>(w) *
+                            static_cast<std::size_t>(n_) +
+                        static_cast<std::size_t>(v)];
+  }
+
+  // Normalised-gain kernel of the power-control fixed point (Foschini-
+  // Miljanic): B(v, w) = beta * f_vv / f(s_w, r_v), zero diagonal.
+  // Computed on demand from the cached decay/cross matrices with exactly
+  // the per-entry expression FeasibleWithPowerControl's naive path builds
+  // (beta * f_ii / CrossDecay), so the cached fixed point stays
+  // bit-identical -- without charging every KernelCache build an n x n
+  // matrix only the power-control oracle reads.
+  double NormalizedGain(int v, int w) const {
+    if (w == v) return 0.0;
+    return system_->config().beta * LinkDecay(v) / CrossDecay(w, v);
+  }
+
   // min{f(s_v,r_w), f(s_w,r_v), f(s_v,s_w), f(r_v,r_w)}: the link
   // quasi-distance before the ^{1/zeta}; zeta-independent.  Symmetric only
   // when the decay space is (the sender-sender / receiver-receiver legs are
@@ -112,17 +135,54 @@ class KernelCache {
 
  private:
   friend class AffectanceAccumulator;
+  friend class KernelArena;
 
-  const LinkSystem* system_;
+  // Empty cache (n = 0, no system): every query but NumLinks would
+  // dereference the null system, so only KernelArena -- which always
+  // Rebuilds before handing the cache out -- may construct one.
+  KernelCache() = default;
+
+  // (Re)builds every matrix for (system, power); `scratch` provides the
+  // transpose workspace so arena rebuilds allocate nothing once warm.
+  void Build(const LinkSystem& system, PowerAssignment power,
+             std::vector<double>& scratch);
+
+  const LinkSystem* system_ = nullptr;
   PowerAssignment power_;
-  int n_;
-  bool uniform_power_;
+  int n_ = 0;
+  bool uniform_power_ = true;
   std::vector<double> link_decay_;    // f_vv
   std::vector<char> can_overcome_;    // P_v / f_vv > beta N
   std::vector<double> noise_factor_;  // c_v (0 when !can_overcome_)
   std::vector<double> aff_raw_;       // [w*n + v] = a_w(v), unclamped
   std::vector<double> aff_raw_t_;     // [v*n + w] = a_w(v)  (transpose)
   std::vector<double> min_pair_decay_;  // [v*n + w], symmetric
+  std::vector<double> cross_decay_;     // [w*n + v] = f(s_w, r_v)
+};
+
+// Reusable KernelCache storage: one cache slot plus the build scratch,
+// rebuilt in place instead of reallocated.  Same-shape rebuilds (the batch
+// and sweep runners build thousands of caches of identical n) touch the
+// allocator zero times once the slot is warm; different shapes simply
+// re-grow.  The rebuilt cache is bit-identical to a freshly constructed
+// KernelCache over the same (system, power) -- Build overwrites every
+// entry, so nothing of the previous instance survives.  One arena per
+// worker thread; the returned reference is valid until the next Rebuild.
+class KernelArena {
+ public:
+  // The returned reference is invalidated by the next Rebuild, and the
+  // rebuilt cache holds a pointer into `system` -- do not keep either
+  // beyond the system's lifetime (there is deliberately no accessor for
+  // the last-built cache: it would dangle once the batch's instances are
+  // destroyed).
+  const KernelCache& Rebuild(const LinkSystem& system, PowerAssignment power);
+
+  long long rebuilds() const noexcept { return rebuilds_; }
+
+ private:
+  KernelCache slot_;
+  std::vector<double> scratch_;
+  long long rebuilds_ = 0;
 };
 
 // Running in/out-affectance sums over a growing (or shrinking) set of links.

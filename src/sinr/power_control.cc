@@ -7,34 +7,19 @@
 
 namespace decaylib::sinr {
 
-PowerControlResult FeasibleWithPowerControl(const LinkSystem& system,
-                                            std::span<const int> S,
-                                            int max_iterations, double tol) {
+namespace {
+
+// The Foschini-Miljanic loop over a prebuilt normalised-gain matrix B
+// (row-major k x k, flat: the loop runs per admitted link per sweep cell,
+// so the matrix avoids per-row allocations and indirection) and constant
+// term c.  Both the naive and the cached front ends fill (B, c)
+// entry-by-entry with the identical floating-point expression and then call
+// this, so the two paths return bit-identical results by construction.
+PowerControlResult RunFixedPoint(const std::vector<double>& B,
+                                 const std::vector<double>& c, double noise,
+                                 int max_iterations, double tol) {
   PowerControlResult result;
-  const auto k = S.size();
-  if (k == 0) {
-    result.feasible = true;
-    return result;
-  }
-  const double beta = system.config().beta;
-  const double noise = system.config().noise;
-
-  // Local matrix B[i][j] = beta * G(S[j] -> S[i]) / G(S[i] -> S[i])
-  //                      = beta * f_ii / f_ji  (decay form), zero diagonal.
-  std::vector<std::vector<double>> B(k, std::vector<double>(k, 0.0));
-  for (std::size_t i = 0; i < k; ++i) {
-    const double fii = system.LinkDecay(S[i]);
-    for (std::size_t j = 0; j < k; ++j) {
-      if (i == j) continue;
-      B[i][j] = beta * fii / system.CrossDecay(S[j], S[i]);
-    }
-  }
-  // Constant term: beta * N * f_ii.
-  std::vector<double> c(k, 0.0);
-  for (std::size_t i = 0; i < k; ++i) {
-    c[i] = beta * noise * system.LinkDecay(S[i]);
-  }
-
+  const std::size_t k = c.size();
   std::vector<double> p(k, 1.0);
   std::vector<double> next(k, 0.0);
   double growth = 0.0;
@@ -44,7 +29,8 @@ PowerControlResult FeasibleWithPowerControl(const LinkSystem& system,
     double max_rel_change = 0.0;
     for (std::size_t i = 0; i < k; ++i) {
       double acc = c[i];
-      for (std::size_t j = 0; j < k; ++j) acc += B[i][j] * p[j];
+      const double* row = B.data() + i * k;
+      for (std::size_t j = 0; j < k; ++j) acc += row[j] * p[j];
       next[i] = acc;
       max_next = std::max(max_next, acc);
       if (p[i] > 0.0) {
@@ -118,6 +104,67 @@ PowerControlResult FeasibleWithPowerControl(const LinkSystem& system,
   return result;
 }
 
+}  // namespace
+
+PowerControlResult FeasibleWithPowerControl(const LinkSystem& system,
+                                            std::span<const int> S,
+                                            int max_iterations, double tol) {
+  PowerControlResult result;
+  const auto k = S.size();
+  if (k == 0) {
+    result.feasible = true;
+    return result;
+  }
+  const double beta = system.config().beta;
+  const double noise = system.config().noise;
+
+  // Local matrix B[i][j] = beta * G(S[j] -> S[i]) / G(S[i] -> S[i])
+  //                      = beta * f_ii / f_ji  (decay form), zero diagonal.
+  std::vector<double> B(k * k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double fii = system.LinkDecay(S[i]);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (i == j) continue;
+      B[i * k + j] = beta * fii / system.CrossDecay(S[j], S[i]);
+    }
+  }
+  // Constant term: beta * N * f_ii.
+  std::vector<double> c(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    c[i] = beta * noise * system.LinkDecay(S[i]);
+  }
+  return RunFixedPoint(B, c, noise, max_iterations, tol);
+}
+
+PowerControlResult FeasibleWithPowerControl(const KernelCache& kernel,
+                                            std::span<const int> S,
+                                            int max_iterations, double tol) {
+  PowerControlResult result;
+  const auto k = S.size();
+  if (k == 0) {
+    result.feasible = true;
+    return result;
+  }
+  const double beta = kernel.system().config().beta;
+  const double noise = kernel.system().config().noise;
+
+  // The kernel's normalised-gain entries are the naive per-call expression
+  // beta * f_ii / f_ji materialised once; gathering the S x S submatrix is
+  // pure loads.
+  std::vector<double> B(k * k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (i == j) continue;
+      B[i * k + j] = kernel.NormalizedGain(S[i], S[j]);
+    }
+  }
+  std::vector<double> c(k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    c[i] = beta * noise * kernel.LinkDecay(S[i]);
+  }
+  return RunFixedPoint(B, c, noise, max_iterations, tol);
+}
+
 double PairwiseAffectanceProduct(const LinkSystem& system, int v, int w) {
   DL_CHECK(v != w, "need two distinct links");
   const double beta = system.config().beta;
@@ -125,11 +172,31 @@ double PairwiseAffectanceProduct(const LinkSystem& system, int v, int w) {
          (system.CrossDecay(v, w) * system.CrossDecay(w, v));
 }
 
+double PairwiseAffectanceProduct(const KernelCache& kernel, int v, int w) {
+  DL_CHECK(v != w, "need two distinct links");
+  const double beta = kernel.system().config().beta;
+  return beta * beta * kernel.LinkDecay(v) * kernel.LinkDecay(w) /
+         (kernel.CrossDecay(v, w) * kernel.CrossDecay(w, v));
+}
+
 bool HasPairwiseObstruction(const LinkSystem& system, std::span<const int> S) {
   const double beta = system.config().beta;
   for (std::size_t i = 0; i < S.size(); ++i) {
     for (std::size_t j = i + 1; j < S.size(); ++j) {
       if (PairwiseAffectanceProduct(system, S[i], S[j]) > beta * beta) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool HasPairwiseObstruction(const KernelCache& kernel,
+                            std::span<const int> S) {
+  const double beta = kernel.system().config().beta;
+  for (std::size_t i = 0; i < S.size(); ++i) {
+    for (std::size_t j = i + 1; j < S.size(); ++j) {
+      if (PairwiseAffectanceProduct(kernel, S[i], S[j]) > beta * beta) {
         return true;
       }
     }

@@ -1,0 +1,197 @@
+#include "sweep/sweep.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "core/check.h"
+
+namespace decaylib::sweep {
+
+namespace {
+
+struct FieldEntry {
+  const char* name;
+  void (*apply)(engine::ScenarioSpec&, double);
+  bool integral;
+};
+
+void CheckIntegral(double value, const char* field) {
+  DL_CHECK(std::isfinite(value) && value == std::floor(value),
+           "integer sweep field needs an integral value");
+  (void)field;
+}
+
+const std::vector<FieldEntry>& FieldTable() {
+  static const std::vector<FieldEntry> table = {
+      {"links",
+       [](engine::ScenarioSpec& s, double v) {
+         CheckIntegral(v, "links");
+         DL_CHECK(v >= 1.0, "links axis values must be >= 1");
+         s.links = static_cast<int>(v);
+       },
+       true},
+      {"instances",
+       [](engine::ScenarioSpec& s, double v) {
+         CheckIntegral(v, "instances");
+         DL_CHECK(v >= 1.0, "instances axis values must be >= 1");
+         s.instances = static_cast<int>(v);
+       },
+       true},
+      {"alpha", [](engine::ScenarioSpec& s, double v) { s.alpha = v; }, false},
+      {"sigma_db", [](engine::ScenarioSpec& s, double v) { s.sigma_db = v; },
+       false},
+      {"power_tau", [](engine::ScenarioSpec& s, double v) { s.power_tau = v; },
+       false},
+      {"beta", [](engine::ScenarioSpec& s, double v) { s.beta = v; }, false},
+      {"noise", [](engine::ScenarioSpec& s, double v) { s.noise = v; }, false},
+      {"zeta", [](engine::ScenarioSpec& s, double v) { s.zeta = v; }, false},
+  };
+  return table;
+}
+
+const FieldEntry* FindField(const std::string& field) {
+  for (const FieldEntry& entry : FieldTable()) {
+    if (field == entry.name) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string FormatAxisValue(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+std::vector<std::string> SweepableFields() {
+  std::vector<std::string> names;
+  names.reserve(FieldTable().size());
+  for (const FieldEntry& entry : FieldTable()) names.push_back(entry.name);
+  return names;
+}
+
+bool IsSweepableField(const std::string& field) {
+  return FindField(field) != nullptr;
+}
+
+void ApplyAxisValue(engine::ScenarioSpec& spec, const std::string& field,
+                    double value) {
+  const FieldEntry* entry = FindField(field);
+  DL_CHECK(entry != nullptr, "unknown sweep field");
+  entry->apply(spec, value);
+}
+
+long long GridSize(const SweepSpec& spec) {
+  long long size = 1;
+  for (const SweepAxis& axis : spec.axes) {
+    DL_CHECK(!axis.values.empty(), "sweep axis needs at least one value");
+    size *= static_cast<long long>(axis.values.size());
+    // SweepCell::index is an int; keep the flat index representable.
+    DL_CHECK(size <= std::numeric_limits<int>::max(),
+             "sweep grid exceeds the flat cell-index range");
+  }
+  return size;
+}
+
+std::vector<SweepCell> ExpandGrid(const SweepSpec& spec) {
+  for (const SweepAxis& axis : spec.axes) {
+    DL_CHECK(IsSweepableField(axis.field), "unknown sweep axis field");
+    DL_CHECK(!axis.values.empty(), "sweep axis needs at least one value");
+  }
+  const long long size = GridSize(spec);
+  const std::size_t rank = spec.axes.size();
+
+  std::vector<SweepCell> cells;
+  cells.reserve(static_cast<std::size_t>(size));
+  std::vector<int> coords(rank, 0);
+  for (long long index = 0; index < size; ++index) {
+    SweepCell cell;
+    cell.index = static_cast<int>(index);
+    cell.coords = coords;
+    cell.spec = spec.base;
+    std::string suffix;
+    for (std::size_t a = 0; a < rank; ++a) {
+      const SweepAxis& axis = spec.axes[a];
+      const double value =
+          axis.values[static_cast<std::size_t>(coords[a])];
+      ApplyAxisValue(cell.spec, axis.field, value);
+      suffix +=
+          (a == 0 ? "/" : ",") + axis.field + "=" + FormatAxisValue(value);
+    }
+    cell.spec.name = spec.base.name + suffix;
+    cells.push_back(std::move(cell));
+
+    // Row-major odometer: the last axis varies fastest.
+    for (std::size_t a = rank; a-- > 0;) {
+      if (++coords[a] < static_cast<int>(spec.axes[a].values.size())) break;
+      coords[a] = 0;
+    }
+  }
+  return cells;
+}
+
+std::vector<SweepSpec> BuiltinSweeps() {
+  std::vector<SweepSpec> sweeps;
+
+  // The paper's headline curve: capacity and schedule length as the decay
+  // exponent hardens, at two deployment sizes.
+  {
+    SweepSpec sweep;
+    sweep.name = "capacity_vs_alpha";
+    sweep.base.name = "capacity_vs_alpha";
+    sweep.base.topology = "uniform";
+    sweep.base.links = 32;
+    sweep.base.instances = 4;
+    sweep.base.seed = 1101;
+    sweep.axes = {{"links", {24, 48}}, {"alpha", {2.5, 3.0, 3.5, 4.0}}};
+    sweeps.push_back(std::move(sweep));
+  }
+
+  // The Theorem 3/6 question made a chart: how much capacity does arbitrary
+  // power control buy over uniform power, as the oblivious power policy and
+  // the decay exponent vary.
+  {
+    SweepSpec sweep;
+    sweep.name = "power_control_gap";
+    sweep.base.name = "power_control_gap";
+    sweep.base.topology = "uniform";
+    sweep.base.links = 32;
+    sweep.base.instances = 4;
+    sweep.base.seed = 2202;
+    sweep.axes = {{"power_tau", {0.0, 0.5, 1.0}}, {"alpha", {2.5, 3.5}}};
+    sweep.tasks = {engine::TaskKind::kAlgorithm1,
+                   engine::TaskKind::kGreedyBaseline,
+                   engine::TaskKind::kPowerControl};
+    sweeps.push_back(std::move(sweep));
+  }
+
+  // Robustness frontier: feasibility under growing ambient noise and
+  // shadowing spread (clustered layout, where hotspots concentrate
+  // interference).
+  {
+    SweepSpec sweep;
+    sweep.name = "noise_frontier";
+    sweep.base.name = "noise_frontier";
+    sweep.base.topology = "clustered";
+    sweep.base.links = 32;
+    sweep.base.instances = 4;
+    sweep.base.zeta = 4.0;  // headroom for the shadowed cells
+    sweep.base.seed = 3303;
+    sweep.axes = {{"noise", {0.0, 0.01, 0.05}}, {"sigma_db", {0.0, 6.0}}};
+    sweeps.push_back(std::move(sweep));
+  }
+
+  return sweeps;
+}
+
+std::optional<SweepSpec> FindBuiltinSweep(const std::string& name) {
+  for (SweepSpec& sweep : BuiltinSweeps()) {
+    if (sweep.name == name) return std::move(sweep);
+  }
+  return std::nullopt;
+}
+
+}  // namespace decaylib::sweep

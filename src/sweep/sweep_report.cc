@@ -1,0 +1,213 @@
+#include "sweep/sweep_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "engine/report.h"
+#include "io/csv.h"
+
+namespace decaylib::sweep {
+
+namespace {
+
+using engine::FindAggregateMetric;
+using engine::FmtFixed;
+using engine::PrintMarkdownTable;
+
+// The metrics the human-readable tables lead with (the CSV export carries
+// all of them); each prints only when some cell produced it.
+const std::vector<std::string>& HeadlineMetrics() {
+  static const std::vector<std::string> metrics = {
+      "alg1_size",      "greedy_size",        "pc_greedy_size",
+      "pc_all_feasible", "pc_gain_vs_uniform", "schedule_slots",
+  };
+  return metrics;
+}
+
+// The headline metrics that actually occurred somewhere in the grid.
+std::vector<std::string> PresentHeadlines(const SweepResult& result) {
+  std::vector<std::string> present;
+  for (const std::string& name : HeadlineMetrics()) {
+    for (const SweepCellResult& cell : result.cells) {
+      if (FindAggregateMetric(cell.result, name) != nullptr) {
+        present.push_back(name);
+        break;
+      }
+    }
+  }
+  return present;
+}
+
+}  // namespace
+
+void PrintSweepReport(const SweepResult& result) {
+  const std::vector<std::string> metrics = PresentHeadlines(result);
+
+  std::printf("sweep %s: %zu cells, %s cells/s (%.1f ms",
+              result.spec.name.c_str(), result.cells.size(),
+              FmtFixed(result.CellsPerSecond(), 2).c_str(), result.wall_ms);
+  if (result.arena_rebuilds > 0) {
+    std::printf(", %lld kernels through arenas", result.arena_rebuilds);
+  }
+  std::printf(")\n\n");
+
+  // Per-cell table: axis coordinates + headline means.
+  std::vector<std::string> headers = {"cell"};
+  for (const SweepAxis& axis : result.spec.axes) headers.push_back(axis.field);
+  for (const std::string& name : metrics) headers.push_back(name);
+  std::vector<std::vector<std::string>> rows;
+  for (const SweepCellResult& cell : result.cells) {
+    std::vector<std::string> row = {std::to_string(cell.cell.index)};
+    for (std::size_t a = 0; a < result.spec.axes.size(); ++a) {
+      row.push_back(FormatAxisValue(result.spec.axes[a].values[
+          static_cast<std::size_t>(cell.cell.coords[a])]));
+    }
+    for (const std::string& name : metrics) {
+      const engine::MetricSummary* m = FindAggregateMetric(cell.result, name);
+      row.push_back(m != nullptr ? FmtFixed(m->Mean()) : "-");
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintMarkdownTable(headers, rows);
+
+  // One frontier table per axis: the 1-D mean curve of each headline
+  // metric along that axis, marginalised over all other axes.
+  for (std::size_t a = 0; a < result.spec.axes.size(); ++a) {
+    const SweepAxis& axis = result.spec.axes[a];
+    std::printf("\nfrontier along %s:\n", axis.field.c_str());
+    std::vector<std::string> fheaders = {axis.field, "cells"};
+    for (const std::string& name : metrics) fheaders.push_back(name);
+    std::vector<std::vector<std::string>> frows;
+    for (std::size_t k = 0; k < axis.values.size(); ++k) {
+      std::vector<std::string> row = {FormatAxisValue(axis.values[k]), ""};
+      int matching = 0;
+      std::vector<double> sums(metrics.size(), 0.0);
+      std::vector<long long> counts(metrics.size(), 0);
+      for (const SweepCellResult& cell : result.cells) {
+        if (cell.cell.coords[a] != static_cast<int>(k)) continue;
+        ++matching;
+        for (std::size_t m = 0; m < metrics.size(); ++m) {
+          const engine::MetricSummary* summary =
+              FindAggregateMetric(cell.result, metrics[m]);
+          if (summary != nullptr) {
+            sums[m] += summary->sum;
+            counts[m] += summary->count;
+          }
+        }
+      }
+      row[1] = std::to_string(matching);
+      for (std::size_t m = 0; m < metrics.size(); ++m) {
+        row.push_back(counts[m] > 0
+                          ? FmtFixed(sums[m] / static_cast<double>(counts[m]))
+                          : "-");
+      }
+      frows.push_back(std::move(row));
+    }
+    PrintMarkdownTable(fheaders, frows);
+  }
+}
+
+namespace {
+
+bool HasAxis(const SweepSpec& spec, const std::string& field) {
+  for (const SweepAxis& axis : spec.axes) {
+    if (axis.field == field) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> SweepCsvHeader(const SweepResult& result) {
+  std::vector<std::string> header = {"sweep", "cell"};
+  for (const SweepAxis& axis : result.spec.axes) header.push_back(axis.field);
+  // links/instances context columns, except when the axis columns already
+  // carry them (a duplicated header name would mangle CSV consumers).
+  if (!HasAxis(result.spec, "links")) header.push_back("links");
+  if (!HasAxis(result.spec, "instances")) header.push_back("instances");
+  // Every aggregate metric observed anywhere in the grid, first-seen order
+  // (aggregates list metrics in a fixed order, so this is stable).
+  for (const SweepCellResult& cell : result.cells) {
+    for (const auto& [name, m] : cell.result.aggregate) {
+      if (m.count == 0) continue;
+      const std::string column = name + "_mean";
+      if (std::find(header.begin(), header.end(), column) == header.end()) {
+        header.push_back(column);
+      }
+    }
+  }
+  return header;
+}
+
+namespace {
+
+// Rows for a header already computed by SweepCsvHeader (the header scan
+// walks every cell's aggregate map, so callers emitting both compute it
+// once and share it).
+std::vector<std::vector<std::string>> RowsForHeader(
+    const SweepResult& result, const std::vector<std::string>& header) {
+  const bool links_column = !HasAxis(result.spec, "links");
+  const bool instances_column = !HasAxis(result.spec, "instances");
+  const std::size_t fixed = 2 + result.spec.axes.size() +
+                            (links_column ? 1 : 0) +
+                            (instances_column ? 1 : 0);
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(result.cells.size());
+  char buf[64];
+  for (const SweepCellResult& cell : result.cells) {
+    std::vector<std::string> row = {result.spec.name,
+                                    std::to_string(cell.cell.index)};
+    for (std::size_t a = 0; a < result.spec.axes.size(); ++a) {
+      row.push_back(FormatAxisValue(result.spec.axes[a].values[
+          static_cast<std::size_t>(cell.cell.coords[a])]));
+    }
+    if (links_column) row.push_back(std::to_string(cell.result.spec.links));
+    if (instances_column) {
+      row.push_back(std::to_string(cell.result.instances.size()));
+    }
+    for (std::size_t c = fixed; c < header.size(); ++c) {
+      const std::string name = header[c].substr(0, header[c].size() - 5);
+      const engine::MetricSummary* m = FindAggregateMetric(cell.result, name);
+      if (m != nullptr) {
+        std::snprintf(buf, sizeof(buf), "%.10g", m->Mean());
+        row.push_back(buf);
+      } else {
+        row.push_back("");
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::string>> SweepCsvRows(const SweepResult& result) {
+  return RowsForHeader(result, SweepCsvHeader(result));
+}
+
+bool WriteSweepCsvFile(const SweepResult& result, const std::string& path) {
+  const std::vector<std::string> header = SweepCsvHeader(result);
+  const std::vector<std::vector<std::string>> rows =
+      RowsForHeader(result, header);
+  if (!io::WriteCsvTableFile(header, rows, path)) {
+    std::fprintf(stderr, "WriteSweepCsvFile: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s (%zu cells)\n", path.c_str(), rows.size());
+  return true;
+}
+
+bool WriteSweepJsonReport(const std::string& id,
+                          std::span<const SweepResult> results) {
+  std::vector<engine::ScenarioResult> flat;
+  for (const SweepResult& sweep : results) {
+    for (const SweepCellResult& cell : sweep.cells) {
+      flat.push_back(cell.result);
+    }
+  }
+  return engine::WriteJsonReport(id, flat);
+}
+
+}  // namespace decaylib::sweep

@@ -1,0 +1,79 @@
+#include "sweep/sweep_runner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "engine/report.h"
+
+namespace decaylib::sweep {
+
+SweepRunner::SweepRunner(SweepConfig config) : config_(std::move(config)) {}
+
+SweepResult SweepRunner::Run(const SweepSpec& spec) const {
+  SweepResult out;
+  out.spec = spec;
+
+  const int threads = engine::ResolveThreads(config_.threads);
+  // One arena per worker, shared across every cell of the grid.
+  std::vector<sinr::KernelArena> arenas;
+  if (config_.reuse_arena) {
+    arenas.resize(static_cast<std::size_t>(threads));
+  }
+
+  engine::BatchConfig batch;
+  batch.threads = threads;
+  batch.tasks = spec.tasks;
+  batch.arenas = std::span<sinr::KernelArena>(arenas);
+  const engine::BatchRunner runner(batch);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<SweepCell> cells = ExpandGrid(spec);
+  out.cells.reserve(cells.size());
+  for (SweepCell& cell : cells) {
+    engine::ScenarioResult result = runner.RunOne(cell.spec);
+    out.cells.push_back({std::move(cell), std::move(result)});
+  }
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  for (const sinr::KernelArena& arena : arenas) {
+    out.arena_rebuilds += arena.rebuilds();
+  }
+  return out;
+}
+
+std::vector<SweepResult> SweepRunner::RunAll(
+    std::span<const SweepSpec> specs) const {
+  std::vector<SweepResult> results;
+  results.reserve(specs.size());
+  for (const SweepSpec& spec : specs) results.push_back(Run(spec));
+  return results;
+}
+
+std::string SweepSignature(const SweepResult& result) {
+  std::string out = "sweep " + result.spec.name + " axes=";
+  for (std::size_t a = 0; a < result.spec.axes.size(); ++a) {
+    const SweepAxis& axis = result.spec.axes[a];
+    out += (a == 0 ? "" : ",") + axis.field + "[" +
+           std::to_string(axis.values.size()) + "]";
+  }
+  out += " cells=" + std::to_string(result.cells.size()) + "\n";
+  for (const SweepCellResult& cell : result.cells) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "cell %d\n", cell.cell.index);
+    out += buf;
+    out += engine::AggregateSignature(std::span(&cell.result, 1));
+  }
+  return out;
+}
+
+long long SweepViolationCount(const SweepResult& result) {
+  long long violations = 0;
+  for (const SweepCellResult& cell : result.cells) {
+    violations += engine::ViolationCount(std::span(&cell.result, 1));
+  }
+  return violations;
+}
+
+}  // namespace decaylib::sweep

@@ -1,0 +1,80 @@
+// Drives a parameter grid through the batch engine over shared kernel
+// arenas.
+//
+// SweepRunner expands a SweepSpec into its cell grid and runs each cell's
+// batch through one engine::BatchRunner.  The expensive part of a cell --
+// the per-instance KernelCache matrices -- is rebuilt inside per-worker
+// sinr::KernelArena slabs that live for the *whole sweep*: same-shape cells
+// (and every instance within a cell) reuse warm storage instead of paying
+// the allocator, and differently sized cells simply re-grow the slabs.
+//
+// Determinism contract, inherited and extended from the batch runner:
+//  * every deterministic statistic of every cell is invariant under the
+//    worker-thread count (the batch runner's contract), and
+//  * arena reuse is invisible in the results -- a swept cell's aggregates
+//    are bit-identical to the same cell run with per-instance allocation
+//    (KernelCache::Build overwrites every entry, so rebuilt slabs hold the
+//    same bits as fresh ones).
+// SweepSignature serialises the deterministic part of a whole grid; tests,
+// the sweep_runner CLI --smoke gate and bench_e20 assert both invariances.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sinr/kernel.h"
+#include "sweep/sweep.h"
+
+namespace decaylib::sweep {
+
+struct SweepConfig {
+  int threads = 0;          // per-cell worker pool; 0 = hardware concurrency
+  bool reuse_arena = true;  // rebuild kernels in per-worker arenas
+};
+
+struct SweepCellResult {
+  SweepCell cell;
+  engine::ScenarioResult result;
+};
+
+struct SweepResult {
+  SweepSpec spec;
+  std::vector<SweepCellResult> cells;  // grid (row-major) order
+
+  // Non-deterministic timing/accounting.
+  double wall_ms = 0.0;         // whole-grid wall time
+  long long arena_rebuilds = 0; // kernel builds that went through an arena
+
+  double CellsPerSecond() const {
+    return wall_ms > 0.0
+               ? 1000.0 * static_cast<double>(cells.size()) / wall_ms
+               : 0.0;
+  }
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepConfig config = {});
+
+  // Runs every cell of the grid, in grid order, against arenas shared
+  // across the whole sweep.
+  SweepResult Run(const SweepSpec& spec) const;
+
+  std::vector<SweepResult> RunAll(std::span<const SweepSpec> specs) const;
+
+  const SweepConfig& config() const noexcept { return config_; }
+
+ private:
+  SweepConfig config_;
+};
+
+// Serialises the deterministic part of a sweep: the grid identity plus
+// every cell's engine::AggregateSignature, in grid order.  Bit-identical
+// across thread counts and across arena/no-arena runs.
+std::string SweepSignature(const SweepResult& result);
+
+// Total feasibility/validation violations over all cells (must stay 0).
+long long SweepViolationCount(const SweepResult& result);
+
+}  // namespace decaylib::sweep

@@ -143,6 +143,53 @@ TEST(BatchRunnerTest, RegistryRoundTripFiniteStats) {
   }
 }
 
+// The power-control task records in-range gap statistics, and the cached
+// oracle admits at least every singleton.
+TEST(BatchRunnerTest, PowerControlTaskRecordsGapStatistics) {
+  BatchConfig config;
+  config.threads = 2;
+  config.tasks = {TaskKind::kGreedyBaseline, TaskKind::kPowerControl};
+  const ScenarioSpec spec = Small(BuiltinScenarios().front(), 10, 3);
+  const ScenarioResult result = BatchRunner(config).RunOne(spec);
+  for (const InstanceRecord& rec : result.instances) {
+    EXPECT_GE(rec.pc_greedy_size, 1);
+    EXPECT_LE(rec.pc_greedy_size, rec.links);
+    EXPECT_TRUE(rec.pc_all_feasible == 0 || rec.pc_all_feasible == 1);
+    EXPECT_TRUE(rec.pc_obstructed == 0 || rec.pc_obstructed == 1);
+  }
+  bool found_gap = false;
+  for (const auto& [name, m] : result.aggregate) {
+    if (name == "pc_gain_vs_uniform" && m.count > 0) found_gap = true;
+  }
+  EXPECT_TRUE(found_gap);
+}
+
+// Arena-backed kernel rebuilds must be invisible in the deterministic
+// aggregate: a batch run through per-worker arenas matches a batch with
+// per-instance allocation bit-for-bit.
+TEST(BatchRunnerTest, ArenaReuseBitIdenticalToPerInstanceKernels) {
+  std::vector<ScenarioSpec> specs;
+  for (const ScenarioSpec& spec : BuiltinScenarios()) {
+    specs.push_back(Small(spec, 10, 3));
+  }
+
+  BatchConfig plain;
+  plain.threads = 2;
+  const auto reference = BatchRunner(plain).Run(specs);
+
+  std::vector<sinr::KernelArena> arenas(2);
+  BatchConfig with_arenas = plain;
+  with_arenas.arenas = std::span(arenas);
+  const auto arena_run = BatchRunner(with_arenas).Run(specs);
+
+  EXPECT_EQ(AggregateSignature(reference), AggregateSignature(arena_run));
+  long long rebuilds = 0;
+  for (const sinr::KernelArena& arena : arenas) rebuilds += arena.rebuilds();
+  long long instances = 0;
+  for (const ScenarioSpec& spec : specs) instances += spec.instances;
+  EXPECT_EQ(rebuilds, instances);
+}
+
 TEST(BatchRunnerTest, TaskSubsetLeavesOtherMetricsUnset) {
   BatchConfig config;
   config.threads = 1;
@@ -155,6 +202,7 @@ TEST(BatchRunnerTest, TaskSubsetLeavesOtherMetricsUnset) {
   EXPECT_EQ(rec.weighted_size, -1);
   EXPECT_EQ(rec.partition_classes, -1);
   EXPECT_EQ(rec.schedule_slots, -1);
+  EXPECT_EQ(rec.pc_greedy_size, -1);
 }
 
 TEST(ReportTest, JsonReportRoundTrips) {

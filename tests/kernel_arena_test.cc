@@ -1,0 +1,130 @@
+// KernelArena reuse tests: a cache rebuilt into a warm arena slot must be
+// bit-identical to a freshly constructed KernelCache over the same
+// (system, power) -- across same-shape rebuilds, shape changes (grow and
+// shrink), and every query surface including the power-control kernels
+// added with the arena (CrossDecay, NormalizedGain).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/decay_space.h"
+#include "geom/rng.h"
+#include "geom/samplers.h"
+#include "sinr/kernel.h"
+#include "sinr/power.h"
+
+namespace decaylib::sinr {
+namespace {
+
+struct Instance {
+  core::DecaySpace space;
+  std::vector<Link> links;
+  SinrConfig config;
+};
+
+Instance MakeInstance(std::uint64_t seed, int link_count, double beta,
+                      double noise) {
+  geom::Rng rng(seed);
+  const auto pts = geom::SampleUniform(2 * link_count, 12.0, 12.0, rng);
+  Instance inst{core::DecaySpace::Geometric(pts, 3.0), {}, {beta, noise}};
+  for (int i = 0; i < link_count; ++i) inst.links.push_back({2 * i, 2 * i + 1});
+  return inst;
+}
+
+void ExpectBitIdentical(const KernelCache& fresh, const KernelCache& rebuilt) {
+  ASSERT_EQ(fresh.NumLinks(), rebuilt.NumLinks());
+  const int n = fresh.NumLinks();
+  EXPECT_EQ(fresh.HasUniformPower(), rebuilt.HasUniformPower());
+  for (int v = 0; v < n; ++v) {
+    EXPECT_EQ(fresh.LinkDecay(v), rebuilt.LinkDecay(v));
+    EXPECT_EQ(fresh.CanOvercomeNoise(v), rebuilt.CanOvercomeNoise(v));
+    EXPECT_EQ(fresh.NoiseFactor(v), rebuilt.NoiseFactor(v));
+    for (int w = 0; w < n; ++w) {
+      EXPECT_EQ(fresh.AffectanceRaw(w, v), rebuilt.AffectanceRaw(w, v));
+      EXPECT_EQ(fresh.MinPairDecay(v, w), rebuilt.MinPairDecay(v, w));
+      EXPECT_EQ(fresh.CrossDecay(w, v), rebuilt.CrossDecay(w, v));
+      EXPECT_EQ(fresh.NormalizedGain(v, w), rebuilt.NormalizedGain(v, w));
+    }
+  }
+}
+
+TEST(KernelArenaTest, RebuildMatchesFreshCacheSameShape) {
+  const Instance inst = MakeInstance(11, 20, 1.5, 0.0);
+  const LinkSystem system(inst.space, inst.links, inst.config);
+  const PowerAssignment power = UniformPower(system);
+
+  KernelArena arena;
+  arena.Rebuild(system, power);  // dirty the slot
+  const KernelCache& rebuilt = arena.Rebuild(system, power);
+  const KernelCache fresh(system, power);
+  ExpectBitIdentical(fresh, rebuilt);
+  EXPECT_EQ(arena.rebuilds(), 2);
+}
+
+TEST(KernelArenaTest, RebuildAcrossShapesAndRegimes) {
+  // Grow, shrink, and switch noise/power regimes through one arena; each
+  // rebuild must match a fresh cache exactly (nothing of the previous
+  // instance may survive in the reused slabs).
+  KernelArena arena;
+  struct Shape {
+    std::uint64_t seed;
+    int links;
+    double beta, noise, tau;
+  };
+  const std::vector<Shape> shapes = {
+      {21, 12, 1.5, 0.0, 0.0},
+      {22, 30, 1.0, 0.05, 0.0},  // bigger, noisy (some links drown)
+      {23, 8, 2.0, 0.0, 0.6},    // smaller, power law
+      {24, 30, 1.0, 0.01, 0.3},
+  };
+  for (const Shape& shape : shapes) {
+    const Instance inst =
+        MakeInstance(shape.seed, shape.links, shape.beta, shape.noise);
+    const LinkSystem system(inst.space, inst.links, inst.config);
+    const PowerAssignment power = shape.tau == 0.0
+                                      ? UniformPower(system)
+                                      : PowerLaw(system, shape.tau);
+    const KernelCache& rebuilt = arena.Rebuild(system, power);
+    const KernelCache fresh(system, power);
+    ExpectBitIdentical(fresh, rebuilt);
+  }
+  EXPECT_EQ(arena.rebuilds(), static_cast<long long>(shapes.size()));
+}
+
+TEST(KernelArenaTest, AggregateQueriesMatchThroughArena) {
+  const Instance inst = MakeInstance(31, 16, 1.0, 0.02);
+  const LinkSystem system(inst.space, inst.links, inst.config);
+  const PowerAssignment power = UniformPower(system);
+
+  KernelArena arena;
+  arena.Rebuild(system, power);
+  // Interleave a different system, then come back: the warm slabs must not
+  // leak between instances.
+  const Instance other = MakeInstance(32, 24, 1.5, 0.0);
+  const LinkSystem other_system(other.space, other.links, other.config);
+  arena.Rebuild(other_system, UniformPower(other_system));
+  const KernelCache& kernel = arena.Rebuild(system, power);
+
+  const KernelCache fresh(system, power);
+  const std::vector<int> all = AllLinks(system);
+  EXPECT_EQ(fresh.IsFeasible(all), kernel.IsFeasible(all));
+  for (int v = 0; v < system.NumLinks(); ++v) {
+    EXPECT_EQ(fresh.InAffectance(all, v), kernel.InAffectance(all, v));
+    EXPECT_EQ(fresh.OutAffectance(v, all), kernel.OutAffectance(v, all));
+  }
+  EXPECT_EQ(fresh.OrderByDecay(), kernel.OrderByDecay());
+}
+
+TEST(KernelArenaTest, RebuildCounterStartsAtZero) {
+  KernelArena arena;
+  EXPECT_EQ(arena.rebuilds(), 0);
+
+  const Instance inst = MakeInstance(41, 6, 1.0, 0.0);
+  const LinkSystem system(inst.space, inst.links, inst.config);
+  const KernelCache& kernel = arena.Rebuild(system, UniformPower(system));
+  EXPECT_EQ(kernel.NumLinks(), system.NumLinks());
+  EXPECT_EQ(arena.rebuilds(), 1);
+}
+
+}  // namespace
+}  // namespace decaylib::sinr

@@ -118,5 +118,93 @@ TEST(PairwiseObstructionTest, CleanPairHasNoObstruction) {
   EXPECT_FALSE(HasPairwiseObstruction(system, AllLinks(system)));
 }
 
+// --- cached (KernelCache) power control vs the naive LinkSystem path -------
+//
+// The cached oracles run on the kernel's normalised-gain / cross-decay
+// matrices; the contract is bit-for-bit agreement with the naive versions
+// (EXPECT_EQ on doubles), on random instances across noise regimes and
+// subset sizes.
+
+TEST(CachedPowerControlTest, MatchesNaiveOnRandomInstances) {
+  geom::Rng rng(7);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int link_count = 4 + trial;
+    const auto pts = geom::SampleUniform(2 * link_count, 25.0, 25.0, rng);
+    const core::DecaySpace space = core::DecaySpace::Geometric(pts, 3.0);
+    std::vector<Link> links;
+    for (int i = 0; i < link_count; ++i) links.push_back({2 * i, 2 * i + 1});
+    const double noise = trial % 2 == 0 ? 0.0 : 1e-4;
+    const LinkSystem system(space, links, {1.5, noise});
+    const KernelCache kernel(system, UniformPower(system));
+
+    // Pairwise product: identical expression over cached loads.
+    for (int v = 0; v < link_count; ++v) {
+      for (int w = 0; w < link_count; ++w) {
+        if (v == w) continue;
+        EXPECT_EQ(PairwiseAffectanceProduct(system, v, w),
+                  PairwiseAffectanceProduct(kernel, v, w))
+            << "trial " << trial << " pair " << v << "," << w;
+      }
+    }
+
+    // Feasibility and obstruction over the full set and growing prefixes.
+    std::vector<int> S;
+    for (int v = 0; v < link_count; ++v) {
+      S.push_back(v);
+      EXPECT_EQ(HasPairwiseObstruction(system, S),
+                HasPairwiseObstruction(kernel, S))
+          << "trial " << trial << " |S|=" << S.size();
+      const PowerControlResult naive = FeasibleWithPowerControl(system, S);
+      const PowerControlResult cached = FeasibleWithPowerControl(kernel, S);
+      EXPECT_EQ(naive.feasible, cached.feasible)
+          << "trial " << trial << " |S|=" << S.size();
+      EXPECT_EQ(naive.iterations, cached.iterations);
+      EXPECT_EQ(naive.spectral_radius_estimate,
+                cached.spectral_radius_estimate);
+      ASSERT_EQ(naive.power.size(), cached.power.size());
+      for (std::size_t i = 0; i < naive.power.size(); ++i) {
+        EXPECT_EQ(naive.power[i], cached.power[i]) << "entry " << i;
+      }
+    }
+  }
+}
+
+TEST(CachedPowerControlTest, MatchesNaiveThroughArenaRebuild) {
+  geom::Rng rng(9);
+  const auto pts = geom::SampleUniform(20, 20.0, 20.0, rng);
+  const core::DecaySpace space = core::DecaySpace::Geometric(pts, 2.5);
+  std::vector<Link> links;
+  for (int i = 0; i < 10; ++i) links.push_back({2 * i, 2 * i + 1});
+  const LinkSystem system(space, links, {1.0, 0.0});
+
+  KernelArena arena;
+  arena.Rebuild(system, UniformPower(system));  // dirty the slot
+  const KernelCache& kernel = arena.Rebuild(system, UniformPower(system));
+  const std::vector<int> all = AllLinks(system);
+  const PowerControlResult naive = FeasibleWithPowerControl(system, all);
+  const PowerControlResult cached = FeasibleWithPowerControl(kernel, all);
+  EXPECT_EQ(naive.feasible, cached.feasible);
+  EXPECT_EQ(naive.iterations, cached.iterations);
+  ASSERT_EQ(naive.power.size(), cached.power.size());
+  for (std::size_t i = 0; i < naive.power.size(); ++i) {
+    EXPECT_EQ(naive.power[i], cached.power[i]) << "entry " << i;
+  }
+  EXPECT_EQ(HasPairwiseObstruction(system, all),
+            HasPairwiseObstruction(kernel, all));
+}
+
+TEST(CachedPowerControlTest, CrossedPairInfeasibleThroughCache) {
+  core::DecaySpace space(4, 1.0);
+  space.SetSymmetric(0, 1, 100.0);
+  space.SetSymmetric(2, 3, 100.0);
+  space.Set(0, 3, 1.0);
+  space.Set(2, 1, 1.0);
+  const LinkSystem system(space, {{0, 1}, {2, 3}}, {1.0, 0.0});
+  const KernelCache kernel(system, UniformPower(system));
+  EXPECT_GT(PairwiseAffectanceProduct(kernel, 0, 1), 1.0);
+  EXPECT_TRUE(HasPairwiseObstruction(kernel, AllLinks(system)));
+  EXPECT_FALSE(FeasibleWithPowerControl(kernel, AllLinks(system)).feasible);
+}
+
 }  // namespace
 }  // namespace decaylib::sinr

@@ -1,0 +1,191 @@
+// Sweep engine tests: deterministic grid expansion, axis application,
+// builtin sweep well-formedness, the runner's thread-count and arena
+// invariances, and the CSV export.
+#include "sweep/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/scenario.h"
+#include "sweep/sweep_report.h"
+#include "sweep/sweep_runner.h"
+
+namespace decaylib::sweep {
+namespace {
+
+SweepSpec TinySweep() {
+  SweepSpec spec;
+  spec.name = "tiny";
+  spec.base.name = "tiny";
+  spec.base.topology = "uniform";
+  spec.base.links = 12;
+  spec.base.instances = 2;
+  spec.base.seed = 777;
+  spec.axes = {{"links", {10, 14}}, {"alpha", {2.5, 3.0}}};
+  return spec;
+}
+
+TEST(SweepSpecTest, SweepableFieldsApply) {
+  engine::ScenarioSpec spec;
+  for (const std::string& field : SweepableFields()) {
+    EXPECT_TRUE(IsSweepableField(field)) << field;
+    ApplyAxisValue(spec, field, 2.0);  // integral, valid for every field
+  }
+  EXPECT_FALSE(IsSweepableField("topology"));
+  EXPECT_EQ(spec.links, 2);
+  EXPECT_EQ(spec.instances, 2);
+  EXPECT_EQ(spec.alpha, 2.0);
+  EXPECT_EQ(spec.sigma_db, 2.0);
+  EXPECT_EQ(spec.power_tau, 2.0);
+  EXPECT_EQ(spec.beta, 2.0);
+  EXPECT_EQ(spec.noise, 2.0);
+  EXPECT_EQ(spec.zeta, 2.0);
+}
+
+TEST(SweepGridTest, ExpansionIsRowMajorLastAxisFastest) {
+  const SweepSpec spec = TinySweep();
+  EXPECT_EQ(GridSize(spec), 4);
+  const std::vector<SweepCell> cells = ExpandGrid(spec);
+  ASSERT_EQ(cells.size(), 4u);
+
+  const std::vector<std::vector<int>> expected_coords = {
+      {0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  const std::vector<int> expected_links = {10, 10, 14, 14};
+  const std::vector<double> expected_alpha = {2.5, 3.0, 2.5, 3.0};
+  std::set<std::string> names;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    EXPECT_EQ(cells[c].index, static_cast<int>(c));
+    EXPECT_EQ(cells[c].coords, expected_coords[c]);
+    EXPECT_EQ(cells[c].spec.links, expected_links[c]);
+    EXPECT_EQ(cells[c].spec.alpha, expected_alpha[c]);
+    // Untouched base fields carry through.
+    EXPECT_EQ(cells[c].spec.seed, spec.base.seed);
+    EXPECT_EQ(cells[c].spec.instances, spec.base.instances);
+    EXPECT_TRUE(names.insert(cells[c].spec.name).second)
+        << "duplicate cell name " << cells[c].spec.name;
+    EXPECT_NE(cells[c].spec.name.find("links="), std::string::npos);
+  }
+}
+
+TEST(SweepGridTest, AxisFreeSweepIsOneBaseCell) {
+  SweepSpec spec = TinySweep();
+  spec.axes.clear();
+  EXPECT_EQ(GridSize(spec), 1);
+  const std::vector<SweepCell> cells = ExpandGrid(spec);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].spec.name, spec.base.name);
+  EXPECT_EQ(cells[0].spec.links, spec.base.links);
+}
+
+TEST(SweepGridTest, BuiltinSweepsAreWellFormed) {
+  const std::vector<SweepSpec> sweeps = BuiltinSweeps();
+  EXPECT_GE(sweeps.size(), 3u);
+  std::set<std::string> seen;
+  for (const SweepSpec& sweep : sweeps) {
+    EXPECT_TRUE(seen.insert(sweep.name).second) << "duplicate " << sweep.name;
+    EXPECT_TRUE(engine::IsRegisteredTopology(sweep.base.topology))
+        << sweep.name;
+    EXPECT_GE(GridSize(sweep), 2) << sweep.name;
+    for (const SweepAxis& axis : sweep.axes) {
+      EXPECT_TRUE(IsSweepableField(axis.field)) << sweep.name;
+      EXPECT_FALSE(axis.values.empty()) << sweep.name;
+    }
+    EXPECT_TRUE(FindBuiltinSweep(sweep.name).has_value());
+  }
+  EXPECT_FALSE(FindBuiltinSweep("no_such_sweep").has_value());
+}
+
+// The sweep engine's core contract: the deterministic signature of a grid
+// depends on neither the worker-thread count nor arena reuse.
+TEST(SweepRunnerTest, SignatureInvariantAcrossThreadsAndArena) {
+  const SweepSpec spec = TinySweep();
+
+  SweepConfig serial;
+  serial.threads = 1;
+  SweepConfig pooled;
+  pooled.threads = 4;
+  SweepConfig pooled_no_arena = pooled;
+  pooled_no_arena.reuse_arena = false;
+
+  const SweepResult a = SweepRunner(serial).Run(spec);
+  const SweepResult b = SweepRunner(pooled).Run(spec);
+  const SweepResult c = SweepRunner(pooled_no_arena).Run(spec);
+
+  ASSERT_EQ(a.cells.size(), 4u);
+  const std::string sig = SweepSignature(a);
+  EXPECT_EQ(sig, SweepSignature(b));
+  EXPECT_EQ(sig, SweepSignature(c));
+  EXPECT_EQ(SweepViolationCount(a), 0);
+  // Every kernel of the arena-backed runs went through an arena slot.
+  EXPECT_EQ(a.arena_rebuilds, 4 * 2);
+  EXPECT_EQ(b.arena_rebuilds, 4 * 2);
+  EXPECT_EQ(c.arena_rebuilds, 0);
+}
+
+TEST(SweepReportTest, CsvHasOneRowPerCellAndAxisColumns) {
+  SweepSpec spec = TinySweep();
+  spec.tasks = {engine::TaskKind::kAlgorithm1,
+                engine::TaskKind::kGreedyBaseline};
+  SweepConfig config;
+  config.threads = 2;
+  const SweepResult result = SweepRunner(config).Run(spec);
+
+  const std::vector<std::string> header = SweepCsvHeader(result);
+  const auto rows = SweepCsvRows(result);
+  ASSERT_EQ(rows.size(), result.cells.size());
+  // sweep, cell, links axis, alpha axis, instances, then metrics -- the
+  // links context column is skipped because the links axis already carries
+  // it, so no header name repeats.
+  ASSERT_GE(header.size(), 5u);
+  EXPECT_EQ(header[0], "sweep");
+  EXPECT_EQ(header[2], "links");
+  EXPECT_EQ(header[3], "alpha");
+  EXPECT_EQ(header[4], "instances");
+  const std::set<std::string> unique(header.begin(), header.end());
+  EXPECT_EQ(unique.size(), header.size()) << "duplicate CSV column name";
+  bool has_alg1 = false;
+  for (const std::string& column : header) {
+    if (column == "alg1_size_mean") has_alg1 = true;
+  }
+  EXPECT_TRUE(has_alg1);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.size(), header.size());
+    EXPECT_EQ(row[0], "tiny");
+  }
+
+  const std::string path = "SWEEP_TEST_OUT.csv";
+  ASSERT_TRUE(WriteSweepCsvFile(result, path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  in.close();
+  EXPECT_EQ(lines, result.cells.size() + 1);  // header + one row per cell
+  EXPECT_EQ(std::remove(path.c_str()), 0);
+}
+
+TEST(SweepReportTest, JsonReportWritesEngineCompatibleFile) {
+  SweepSpec spec = TinySweep();
+  spec.tasks = {engine::TaskKind::kAlgorithm1};
+  SweepConfig config;
+  config.threads = 1;
+  const SweepResult result = SweepRunner(config).Run(spec);
+  ASSERT_TRUE(WriteSweepJsonReport("SWEEP_TEST", {&result, 1}));
+  std::FILE* in = std::fopen("BENCH_SWEEP_TEST.json", "r");
+  ASSERT_NE(in, nullptr);
+  char buf[64] = {};
+  ASSERT_GT(std::fread(buf, 1, sizeof(buf) - 1, in), 0u);
+  std::fclose(in);
+  EXPECT_EQ(std::string(buf).rfind("{\"bench\": \"SWEEP_TEST\"", 0), 0u);
+  EXPECT_EQ(std::remove("BENCH_SWEEP_TEST.json"), 0);
+}
+
+}  // namespace
+}  // namespace decaylib::sweep

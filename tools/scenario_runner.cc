@@ -8,9 +8,11 @@
 //
 // Without --scenario, every builtin scenario runs.  --links / --instances /
 // --seed override the preset's values; --threads sizes the worker pool
-// (0 = hardware concurrency).  --json writes BENCH_SCENARIO.json in the
-// working directory (the bench_util.h record format plus a "scenarios"
-// aggregate array; see docs/scenarios.md).
+// (>= 1; when absent the pool uses hardware concurrency).  Numeric flags
+// are parsed strictly (tool_args.h): garbage, zero or negative thread
+// counts are usage errors rather than silently becoming defaults.  --json
+// writes BENCH_SCENARIO.json in the working directory (the bench_util.h
+// record format plus a "scenarios" aggregate array; see docs/scenarios.md).
 //
 // --smoke is the CI entry point: it shrinks every builtin to a small size,
 // runs the batch once single-threaded and once multi-threaded, and fails
@@ -25,6 +27,7 @@
 #include "engine/batch_runner.h"
 #include "engine/report.h"
 #include "engine/scenario.h"
+#include "tool_args.h"
 
 using namespace decaylib;
 
@@ -64,10 +67,11 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool json = false;
   std::string scenario;
-  int links = 0;
-  int instances = 0;
-  int threads = 0;
-  long long seed = -1;
+  int links = 0;       // 0 = keep the preset's value
+  int instances = 0;   // 0 = keep the preset's value
+  int threads = 0;     // 0 = hardware concurrency (explicit values >= 1)
+  std::uint64_t seed = 0;
+  bool seed_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -80,13 +84,23 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--scenario") == 0 && i + 1 < argc) {
       scenario = argv[++i];
     } else if (std::strcmp(arg, "--links") == 0 && i + 1 < argc) {
-      links = std::atoi(argv[++i]);
+      if (!tools::ParseIntFlag("--links", argv[++i], 1, 1 << 20, &links)) {
+        return Usage(argv[0]);
+      }
     } else if (std::strcmp(arg, "--instances") == 0 && i + 1 < argc) {
-      instances = std::atoi(argv[++i]);
+      if (!tools::ParseIntFlag("--instances", argv[++i], 1, 1 << 20,
+                               &instances)) {
+        return Usage(argv[0]);
+      }
     } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
+      if (!tools::ParseIntFlag("--threads", argv[++i], 1, 1 << 16, &threads)) {
+        return Usage(argv[0]);
+      }
     } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
-      seed = std::atoll(argv[++i]);
+      if (!tools::ParseSeedFlag("--seed", argv[++i], &seed)) {
+        return Usage(argv[0]);
+      }
+      seed_set = true;
     } else {
       return Usage(argv[0]);
     }
@@ -113,7 +127,7 @@ int main(int argc, char** argv) {
     }
     if (links > 0) spec.links = links;
     if (instances > 0) spec.instances = instances;
-    if (seed >= 0) spec.seed = static_cast<std::uint64_t>(seed);
+    if (seed_set) spec.seed = seed;
   }
 
   engine::BatchConfig config;

@@ -1,0 +1,210 @@
+// sweep_runner: run parameter-grid sweeps through the batch engine over
+// shared kernel arenas.
+//
+//   $ sweep_runner --list
+//   $ sweep_runner --smoke [--json]
+//   $ sweep_runner [--sweep NAME] [--instances K] [--threads T]
+//                  [--no-arena] [--csv] [--json]
+//
+// Without --sweep, every builtin sweep runs.  --instances overrides the
+// per-cell batch size; --threads sizes the per-cell worker pool (>= 1,
+// strict parse via tool_args.h; when absent the pool uses hardware
+// concurrency); --no-arena disables cross-instance kernel-arena reuse (for
+// A/B timing; results are bit-identical either way).  --csv writes
+// SWEEP_<name>.csv per sweep (io/csv table format, one row per cell);
+// --json writes BENCH_SWEEP.json over all cells (engine report format).
+//
+// --smoke is the CI entry point: a tiny 2x2 grid (links x alpha) runs
+// pooled, single-threaded, and arena-less, and the run fails (exit 1)
+// unless all three deterministic sweep signatures are bit-identical and no
+// feasibility/validation violations occurred -- a fast end-to-end check of
+// the sweep -> batch -> kernel-arena stack.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep.h"
+#include "sweep/sweep_report.h"
+#include "sweep/sweep_runner.h"
+#include "tool_args.h"
+
+using namespace decaylib;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--list] [--smoke] [--sweep NAME] [--instances K]\n"
+               "          [--threads T] [--no-arena] [--csv] [--json]\n",
+               argv0);
+  return 2;
+}
+
+int ListSweeps() {
+  std::printf("sweepable fields:");
+  for (const std::string& field : sweep::SweepableFields()) {
+    std::printf(" %s", field.c_str());
+  }
+  std::printf("\n\nbuiltin sweeps:\n");
+  for (const sweep::SweepSpec& spec : sweep::BuiltinSweeps()) {
+    std::printf("  %-20s base=%s cells=%lld axes:", spec.name.c_str(),
+                spec.base.topology.c_str(), sweep::GridSize(spec));
+    for (const sweep::SweepAxis& axis : spec.axes) {
+      std::printf(" %s[%zu]", axis.field.c_str(), axis.values.size());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+// The --smoke grid: tiny, fixed, and axis-diverse enough to cross cell
+// shapes (two link counts force the arenas to re-grow mid-sweep).
+sweep::SweepSpec SmokeSweep() {
+  sweep::SweepSpec spec;
+  spec.name = "smoke";
+  spec.base.name = "smoke";
+  spec.base.topology = "uniform";
+  spec.base.links = 12;
+  spec.base.instances = 3;
+  spec.base.seed = 9901;
+  spec.axes = {{"links", {10, 14}}, {"alpha", {2.5, 3.0}}};
+  return spec;
+}
+
+int RunSmoke(int threads, bool json) {
+  const sweep::SweepSpec spec = SmokeSweep();
+
+  // Pin the pooled side to >= 4 workers so the determinism gate compares
+  // genuinely different interleavings even on single-core runners.
+  sweep::SweepConfig pooled;
+  pooled.threads = threads >= 4 ? threads : 4;
+  sweep::SweepConfig serial = pooled;
+  serial.threads = 1;
+  sweep::SweepConfig no_arena = pooled;
+  no_arena.reuse_arena = false;
+
+  const sweep::SweepResult a = sweep::SweepRunner(pooled).Run(spec);
+  const sweep::SweepResult b = sweep::SweepRunner(serial).Run(spec);
+  const sweep::SweepResult c = sweep::SweepRunner(no_arena).Run(spec);
+  sweep::PrintSweepReport(a);
+
+  if (sweep::SweepViolationCount(a) != 0) {
+    std::fprintf(stderr,
+                 "FAIL: feasibility/validation violations in smoke sweep\n");
+    return 1;
+  }
+  const std::string sig = sweep::SweepSignature(a);
+  if (sig != sweep::SweepSignature(b)) {
+    std::fprintf(stderr,
+                 "FAIL: sweep signature differs between thread counts\n");
+    return 1;
+  }
+  if (sig != sweep::SweepSignature(c)) {
+    std::fprintf(stderr,
+                 "FAIL: sweep signature differs with arena reuse disabled\n");
+    return 1;
+  }
+  std::printf(
+      "smoke: sweep signatures bit-identical across thread counts and "
+      "arena reuse (%lld kernels through arenas)\n",
+      a.arena_rebuilds);
+
+  if (json && !sweep::WriteSweepJsonReport("SWEEP", {&a, 1})) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list = false;
+  bool smoke = false;
+  bool csv = false;
+  bool json = false;
+  bool no_arena = false;
+  std::string sweep_name;
+  int instances = 0;  // 0 = keep each sweep's value
+  int threads = 0;    // 0 = hardware concurrency (explicit values >= 1)
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--list") == 0) {
+      list = true;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      csv = true;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(arg, "--no-arena") == 0) {
+      no_arena = true;
+    } else if (std::strcmp(arg, "--sweep") == 0 && i + 1 < argc) {
+      sweep_name = argv[++i];
+    } else if (std::strcmp(arg, "--instances") == 0 && i + 1 < argc) {
+      if (!tools::ParseIntFlag("--instances", argv[++i], 1, 1 << 20,
+                               &instances)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      if (!tools::ParseIntFlag("--threads", argv[++i], 1, 1 << 16, &threads)) {
+        return Usage(argv[0]);
+      }
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (list) return ListSweeps();
+  if (smoke) {
+    // The smoke grid is fixed (it IS the determinism gate); flags that
+    // would alter it are a usage error, not something to silently drop.
+    if (csv || no_arena || instances > 0 || !sweep_name.empty()) {
+      std::fprintf(stderr,
+                   "--smoke runs a fixed grid; it takes only --threads and "
+                   "--json\n");
+      return 2;
+    }
+    return RunSmoke(threads, json);
+  }
+
+  std::vector<sweep::SweepSpec> sweeps;
+  if (!sweep_name.empty()) {
+    auto found = sweep::FindBuiltinSweep(sweep_name);
+    if (!found) {
+      std::fprintf(stderr, "unknown sweep '%s'; try --list\n",
+                   sweep_name.c_str());
+      return 2;
+    }
+    sweeps.push_back(*std::move(found));
+  } else {
+    sweeps = sweep::BuiltinSweeps();
+  }
+  for (sweep::SweepSpec& spec : sweeps) {
+    if (instances > 0) spec.base.instances = instances;
+  }
+
+  sweep::SweepConfig config;
+  config.threads = threads;
+  config.reuse_arena = !no_arena;
+  const sweep::SweepRunner runner(config);
+
+  std::vector<sweep::SweepResult> results = runner.RunAll(sweeps);
+  bool first = true;
+  for (const sweep::SweepResult& result : results) {
+    if (!first) std::printf("\n");
+    first = false;
+    sweep::PrintSweepReport(result);
+    if (sweep::SweepViolationCount(result) != 0) {
+      std::fprintf(stderr, "FAIL: violations in sweep %s\n",
+                   result.spec.name.c_str());
+      return 1;
+    }
+    if (csv &&
+        !sweep::WriteSweepCsvFile(result, "SWEEP_" + result.spec.name +
+                                              ".csv")) {
+      return 1;
+    }
+  }
+  if (json && !sweep::WriteSweepJsonReport("SWEEP", results)) return 1;
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Strict integer flag parsing shared by the CLI tools (scenario_runner,
+// sweep_runner).
+//
+// The tools originally used std::atoi, which silently maps garbage and
+// out-of-range text to 0 -- so "--threads x" or "--threads -2" fell through
+// the <= 0 default and quietly became "hardware concurrency".  These
+// helpers reject anything that is not a whole base-10 integer inside the
+// caller's range, and print a diagnostic naming the flag.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace decaylib::tools {
+
+// Parses a whole base-10 integer in [min_value, max_value]; rejects empty
+// text, trailing junk, and overflow.
+inline bool ParseInt(const char* text, long long min_value,
+                     long long max_value, long long* out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  if (value < min_value || value > max_value) return false;
+  *out = value;
+  return true;
+}
+
+// Parses the value of an int flag, printing a diagnostic on failure.
+inline bool ParseIntFlag(const char* flag, const char* text,
+                         long long min_value, long long max_value, int* out) {
+  long long value = 0;
+  if (!ParseInt(text, min_value, max_value, &value)) {
+    std::fprintf(stderr, "%s: expected an integer in [%lld, %lld], got '%s'\n",
+                 flag, min_value, max_value, text == nullptr ? "" : text);
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+// Non-negative 64-bit flag (seeds).
+inline bool ParseSeedFlag(const char* flag, const char* text,
+                          std::uint64_t* out) {
+  long long value = 0;
+  if (!ParseInt(text, 0, INT64_MAX, &value)) {
+    std::fprintf(stderr, "%s: expected a non-negative integer, got '%s'\n",
+                 flag, text == nullptr ? "" : text);
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+}  // namespace decaylib::tools
