@@ -12,14 +12,24 @@
 //     rebuilt many times through an arena vs freshly constructed -- the
 //     isolated cost of exactly what the arena replaces (alloc + clear vs
 //     overwrite-in-place), reported as rebuilds/sec.
+//  3. Instance-generation A/B: a power/beta-only grid at n = 2 * gen-links
+//     nodes isolates what a cell pays *before* any kernel or task runs --
+//     space sampling + link pairing -- in three modes: the old path (fresh
+//     build per cell, sort-greedy pairing), grid/MNN pairing alone, and the
+//     shared GeometryCache (the sweep runner's default).  Untimed warm-up
+//     passes precede the timing, and the full sweep is additionally run
+//     through SweepRunner in new-vs-old mode with the signatures gated on
+//     bit-equality.
 //
-// The deterministic sweep signatures of the two grid runs must be
-// bit-identical (arena reuse is invisible in the results) or the bench
-// exits 1 before quoting any number.
+// The deterministic sweep signatures of each A/B pair must be bit-identical
+// (arena reuse, geometry reuse and the pairing route are invisible in the
+// results) or the bench exits 1 before quoting any number.
 //
 // Flags: --instances <per cell> (default 6), --threads <pool size>
 //        (default hardware), --repeat <timing passes, best-of> (default 3),
-//        --json (write BENCH_E20.json: arena/malloc wall-clock phases).
+//        --gen-links <instance-generation A/B size> (default 512, i.e.
+//        n = 1024 nodes), --json (write BENCH_E20.json: arena/malloc and
+//        instance-generation wall-clock phases).
 //
 // Run in a Release build; the Assert build's DL_CHECK instrumentation
 // dominates the kernel builds.
@@ -40,6 +50,22 @@
 using namespace decaylib;
 
 namespace {
+
+// The instance-generation A/B grid: every axis non-geometric (power policy
+// x SINR threshold), so one sampled geometry generation serves the whole
+// grid and the A/B isolates exactly the tentpole's two levers.
+sweep::SweepSpec GenSpec(int links, int instances) {
+  sweep::SweepSpec spec;
+  spec.name = "e20_instance_gen";
+  spec.base.name = "e20_instance_gen";
+  spec.base.topology = "uniform";
+  spec.base.links = links;
+  spec.base.instances = instances;
+  spec.base.seed = 2021;
+  spec.axes = {{"power_tau", {0.0, 0.5, 1.0}}, {"beta", {1.0, 1.5}}};
+  spec.tasks = {engine::TaskKind::kGreedyBaseline};
+  return spec;
+}
 
 sweep::SweepSpec GridSpec(int instances) {
   sweep::SweepSpec spec;
@@ -63,6 +89,7 @@ int main(int argc, char** argv) {
   int instances = 6;
   int threads = 0;  // 0 = hardware concurrency (explicit values >= 1)
   int repeat = 3;
+  int gen_links = 512;  // instance-gen A/B size: n = 2 * gen_links nodes
   bool parse_ok = true;
   for (int i = 1; i < argc && parse_ok; ++i) {
     if (std::strcmp(argv[i], "--instances") == 0 && i + 1 < argc) {
@@ -73,6 +100,9 @@ int main(int argc, char** argv) {
                                      &threads);
     } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
       parse_ok = tools::ParseIntFlag("--repeat", argv[++i], 1, 1000, &repeat);
+    } else if (std::strcmp(argv[i], "--gen-links") == 0 && i + 1 < argc) {
+      parse_ok = tools::ParseIntFlag("--gen-links", argv[++i], 2, 1 << 16,
+                                     &gen_links);
     } else if (std::strcmp(argv[i], "--json") == 0) {
       // handled by bench::JsonReport
     } else {
@@ -82,7 +112,7 @@ int main(int argc, char** argv) {
   if (!parse_ok) {
     std::fprintf(stderr,
                  "usage: %s [--instances K] [--threads T] [--repeat R] "
-                 "[--json]\n",
+                 "[--gen-links L] [--json]\n",
                  argv[0]);
     return 2;
   }
@@ -195,6 +225,82 @@ int main(int argc, char** argv) {
         bench::Fmt(fresh_ms / arena_rebuild_ms, 3).c_str());
     report.Record("kernel_rebuild_arena", shape.links, arena_rebuild_ms);
     report.Record("kernel_rebuild_fresh", shape.links, fresh_ms);
+  }
+
+  // Instance-generation A/B on a power/beta-only grid: the cost of getting
+  // from a cell spec to a configured ScenarioInstance, with no kernels and
+  // no tasks in the way.
+  {
+    const int gen_instances = 2;
+    const sweep::SweepSpec gen = GenSpec(gen_links, gen_instances);
+    const std::vector<sweep::SweepCell> cells = sweep::ExpandGrid(gen);
+    const double cell_count = static_cast<double>(cells.size());
+
+    const auto generation_pass = [&](bool use_cache,
+                                     engine::PairingMode pairing) {
+      engine::GeometryCache cache;
+      bench::WallTimer timer;
+      for (const sweep::SweepCell& cell : cells) {
+        if (use_cache) cache.Prepare(cell.spec);
+        for (int i = 0; i < gen_instances; ++i) {
+          const engine::ScenarioInstance inst =
+              use_cache ? engine::ConfigureInstance(
+                              cell.spec, cache.Acquire(cell.spec, i, pairing))
+                        : engine::BuildInstance(cell.spec, i, pairing);
+          volatile double sink = inst.power()[0];
+          (void)sink;
+        }
+      }
+      return timer.ElapsedMs();
+    };
+
+    // Untimed warm-up (allocator, page cache) of the heaviest mode; every
+    // timed pass below then starts from the same warmed state.  The cached
+    // pass uses a fresh GeometryCache, so its timing includes the one cold
+    // generation a real sweep pays.
+    generation_pass(false, engine::PairingMode::kSortGreedy);
+
+    const double sort_ms =
+        generation_pass(false, engine::PairingMode::kSortGreedy);
+    const double grid_ms = generation_pass(false, engine::PairingMode::kAuto);
+    const double cached_ms = generation_pass(true, engine::PairingMode::kAuto);
+
+    std::printf(
+        "\ninstance generation at n=%d nodes, %zu-cell power/beta grid x %d "
+        "instances:\n"
+        "  old (per-cell build, sort pairing):  %s ms/cell\n"
+        "  grid/MNN pairing, no cache:          %s ms/cell (%sx)\n"
+        "  geometry cache + grid pairing:       %s ms/cell (%sx)\n",
+        2 * gen_links, cells.size(), gen_instances,
+        bench::Fmt(sort_ms / cell_count, 2).c_str(),
+        bench::Fmt(grid_ms / cell_count, 2).c_str(),
+        bench::Fmt(sort_ms / grid_ms, 2).c_str(),
+        bench::Fmt(cached_ms / cell_count, 2).c_str(),
+        bench::Fmt(sort_ms / cached_ms, 2).c_str());
+    report.Record("instance_gen_sort", gen_links, sort_ms);
+    report.Record("instance_gen_grid_pairing", gen_links, grid_ms);
+    report.Record("instance_gen_geometry_cache", gen_links, cached_ms);
+
+    // Bit-transparency gate for the whole new path: the grid through the
+    // sweep runner with geometry cache + grid pairing must reproduce the
+    // un-cached, sort-greedy signature exactly.
+    sweep::SweepConfig new_path;
+    new_path.threads = threads;
+    sweep::SweepConfig old_path = new_path;
+    old_path.reuse_geometry = false;
+    old_path.pairing = engine::PairingMode::kSortGreedy;
+    const sweep::SweepResult new_run = sweep::SweepRunner(new_path).Run(gen);
+    const sweep::SweepResult old_run = sweep::SweepRunner(old_path).Run(gen);
+    if (sweep::SweepSignature(new_run) != sweep::SweepSignature(old_run)) {
+      std::printf(
+          "ERROR: sweep signature differs between the geometry-cache/grid-"
+          "pairing path and the un-cached sort-greedy path\n");
+      return 1;
+    }
+    std::printf(
+        "  sweep signatures bit-identical (new vs old path; %lld geometries "
+        "built / %lld reused)\n",
+        new_run.geometry_builds, new_run.geometry_reuses);
   }
   return 0;
 }

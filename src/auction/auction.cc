@@ -21,37 +21,14 @@ std::vector<int> BidOrder(std::span<const double> bids) {
   return order;
 }
 
-}  // namespace
-
-std::vector<int> DetermineWinners(const sinr::LinkSystem& system,
-                                  std::span<const double> bids) {
-  DL_CHECK(static_cast<int>(bids.size()) == system.NumLinks(),
-           "one bid per link");
-  const sinr::PowerAssignment power = sinr::UniformPower(system);
-  std::vector<int> winners;
-  for (int v : BidOrder(bids)) {
-    if (bids[static_cast<std::size_t>(v)] <= 0.0) continue;
-    if (!system.CanOvercomeNoise(v, power)) continue;
-    winners.push_back(v);
-    if (!system.IsFeasible(winners, power)) winners.pop_back();
-  }
-  std::sort(winners.begin(), winners.end());
-  return winners;
-}
-
-double CriticalBid(const sinr::LinkSystem& system,
-                   std::span<const double> bids, int link, double tol) {
-  DL_CHECK(link >= 0 && link < system.NumLinks(), "link out of range");
-  std::vector<double> trial(bids.begin(), bids.end());
-  const double max_bid =
-      *std::max_element(bids.begin(), bids.end()) + 1.0;
-
-  auto wins_with = [&](double bid) {
-    trial[static_cast<std::size_t>(link)] = bid;
-    const auto winners = DetermineWinners(system, trial);
-    return std::binary_search(winners.begin(), winners.end(), link);
-  };
-
+// The critical-value bisection, shared by the cached and naive paths so
+// both produce the identical sequence of probes (and hence the identical
+// rounded payment).  `wins_with(bid)` must answer whether `link` wins when
+// bidding `bid`, holding the other bids fixed.
+template <typename WinsWith>
+double BisectCriticalBid(std::span<const double> bids, double tol,
+                         WinsWith&& wins_with) {
+  const double max_bid = *std::max_element(bids.begin(), bids.end()) + 1.0;
   if (!wins_with(2.0 * max_bid)) return 2.0 * max_bid;  // cannot win
   double lo = 0.0;
   double hi = 2.0 * max_bid;
@@ -66,18 +43,127 @@ double CriticalBid(const sinr::LinkSystem& system,
   return hi;
 }
 
-AuctionResult RunAuction(const sinr::LinkSystem& system,
-                         std::span<const double> bids, double tol) {
+// Winners + payments from any winner-determination / critical-bid pair;
+// the accumulation order (sorted winners) is shared so welfare and revenue
+// sums associate identically on every path.
+template <typename Winners, typename Critical>
+AuctionResult RunMechanism(std::span<const double> bids, Winners&& winners,
+                           Critical&& critical) {
   AuctionResult result;
-  result.winners = DetermineWinners(system, bids);
+  result.winners = winners(bids);
   result.payments.assign(bids.size(), 0.0);
   for (int v : result.winners) {
     result.social_welfare += bids[static_cast<std::size_t>(v)];
-    const double critical = CriticalBid(system, bids, v, tol);
-    result.payments[static_cast<std::size_t>(v)] = critical;
-    result.revenue += critical;
+    const double payment = critical(bids, v);
+    result.payments[static_cast<std::size_t>(v)] = payment;
+    result.revenue += payment;
   }
   return result;
+}
+
+}  // namespace
+
+// --- cached path -------------------------------------------------------------
+
+std::vector<int> DetermineWinners(const sinr::KernelCache& kernel,
+                                  std::span<const double> bids) {
+  DL_CHECK(static_cast<int>(bids.size()) == kernel.NumLinks(),
+           "one bid per link");
+  // Admission through the accumulator decides exactly as the naive
+  // push-IsFeasible-pop loop (kernel.h): the candidate's in-affectance is
+  // the running raw sum and each member's new total is its running sum
+  // plus the candidate's row entry, associated in admission order.
+  sinr::AffectanceAccumulator admitted(kernel);
+  for (int v : BidOrder(bids)) {
+    if (bids[static_cast<std::size_t>(v)] <= 0.0) continue;
+    if (!kernel.CanOvercomeNoise(v)) continue;
+    if (admitted.CanAddFeasibly(v)) admitted.Add(v);
+  }
+  std::vector<int> winners = admitted.members();
+  std::sort(winners.begin(), winners.end());
+  return winners;
+}
+
+double CriticalBid(const sinr::KernelCache& kernel,
+                   std::span<const double> bids, int link, double tol) {
+  DL_CHECK(link >= 0 && link < kernel.NumLinks(), "link out of range");
+  std::vector<double> trial(bids.begin(), bids.end());
+  return BisectCriticalBid(bids, tol, [&](double bid) {
+    trial[static_cast<std::size_t>(link)] = bid;
+    const auto winners = DetermineWinners(kernel, trial);
+    return std::binary_search(winners.begin(), winners.end(), link);
+  });
+}
+
+AuctionResult RunAuction(const sinr::KernelCache& kernel,
+                         std::span<const double> bids, double tol) {
+  return RunMechanism(
+      bids,
+      [&](std::span<const double> b) { return DetermineWinners(kernel, b); },
+      [&](std::span<const double> b, int v) {
+        return CriticalBid(kernel, b, v, tol);
+      });
+}
+
+// --- LinkSystem entry points (uniform power, one kernel build) ---------------
+
+std::vector<int> DetermineWinners(const sinr::LinkSystem& system,
+                                  std::span<const double> bids) {
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
+  return DetermineWinners(kernel, bids);
+}
+
+double CriticalBid(const sinr::LinkSystem& system,
+                   std::span<const double> bids, int link, double tol) {
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
+  return CriticalBid(kernel, bids, link, tol);
+}
+
+AuctionResult RunAuction(const sinr::LinkSystem& system,
+                         std::span<const double> bids, double tol) {
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
+  return RunAuction(kernel, bids, tol);
+}
+
+// --- naive references --------------------------------------------------------
+
+std::vector<int> DetermineWinnersNaive(const sinr::LinkSystem& system,
+                                       std::span<const double> bids) {
+  DL_CHECK(static_cast<int>(bids.size()) == system.NumLinks(),
+           "one bid per link");
+  const sinr::PowerAssignment power = sinr::UniformPower(system);
+  std::vector<int> winners;
+  for (int v : BidOrder(bids)) {
+    if (bids[static_cast<std::size_t>(v)] <= 0.0) continue;
+    if (!system.CanOvercomeNoise(v, power)) continue;
+    winners.push_back(v);
+    if (!system.IsFeasible(winners, power)) winners.pop_back();
+  }
+  std::sort(winners.begin(), winners.end());
+  return winners;
+}
+
+double CriticalBidNaive(const sinr::LinkSystem& system,
+                        std::span<const double> bids, int link, double tol) {
+  DL_CHECK(link >= 0 && link < system.NumLinks(), "link out of range");
+  std::vector<double> trial(bids.begin(), bids.end());
+  return BisectCriticalBid(bids, tol, [&](double bid) {
+    trial[static_cast<std::size_t>(link)] = bid;
+    const auto winners = DetermineWinnersNaive(system, trial);
+    return std::binary_search(winners.begin(), winners.end(), link);
+  });
+}
+
+AuctionResult RunAuctionNaive(const sinr::LinkSystem& system,
+                              std::span<const double> bids, double tol) {
+  return RunMechanism(
+      bids,
+      [&](std::span<const double> b) {
+        return DetermineWinnersNaive(system, b);
+      },
+      [&](std::span<const double> b, int v) {
+        return CriticalBidNaive(system, b, v, tol);
+      });
 }
 
 }  // namespace decaylib::auction

@@ -14,11 +14,24 @@
 //   * critical-value payments per winner, computed by re-running the rule
 //     on the others' bids (binary search over the winner's bid);
 //   * utilities / truthfulness checks used by tests and benches.
+//
+// The hot path runs on a sinr::KernelCache: winner determination admits
+// through an AffectanceAccumulator (O(n) per admission instead of the
+// naive O(|S| n) re-summation), and the payment bisection re-runs the rule
+// ~50 times per winner against the *same* warm kernel, so the whole
+// mechanism builds the O(n^2) kernels exactly once.  The LinkSystem entry
+// points keep their historical uniform-power semantics by building one
+// uniform-power kernel and delegating; the original per-query
+// implementations survive as the *Naive references, and the cached path is
+// bit-exact against them (the kernel admission test decides exactly as the
+// naive push-IsFeasible-pop loop -- see kernel.h's bit-exactness contract
+// -- so winner sets, critical bids and payments are identical doubles).
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "sinr/kernel.h"
 #include "sinr/link_system.h"
 
 namespace decaylib::auction {
@@ -30,21 +43,44 @@ struct AuctionResult {
   double revenue = 0.0;            // sum of payments
 };
 
-// Greedy-by-bid winner determination (uniform power): scan bids in
-// decreasing order, admit while the winner set stays feasible.  Monotone in
-// each bid.
-std::vector<int> DetermineWinners(const sinr::LinkSystem& system,
+// Greedy-by-bid winner determination over a warm kernel: scan bids in
+// decreasing order, admit while the winner set stays feasible under the
+// kernel's power assignment.  Monotone in each bid.
+std::vector<int> DetermineWinners(const sinr::KernelCache& kernel,
                                   std::span<const double> bids);
 
-// Full mechanism: winners + critical-value payments (the smallest bid that
-// still wins, holding others fixed; computed by bisection to `tol`).
-AuctionResult RunAuction(const sinr::LinkSystem& system,
+// Full mechanism over a warm kernel: winners + critical-value payments
+// (the smallest bid that still wins, holding others fixed; computed by
+// bisection to `tol`).
+AuctionResult RunAuction(const sinr::KernelCache& kernel,
                          std::span<const double> bids, double tol = 1e-6);
 
 // The critical bid for one link (infimum winning bid against fixed others);
 // 0 if the link wins even with an arbitrarily small bid, and +infinity-like
 // (max bid * 2) if it cannot win at all.
+double CriticalBid(const sinr::KernelCache& kernel,
+                   std::span<const double> bids, int link, double tol = 1e-6);
+
+// Historical entry points (uniform power): build one uniform-power kernel
+// for `system` and delegate to the cached overloads above.  Bit-identical
+// to the naive references below.
+std::vector<int> DetermineWinners(const sinr::LinkSystem& system,
+                                  std::span<const double> bids);
+AuctionResult RunAuction(const sinr::LinkSystem& system,
+                         std::span<const double> bids, double tol = 1e-6);
 double CriticalBid(const sinr::LinkSystem& system,
                    std::span<const double> bids, int link, double tol = 1e-6);
+
+// Naive reference implementations (per-query LinkSystem feasibility under
+// uniform power): kept as the test oracles for the cached path, exactly the
+// pre-kernel behaviour.
+std::vector<int> DetermineWinnersNaive(const sinr::LinkSystem& system,
+                                       std::span<const double> bids);
+AuctionResult RunAuctionNaive(const sinr::LinkSystem& system,
+                              std::span<const double> bids,
+                              double tol = 1e-6);
+double CriticalBidNaive(const sinr::LinkSystem& system,
+                        std::span<const double> bids, int link,
+                        double tol = 1e-6);
 
 }  // namespace decaylib::auction

@@ -73,16 +73,21 @@ std::vector<int> GreedyPowerControlFeasible(const sinr::KernelCache& kernel) {
 }
 
 // Builds the instance, warms its kernel once, and runs every configured
-// task against it.  Deterministic in (spec, index, tasks); the arena, when
-// provided, only changes where the kernel matrices live, not their bits.
+// task against it.  Deterministic in (spec, index, tasks); the arena and
+// geometry cache, when provided, only change where matrices live and
+// whether sampling re-runs -- never the bits of any result.
 InstanceRecord RunInstance(const ScenarioSpec& spec, int index,
                            const std::vector<TaskKind>& tasks,
-                           sinr::KernelArena* arena) {
+                           sinr::KernelArena* arena, GeometryCache* geometry,
+                           PairingMode pairing) {
   InstanceRecord rec;
   rec.index = index;
 
   const auto build_start = std::chrono::steady_clock::now();
-  const ScenarioInstance instance = BuildInstance(spec, index);
+  const ScenarioInstance instance =
+      geometry != nullptr
+          ? ConfigureInstance(spec, geometry->Acquire(spec, index, pairing))
+          : BuildInstance(spec, index, pairing);
   std::optional<sinr::KernelCache> local;
   if (arena == nullptr) {
     local.emplace(instance.system(), instance.power());
@@ -257,6 +262,11 @@ ScenarioResult BatchRunner::RunOne(const ScenarioSpec& spec) const {
   // workers.
   if (spec.zeta < 0.0 && 2 * spec.links >= 64) threads = 1;
 
+  // Adopt the cell's geometry key before workers start: slots invalidate
+  // exactly when a geometry field changed, and the pool join below orders
+  // this against every worker's Acquire.
+  if (config_.geometry != nullptr) config_.geometry->Prepare(spec);
+
   const auto batch_start = std::chrono::steady_clock::now();
   // Work stealing over instance indices; records land in their own slot, so
   // nothing about the interleaving survives into the results.
@@ -268,7 +278,8 @@ ScenarioResult BatchRunner::RunOne(const ScenarioSpec& spec) const {
     for (int i = next.fetch_add(1); i < spec.instances;
          i = next.fetch_add(1)) {
       result.instances[static_cast<std::size_t>(i)] =
-          RunInstance(spec, i, config_.tasks, arena);
+          RunInstance(spec, i, config_.tasks, arena, config_.geometry,
+                      config_.pairing);
     }
   };
   if (threads <= 1) {

@@ -61,6 +61,17 @@ struct BatchConfig {
   // every Run; results are bit-identical either way (the sweep runner uses
   // this to keep matrix slabs warm across an entire parameter grid).
   std::span<sinr::KernelArena> arenas = {};
+  // Optional shared geometry cache: instances are configured from warm
+  // ScenarioGeometry slots instead of re-sampled, so consecutive specs
+  // that differ only in non-geometric fields (power_tau, beta, noise,
+  // explicit zeta) skip space sampling and link pairing entirely.  The
+  // cache must outlive every Run and must not be used by two concurrent
+  // Runs; results are bit-identical with or without it (the sweep runner
+  // shares one across a whole grid).
+  GeometryCache* geometry = nullptr;
+  // Link-pairing route inside instance builds; kSortGreedy forces the
+  // O(n^2 log n) reference path (A/B baseline).  Result-invisible.
+  PairingMode pairing = PairingMode::kAuto;
 };
 
 // Per-instance outcome.  Algorithm fields are -1 when the task was not in

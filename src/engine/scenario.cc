@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <numeric>
 #include <tuple>
 #include <utility>
 
 #include "core/check.h"
 #include "core/metricity.h"
+#include "geom/grid.h"
 #include "geom/rng.h"
 #include "geom/samplers.h"
 #include "sinr/power.h"
@@ -22,6 +25,14 @@ std::uint64_t InstanceSeed(std::uint64_t base, int index) {
                      0x9e3779b97f4a7c15ULL *
                          (static_cast<std::uint64_t>(index) + 1));
 }
+
+// A decay space plus the planar points it was sampled from; `points` stays
+// empty when the space is not coordinate-backed (no registered topology
+// produces such a space today, but the pairing dispatch is written for it).
+struct SampledSpace {
+  core::DecaySpace space;
+  std::vector<geom::Vec2> points;
+};
 
 // Geometric space over explicit points, with the spec's shadowing regime.
 core::DecaySpace SpaceFromPoints(const ScenarioSpec& spec,
@@ -39,32 +50,36 @@ core::DecaySpace SpaceFromPoints(const ScenarioSpec& spec,
 // Each produces a decay space over `points` nodes at roughly constant
 // density, so instance difficulty scales with size rather than crowding.
 
-core::DecaySpace UniformTopology(const ScenarioSpec& spec, int points,
-                                 geom::Rng& rng) {
+SampledSpace UniformTopology(const ScenarioSpec& spec, int points,
+                             geom::Rng& rng) {
   const double box = 2.0 * std::sqrt(static_cast<double>(points));
-  const auto pts = geom::SampleUniform(points, box, box, rng);
-  return SpaceFromPoints(spec, pts, rng);
+  std::vector<geom::Vec2> pts = geom::SampleUniform(points, box, box, rng);
+  core::DecaySpace space = SpaceFromPoints(spec, pts, rng);
+  return {std::move(space), std::move(pts)};
 }
 
-core::DecaySpace ClusteredTopology(const ScenarioSpec& spec, int points,
-                                   geom::Rng& rng) {
+SampledSpace ClusteredTopology(const ScenarioSpec& spec, int points,
+                               geom::Rng& rng) {
   const double box = 2.0 * std::sqrt(static_cast<double>(points));
-  return spaces::ClusteredGeometric(points, spec.hotspots, box,
-                                    spec.cluster_sigma, spec.alpha,
-                                    spec.sigma_db, rng,
-                                    spec.symmetric_shadowing);
+  std::vector<geom::Vec2> pts;
+  core::DecaySpace space = spaces::ClusteredGeometric(
+      points, spec.hotspots, box, spec.cluster_sigma, spec.alpha,
+      spec.sigma_db, rng, spec.symmetric_shadowing, &pts);
+  return {std::move(space), std::move(pts)};
 }
 
-core::DecaySpace CorridorTopology(const ScenarioSpec& spec, int points,
-                                  geom::Rng& rng) {
-  const double length = 2.0 * static_cast<double>(points);
-  return spaces::CorridorSpace(points, length, spec.corridor_width,
-                               spec.alpha, spec.sigma_db, rng,
-                               spec.symmetric_shadowing);
-}
-
-core::DecaySpace GridTopology(const ScenarioSpec& spec, int points,
+SampledSpace CorridorTopology(const ScenarioSpec& spec, int points,
                               geom::Rng& rng) {
+  const double length = 2.0 * static_cast<double>(points);
+  std::vector<geom::Vec2> pts;
+  core::DecaySpace space = spaces::CorridorSpace(
+      points, length, spec.corridor_width, spec.alpha, spec.sigma_db, rng,
+      spec.symmetric_shadowing, &pts);
+  return {std::move(space), std::move(pts)};
+}
+
+SampledSpace GridTopology(const ScenarioSpec& spec, int points,
+                          geom::Rng& rng) {
   // Cell centers on a regular grid (spacing ~2), each jittered inside its
   // cell: a cellular layout with one node per cell.
   const double side = 2.0 * std::ceil(std::sqrt(static_cast<double>(points)));
@@ -73,11 +88,12 @@ core::DecaySpace GridTopology(const ScenarioSpec& spec, int points,
     p.x += rng.Uniform(-0.5, 0.5);
     p.y += rng.Uniform(-0.5, 0.5);
   }
-  return SpaceFromPoints(spec, pts, rng);
+  core::DecaySpace space = SpaceFromPoints(spec, pts, rng);
+  return {std::move(space), std::move(pts)};
 }
 
-using TopologyGenerator = core::DecaySpace (*)(const ScenarioSpec&, int,
-                                               geom::Rng&);
+using TopologyGenerator = SampledSpace (*)(const ScenarioSpec&, int,
+                                           geom::Rng&);
 
 const std::vector<std::pair<std::string, TopologyGenerator>>& TopologyTable() {
   static const std::vector<std::pair<std::string, TopologyGenerator>> table = {
@@ -96,11 +112,19 @@ TopologyGenerator FindTopology(const std::string& name) {
   return nullptr;
 }
 
+// Orientation shared by both pairing paths: along the weaker-decay
+// direction (ties keep the lower id as sender), so the link's own decay
+// f_vv is the pair's best case.
+sinr::Link OrientPair(const core::DecaySpace& space, int i, int j) {
+  if (space(i, j) <= space(j, i)) return {i, j};
+  return {j, i};
+}
+
 }  // namespace
 
-ScenarioInstance::ScenarioInstance(std::unique_ptr<core::DecaySpace> space,
-                                   std::vector<sinr::Link> links,
-                                   sinr::SinrConfig config, double zeta)
+ScenarioInstance::ScenarioInstance(
+    std::shared_ptr<const core::DecaySpace> space,
+    std::vector<sinr::Link> links, sinr::SinrConfig config, double zeta)
     : space_(std::move(space)),
       system_(std::make_unique<sinr::LinkSystem>(*space_, std::move(links),
                                                  config)),
@@ -132,7 +156,8 @@ std::vector<sinr::Link> PairLinksByDecay(const core::DecaySpace& space) {
   // A full sort, deliberately: the greedy matching consumes nearly the
   // whole order before the last (far-apart) nodes pair up -- ~98% of the
   // n^2/2 candidates at n = 1024 nodes -- so lazy selection (heap pops)
-  // only adds overhead.
+  // only adds overhead.  PairLinksByDecayGrid sidesteps the order entirely
+  // for coordinate-backed spaces.
   std::sort(pairs.begin(), pairs.end());
   std::vector<char> used(static_cast<std::size_t>(n), 0);
   std::vector<sinr::Link> links;
@@ -142,19 +167,105 @@ std::vector<sinr::Link> PairLinksByDecay(const core::DecaySpace& space) {
       continue;
     used[static_cast<std::size_t>(i)] = 1;
     used[static_cast<std::size_t>(j)] = 1;
-    // Orient along the weaker-decay direction (ties keep the lower id as
-    // sender), so the link's own decay f_vv is the pair's best case.
-    if (space(i, j) <= space(j, i)) {
-      links.push_back({i, j});
-    } else {
-      links.push_back({j, i});
-    }
+    links.push_back(OrientPair(space, i, j));
     if (static_cast<int>(links.size()) == n / 2) break;
   }
   return links;
 }
 
-ScenarioInstance BuildInstance(const ScenarioSpec& spec, int index) {
+std::vector<sinr::Link> PairLinksByDecayGrid(
+    const core::DecaySpace& space, std::span<const geom::Vec2> points,
+    double alpha) {
+  const int n = space.size();
+  DL_CHECK(n >= 2 && n % 2 == 0, "pairing needs an even number of nodes");
+  DL_CHECK(static_cast<int>(points.size()) == n,
+           "grid pairing needs one point per node");
+  DL_CHECK(alpha > 0.0, "grid pairing needs a positive decay exponent");
+
+  std::vector<int> alive(static_cast<std::size_t>(n));
+  std::iota(alive.begin(), alive.end(), 0);
+  std::vector<int> best(static_cast<std::size_t>(n), -1);
+  std::vector<char> used(static_cast<std::size_t>(n), 0);
+  // Matched pairs with their weights; sorted at the end so link ids come
+  // out in exactly the ascending (weight, lo, hi) order the sorted greedy
+  // emits them in.
+  std::vector<std::tuple<double, int, int>> matched;
+  matched.reserve(static_cast<std::size_t>(n / 2));
+
+  while (!alive.empty()) {
+    const geom::UniformGrid grid(points, alive);
+
+    // Phase 1: every alive node's best alive partner under the greedy's
+    // strict total order on pairs, (weight, lo id, hi id).  Weights are the
+    // decay-matrix entries themselves; the expanding ring search stops once
+    // the ring's distance bound proves -- via pow's weak monotonicity --
+    // that no unvisited candidate can match the incumbent's weight, so ties
+    // at equal weight (however the ids fall) are always still in play.
+    for (const int i : alive) {
+      const geom::Vec2 p = points[static_cast<std::size_t>(i)];
+      int best_j = -1;
+      double best_w = std::numeric_limits<double>::infinity();
+      for (int ring = 0;; ++ring) {
+        if (best_j >= 0 &&
+            std::pow(grid.RingDistanceLowerBound(ring), alpha) > best_w) {
+          break;
+        }
+        const bool any_cell = grid.VisitRing(p, ring, [&](int j) {
+          if (j == i) return;
+          const double w = std::min(space(i, j), space(j, i));
+          if (best_j < 0 || w < best_w) {
+            best_w = w;
+            best_j = j;
+          } else if (w == best_w) {
+            const int lo = i < j ? i : j;
+            const int hi = i < j ? j : i;
+            const int blo = i < best_j ? i : best_j;
+            const int bhi = i < best_j ? best_j : i;
+            if (lo < blo || (lo == blo && hi < bhi)) best_j = j;
+          }
+        });
+        if (!any_cell) break;
+      }
+      best[static_cast<std::size_t>(i)] = best_j;
+    }
+
+    // Phase 2: match every mutual-best pair (at least the globally minimal
+    // pair is one, so every round makes progress) and drop it from play.
+    for (const int i : alive) {
+      const int j = best[static_cast<std::size_t>(i)];
+      if (j > i && best[static_cast<std::size_t>(j)] == i) {
+        matched.emplace_back(std::min(space(i, j), space(j, i)), i, j);
+        used[static_cast<std::size_t>(i)] = 1;
+        used[static_cast<std::size_t>(j)] = 1;
+      }
+    }
+    std::erase_if(alive,
+                  [&](int i) { return used[static_cast<std::size_t>(i)] != 0; });
+  }
+
+  std::sort(matched.begin(), matched.end());
+  std::vector<sinr::Link> links;
+  links.reserve(matched.size());
+  for (const auto& [w, i, j] : matched) links.push_back(OrientPair(space, i, j));
+  return links;
+}
+
+GeometryKey GeometryKeyOf(const ScenarioSpec& spec) {
+  GeometryKey key;
+  key.topology = spec.topology;
+  key.links = spec.links;
+  key.alpha = spec.alpha;
+  key.sigma_db = spec.sigma_db;
+  key.symmetric_shadowing = spec.symmetric_shadowing;
+  key.seed = spec.seed;
+  key.hotspots = spec.hotspots;
+  key.cluster_sigma = spec.cluster_sigma;
+  key.corridor_width = spec.corridor_width;
+  return key;
+}
+
+ScenarioGeometry BuildGeometry(const ScenarioSpec& spec, int index,
+                               PairingMode pairing) {
   DL_CHECK(spec.links >= 1, "scenario needs at least one link");
   DL_CHECK(index >= 0, "instance index must be non-negative");
   const TopologyGenerator generator = FindTopology(spec.topology);
@@ -162,9 +273,35 @@ ScenarioInstance BuildInstance(const ScenarioSpec& spec, int index) {
 
   geom::Rng rng(InstanceSeed(spec.seed, index));
   const int points = 2 * spec.links;
-  auto space = std::make_unique<core::DecaySpace>(
-      generator(spec, points, rng));
+  SampledSpace sampled = generator(spec, points, rng);
 
+  ScenarioGeometry geometry;
+  geometry.space = std::make_shared<const core::DecaySpace>(
+      std::move(sampled.space));
+  geometry.points = std::move(sampled.points);
+
+  // Grid/MNN pairing requires decay to be a monotone function of point
+  // distance, which shadowing destroys (the matrix is then arbitrary even
+  // though points exist); both routes produce the identical matching.
+  const bool monotone_geometry =
+      !geometry.points.empty() && spec.sigma_db == 0.0;
+  geometry.links =
+      (pairing == PairingMode::kAuto && monotone_geometry)
+          ? PairLinksByDecayGrid(*geometry.space, geometry.points, spec.alpha)
+          : PairLinksByDecay(*geometry.space);
+  return geometry;
+}
+
+double EnsureMeasuredZeta(ScenarioGeometry& geometry) {
+  if (!geometry.zeta_measured) {
+    geometry.measured_zeta = core::ComputeMetricity(*geometry.space).zeta;
+    geometry.zeta_measured = true;
+  }
+  return geometry.measured_zeta;
+}
+
+ScenarioInstance ConfigureInstance(const ScenarioSpec& spec,
+                                   const ScenarioGeometry& geometry) {
   // zeta policy: explicit > 0, geometric default (alpha) at 0, measured
   // per instance when negative (falling back to alpha for unconstrained
   // spaces, where any positive exponent works).
@@ -172,12 +309,12 @@ ScenarioInstance BuildInstance(const ScenarioSpec& spec, int index) {
   if (zeta == 0.0) {
     zeta = spec.alpha;
   } else if (zeta < 0.0) {
-    const double measured = core::ComputeMetricity(*space).zeta;
-    zeta = measured > 0.0 ? measured : spec.alpha;
+    DL_CHECK(geometry.zeta_measured,
+             "a zeta < 0 spec needs EnsureMeasuredZeta before configuring");
+    zeta = geometry.measured_zeta > 0.0 ? geometry.measured_zeta : spec.alpha;
   }
 
-  std::vector<sinr::Link> links = PairLinksByDecay(*space);
-  ScenarioInstance instance(std::move(space), std::move(links),
+  ScenarioInstance instance(geometry.space, geometry.links,
                             {spec.beta, spec.noise}, zeta);
 
   // The constructor's default power is already uniform; only replace it
@@ -193,6 +330,50 @@ ScenarioInstance BuildInstance(const ScenarioSpec& spec, int index) {
     instance.SetPower(std::move(power));
   }
   return instance;
+}
+
+ScenarioInstance BuildInstance(const ScenarioSpec& spec, int index,
+                               PairingMode pairing) {
+  ScenarioGeometry geometry = BuildGeometry(spec, index, pairing);
+  if (spec.zeta < 0.0) EnsureMeasuredZeta(geometry);
+  return ConfigureInstance(spec, geometry);
+}
+
+void GeometryCache::Prepare(const ScenarioSpec& spec) {
+  DL_CHECK(spec.instances >= 1, "geometry cache needs at least one instance");
+  GeometryKey key = GeometryKeyOf(spec);
+  if (!has_key_ || !(key == key_)) {
+    for (Slot& slot : slots_) slot.valid = false;
+    key_ = std::move(key);
+    has_key_ = true;
+  }
+  if (static_cast<int>(slots_.size()) < spec.instances) {
+    slots_.resize(static_cast<std::size_t>(spec.instances));
+  }
+}
+
+const ScenarioGeometry& GeometryCache::Acquire(const ScenarioSpec& spec,
+                                               int index,
+                                               PairingMode pairing) {
+  DL_CHECK(has_key_ && GeometryKeyOf(spec) == key_,
+           "Acquire needs a Prepare with a key-equal spec first");
+  DL_CHECK(index >= 0 && index < static_cast<int>(slots_.size()),
+           "instance index outside the prepared slot range");
+  Slot& slot = slots_[static_cast<std::size_t>(index)];
+  if (!slot.valid) {
+    slot.geometry = BuildGeometry(spec, index, pairing);
+    slot.valid = true;
+    builds_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    reuses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The measurement is a geometry property; memoise it in the slot so a
+  // grid that sweeps zeta across negative and explicit values pays the
+  // O(n^3) scan once per geometry, not once per cell.
+  if (spec.zeta < 0.0 && !slot.geometry.zeta_measured) {
+    EnsureMeasuredZeta(slot.geometry);
+  }
+  return slot.geometry;
 }
 
 std::vector<ScenarioSpec> BuiltinScenarios() {

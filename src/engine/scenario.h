@@ -8,14 +8,33 @@
 // the same pair always yields bit-identical decay matrices, links and
 // powers, regardless of which thread or process builds it.
 //
+// Instance construction is split along the axis the sweep layer exploits:
+//   * BuildGeometry samples everything that consumes randomness or scales
+//     super-linearly -- the decay space (with its planar points, when the
+//     topology is coordinate-backed), the greedy link pairing, and the
+//     lazily measured metricity.  Geometry depends only on the spec fields
+//     collected in GeometryKey plus the instance index.
+//   * ConfigureInstance applies the cheap per-cell knobs (beta, noise,
+//     power_tau, the zeta policy) to a geometry, costing O(links).
+// BuildInstance is exactly BuildGeometry + ConfigureInstance; GeometryCache
+// keeps one grid cell's worth of geometries warm so sweep cells that differ
+// only in non-geometric axes skip the sampling entirely (batch_runner.h
+// wires it into the worker pool, sweep_runner.h shares one across a grid).
+//
 // Topology generators are looked up in a registry by name; the built-in
 // kinds cover uniform boxes, Matérn-style clustered hotspots, line/highway
 // corridors and jittered grid cells (spaces/samplers.h provides the
-// underlying decay-space samplers).  A generator only produces a decay
-// space over 2 * links nodes; links are then formed by a topology-agnostic
-// greedy pairing that repeatedly matches the two unused nodes with the
-// smallest symmetrised decay, so every topology yields short, plausible
-// sender/receiver pairs without bespoke per-topology link logic.
+// underlying decay-space samplers).  A generator produces a decay space
+// over 2 * links nodes (plus the sampled coordinates, when it is
+// geometric); links are then formed by a topology-agnostic greedy pairing
+// that repeatedly matches the two unused nodes with the smallest
+// symmetrised decay, so every topology yields short, plausible
+// sender/receiver pairs without bespoke per-topology link logic.  For
+// coordinate-backed, shadowing-free topologies the pairing runs as
+// mutual-nearest-neighbour rounds over a geom::UniformGrid -- near-linear
+// instead of O(n^2 log n), provably the identical matching -- with the
+// full-sort path kept as the fallback for matrix-only spaces and as the
+// test oracle (PairingMode selects explicitly).
 //
 // BuiltinScenarios() is the registry of named presets the batch runner,
 // scenario_runner CLI and benches share: one spec per deployment family
@@ -24,13 +43,16 @@
 // add a new scenario.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/decay_space.h"
+#include "geom/point.h"
 #include "sinr/link_system.h"
 
 namespace decaylib::engine {
@@ -69,13 +91,58 @@ struct ScenarioSpec {
   double corridor_width = 2.0;  // corridor: strip width (length scales w/ n)
 };
 
+// How link pairing runs inside BuildGeometry / BuildInstance.
+enum class PairingMode {
+  // Grid-accelerated mutual-nearest-neighbour rounds when the topology is
+  // coordinate-backed and shadowing-free (decay monotone in distance);
+  // sort-greedy otherwise.  Produces the identical matching either way.
+  kAuto,
+  // Always the O(n^2 log n) full-sort reference path (the test oracle and
+  // the bench A/B baseline).
+  kSortGreedy,
+};
+
+// The sampled, cell-invariant part of an instance: the decay space, the
+// planar points behind it (empty for matrix-only spaces), the greedy link
+// pairing, and -- measured lazily, only when a spec's zeta policy asks --
+// the metricity of the space.  Everything downstream of the spec's
+// GeometryKey and the instance index; nothing here depends on beta, noise,
+// power_tau or the (explicit) zeta.
+struct ScenarioGeometry {
+  std::shared_ptr<const core::DecaySpace> space;
+  std::vector<geom::Vec2> points;  // 2 * links entries when coordinate-backed
+  std::vector<sinr::Link> links;
+  double measured_zeta = 0.0;  // valid iff zeta_measured
+  bool zeta_measured = false;
+};
+
+// The spec fields whose change invalidates sampled geometry.  Two specs
+// with equal keys produce bit-identical ScenarioGeometry per instance
+// index; power_tau / beta / noise / zeta / instances may differ freely.
+struct GeometryKey {
+  std::string topology;
+  int links = 0;
+  double alpha = 0.0;
+  double sigma_db = 0.0;
+  bool symmetric_shadowing = true;
+  std::uint64_t seed = 0;
+  int hotspots = 0;
+  double cluster_sigma = 0.0;
+  double corridor_width = 0.0;
+
+  friend bool operator==(const GeometryKey&, const GeometryKey&) = default;
+};
+
+GeometryKey GeometryKeyOf(const ScenarioSpec& spec);
+
 // One realised deployment: a decay space, a link system over it, a power
-// assignment and the resolved zeta.  Owns the space and system behind
-// stable pointers, so instances can be moved around freely (the LinkSystem
-// holds a reference to its space).
+// assignment and the resolved zeta.  The space is held behind a shared
+// pointer so instances configured from a cached geometry alias its matrix
+// instead of copying it; the LinkSystem holds a reference into it, so
+// instances stay freely movable either way.
 class ScenarioInstance {
  public:
-  ScenarioInstance(std::unique_ptr<core::DecaySpace> space,
+  ScenarioInstance(std::shared_ptr<const core::DecaySpace> space,
                    std::vector<sinr::Link> links, sinr::SinrConfig config,
                    double zeta);
 
@@ -88,7 +155,7 @@ class ScenarioInstance {
   void SetPower(sinr::PowerAssignment power) { power_ = std::move(power); }
 
  private:
-  std::unique_ptr<core::DecaySpace> space_;
+  std::shared_ptr<const core::DecaySpace> space_;
   std::unique_ptr<sinr::LinkSystem> system_;
   sinr::PowerAssignment power_;
   double zeta_;
@@ -98,15 +165,93 @@ class ScenarioInstance {
 std::vector<std::string> RegisteredTopologies();
 bool IsRegisteredTopology(const std::string& topology);
 
-// Builds instance `index` of the family.  Deterministic in (spec, index).
+// Samples the geometry of instance `index`: decay space (+ points), link
+// pairing.  Deterministic in (GeometryKeyOf(spec), index, pairing is
+// result-invisible).  Does NOT measure metricity; see EnsureMeasuredZeta.
+ScenarioGeometry BuildGeometry(const ScenarioSpec& spec, int index,
+                               PairingMode pairing = PairingMode::kAuto);
+
+// Measures (once) and caches the metricity of the geometry's space.
+// Returns the measured value; subsequent calls are free.
+double EnsureMeasuredZeta(ScenarioGeometry& geometry);
+
+// Applies the cheap per-cell knobs to a geometry: builds the LinkSystem
+// under (beta, noise), resolves the zeta policy, assigns power.  O(links)
+// beyond the LinkSystem construction.  A spec with zeta < 0 requires
+// geometry.zeta_measured (DL_CHECK) -- callers run EnsureMeasuredZeta
+// first, as BuildInstance and GeometryCache::Acquire do.
+ScenarioInstance ConfigureInstance(const ScenarioSpec& spec,
+                                   const ScenarioGeometry& geometry);
+
+// Builds instance `index` of the family: BuildGeometry + (if needed)
+// EnsureMeasuredZeta + ConfigureInstance.  Deterministic in (spec, index);
+// the pairing mode never changes the result, only the route taken.
 // Aborts (DL_CHECK) on an unknown topology or non-positive sizes.
-ScenarioInstance BuildInstance(const ScenarioSpec& spec, int index);
+ScenarioInstance BuildInstance(const ScenarioSpec& spec, int index,
+                               PairingMode pairing = PairingMode::kAuto);
 
 // Topology-agnostic sender/receiver pairing over an even-sized decay space:
 // repeatedly links the two unused nodes with the smallest symmetrised decay
 // (ties by node ids), orienting each link along its weaker-decay direction.
-// Deterministic; O(n^2 log n).
+// Deterministic; O(n^2 log n).  The reference path and test oracle.
 std::vector<sinr::Link> PairLinksByDecay(const core::DecaySpace& space);
+
+// The same matching, computed as iterated mutual-nearest-neighbour rounds
+// over a geom::UniformGrid instead of a full sort -- near-linear for the
+// typical constant-density deployment.  Exactness: a pair that is mutually
+// best under the strict total order (weight, lo id, hi id) is matched by
+// the sorted greedy before anything else touches its endpoints, so matching
+// all mutual-best pairs and recursing on the remainder reproduces the
+// greedy matching exactly; candidate weights are read from the decay
+// matrix itself and the grid only *prunes* via pow's weak monotonicity
+// (decay >= pow(ring distance bound, alpha)).  Requires space ==
+// DecaySpace::Geometric(points, alpha) -- i.e. symmetric, shadowing-free
+// decays; BuildGeometry dispatches here exactly when that holds.
+std::vector<sinr::Link> PairLinksByDecayGrid(const core::DecaySpace& space,
+                                             std::span<const geom::Vec2> points,
+                                             double alpha);
+
+// One grid cell's worth of warm geometries: slot i holds the geometry of
+// instance i for the cache's current GeometryKey.  Prepare(spec) -- called
+// between batches, single-threaded -- keeps the slots when the spec's key
+// matches and invalidates them all when it does not; Acquire(spec, i) then
+// returns slot i, building it (and measuring metricity, when the spec's
+// zeta policy needs it) on first touch.  Thread contract: concurrent
+// Acquire calls must use distinct instance indices (the batch runner's
+// work-stealing pool claims each index exactly once), and Prepare must not
+// race with Acquire; the runners' pool joins give the needed ordering.
+// Holding one generation bounds memory at one cell's geometries and is
+// exactly the reuse a row-major sweep needs when its non-geometric axes
+// vary fastest (docs/sweeps.md).
+class GeometryCache {
+ public:
+  // Adopts the spec's key, invalidating every slot on a key change, and
+  // ensures at least spec.instances slots exist.
+  void Prepare(const ScenarioSpec& spec);
+
+  // The geometry of instance `index` under the prepared key; builds into
+  // the slot when cold.  The reference stays valid until the next Prepare
+  // with a different key (slots live in a deque, so a same-key Prepare
+  // that merely grows the instance count leaves existing slots in place).
+  const ScenarioGeometry& Acquire(const ScenarioSpec& spec, int index,
+                                  PairingMode pairing = PairingMode::kAuto);
+
+  // Accounting (deterministic in the sequence of Prepare/Acquire calls).
+  long long builds() const noexcept { return builds_.load(); }
+  long long reuses() const noexcept { return reuses_.load(); }
+
+ private:
+  struct Slot {
+    ScenarioGeometry geometry;
+    bool valid = false;
+  };
+
+  GeometryKey key_;
+  bool has_key_ = false;
+  std::deque<Slot> slots_;  // deque: growth never moves warm slots
+  std::atomic<long long> builds_{0};
+  std::atomic<long long> reuses_{0};
+};
 
 // The named scenario presets shared by the batch runner, the CLI and the
 // benches: one per deployment family, each with a distinct base seed.

@@ -1,0 +1,82 @@
+#include "geom/grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/check.h"
+
+namespace decaylib::geom {
+
+UniformGrid::UniformGrid(std::span<const Vec2> points, std::span<const int> ids,
+                         int target_per_cell) {
+  DL_CHECK(!ids.empty(), "grid needs at least one id");
+  if (target_per_cell < 1) target_per_cell = 1;
+
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = max_x;
+  min_x_ = std::numeric_limits<double>::infinity();
+  min_y_ = min_x_;
+  for (const int id : ids) {
+    const Vec2 p = points[static_cast<std::size_t>(id)];
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  // Aim for ~target_per_cell ids per cell at uniform density.  Cells stay
+  // square (so the ring distance bound is isotropic) but their size comes
+  // from the box *area*, not its longer edge -- an anisotropic layout like
+  // a corridor (length >> width) then gets many small cells along its long
+  // axis instead of one overcrowded row.  Near-collinear boxes (zero area)
+  // fall back to 1-D density, and a point-like box collapses to one cell;
+  // correctness never depends on the cell size, only pruning quality does.
+  const double width = max_x - min_x_;
+  const double height = max_y - min_y_;
+  const double extent = std::max(width, height);
+  const double density_target =
+      static_cast<double>(ids.size()) / static_cast<double>(target_per_cell);
+  const double area = width * height;
+  if (area > 0.0) {
+    cell_ = std::sqrt(area / std::max(1.0, density_target));
+  } else if (extent > 0.0) {
+    cell_ = extent / std::max(1.0, density_target);
+  } else {
+    cell_ = 1.0;
+  }
+  cols_ = std::max(1, static_cast<int>(std::floor(width / cell_)) + 1);
+  rows_ = std::max(1, static_cast<int>(std::floor(height / cell_)) + 1);
+
+  // Two-pass counting sort of ids into row-major cell buckets (CSR).
+  const std::size_t cells = static_cast<std::size_t>(cols_) *
+                            static_cast<std::size_t>(rows_);
+  starts_.assign(cells + 1, 0);
+  std::vector<std::size_t> cell_of(ids.size());
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    const Vec2 p = points[static_cast<std::size_t>(ids[k])];
+    const std::size_t c =
+        static_cast<std::size_t>(CellY(p.y)) * static_cast<std::size_t>(cols_) +
+        static_cast<std::size_t>(CellX(p.x));
+    cell_of[k] = c;
+    ++starts_[c + 1];
+  }
+  for (std::size_t c = 0; c < cells; ++c) starts_[c + 1] += starts_[c];
+  bucket_ids_.resize(ids.size());
+  std::vector<std::size_t> cursor(starts_.begin(), starts_.end() - 1);
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    bucket_ids_[cursor[cell_of[k]]++] = ids[k];
+  }
+}
+
+int UniformGrid::CellX(double x) const noexcept {
+  const int c = static_cast<int>(std::floor((x - min_x_) / cell_));
+  return std::clamp(c, 0, cols_ - 1);
+}
+
+int UniformGrid::CellY(double y) const noexcept {
+  const int c = static_cast<int>(std::floor((y - min_y_) / cell_));
+  return std::clamp(c, 0, rows_ - 1);
+}
+
+}  // namespace decaylib::geom

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "core/decay_space.h"
 #include "geom/point.h"
@@ -46,10 +47,16 @@ core::DecaySpace HyperGridSpace(int m, int k, double alpha);
 // hence zeta ~ alpha) overwhelmingly likely even at small n.  Shadowing
 // multiplies ratios by up to 10^{+-k sigma_db/10}, so zeta can exceed alpha
 // by ~ lg of that factor; the quasi-metric keeps doubling dimension ~ 2.
+//
+// When `points_out` is non-null it receives the sampled coordinates (one
+// per node, in node-id order) -- callers like the scenario engine use them
+// for grid-accelerated pairing; passing nullptr changes nothing.
 core::DecaySpace ClusteredGeometric(int n, int hotspots, double box,
                                     double sigma, double alpha,
                                     double sigma_db, geom::Rng& rng,
-                                    bool symmetric = true);
+                                    bool symmetric = true,
+                                    std::vector<geom::Vec2>* points_out =
+                                        nullptr);
 
 // Line/highway corridor deployment: n points uniform in a length x width
 // strip with width << length (width = 0 collapses to a pure line), decay =
@@ -59,8 +66,11 @@ core::DecaySpace ClusteredGeometric(int n, int hotspots, double box,
 // zeta <= alpha with near-equality witnessed by the abundant almost-evenly
 // split collinear triplets (the bound zeta = alpha is exact for a point
 // midway between two others); the quasi-metric has doubling dimension ~ 1.
+//
+// `points_out`, when non-null, receives the sampled coordinates as above.
 core::DecaySpace CorridorSpace(int n, double length, double width,
                                double alpha, double sigma_db, geom::Rng& rng,
-                               bool symmetric = true);
+                               bool symmetric = true,
+                               std::vector<geom::Vec2>* points_out = nullptr);
 
 }  // namespace decaylib::spaces

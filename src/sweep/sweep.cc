@@ -161,7 +161,9 @@ std::vector<SweepSpec> BuiltinSweeps() {
     sweep.base.links = 32;
     sweep.base.instances = 4;
     sweep.base.seed = 2202;
-    sweep.axes = {{"power_tau", {0.0, 0.5, 1.0}}, {"alpha", {2.5, 3.5}}};
+    // Geometry axis (alpha) outermost, power policy fastest: the whole
+    // power_tau row of a cell reuses one sampled geometry (GeometryCache).
+    sweep.axes = {{"alpha", {2.5, 3.5}}, {"power_tau", {0.0, 0.5, 1.0}}};
     sweep.tasks = {engine::TaskKind::kAlgorithm1,
                    engine::TaskKind::kGreedyBaseline,
                    engine::TaskKind::kPowerControl};
@@ -180,7 +182,9 @@ std::vector<SweepSpec> BuiltinSweeps() {
     sweep.base.instances = 4;
     sweep.base.zeta = 4.0;  // headroom for the shadowed cells
     sweep.base.seed = 3303;
-    sweep.axes = {{"noise", {0.0, 0.01, 0.05}}, {"sigma_db", {0.0, 6.0}}};
+    // Shadowing spread re-samples geometry, noise does not; keeping noise
+    // fastest lets each sigma_db row share its sampled instances.
+    sweep.axes = {{"sigma_db", {0.0, 6.0}}, {"noise", {0.0, 0.01, 0.05}}};
     sweeps.push_back(std::move(sweep));
   }
 

@@ -50,6 +50,10 @@ void PrintSweepReport(const SweepResult& result) {
   if (result.arena_rebuilds > 0) {
     std::printf(", %lld kernels through arenas", result.arena_rebuilds);
   }
+  if (result.geometry_builds > 0 || result.geometry_reuses > 0) {
+    std::printf(", %lld geometries built / %lld reused",
+                result.geometry_builds, result.geometry_reuses);
+  }
   std::printf(")\n\n");
 
   // Per-cell table: axis coordinates + headline means.

@@ -20,11 +20,16 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
   if (config_.reuse_arena) {
     arenas.resize(static_cast<std::size_t>(threads));
   }
+  // One geometry cache for the whole grid: cells re-sample only the
+  // instances a geometry-axis change actually invalidates.
+  engine::GeometryCache geometry;
 
   engine::BatchConfig batch;
   batch.threads = threads;
   batch.tasks = spec.tasks;
   batch.arenas = std::span<sinr::KernelArena>(arenas);
+  batch.geometry = config_.reuse_geometry ? &geometry : nullptr;
+  batch.pairing = config_.pairing;
   const engine::BatchRunner runner(batch);
 
   const auto start = std::chrono::steady_clock::now();
@@ -40,6 +45,8 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
   for (const sinr::KernelArena& arena : arenas) {
     out.arena_rebuilds += arena.rebuilds();
   }
+  out.geometry_builds = geometry.builds();
+  out.geometry_reuses = geometry.reuses();
   return out;
 }
 

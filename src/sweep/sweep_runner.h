@@ -2,21 +2,31 @@
 // arenas.
 //
 // SweepRunner expands a SweepSpec into its cell grid and runs each cell's
-// batch through one engine::BatchRunner.  The expensive part of a cell --
-// the per-instance KernelCache matrices -- is rebuilt inside per-worker
-// sinr::KernelArena slabs that live for the *whole sweep*: same-shape cells
-// (and every instance within a cell) reuse warm storage instead of paying
-// the allocator, and differently sized cells simply re-grow the slabs.
+// batch through one engine::BatchRunner.  Two kinds of expensive per-cell
+// state live above the grid and are reused across it:
+//  * kernels -- per-instance KernelCache matrices are rebuilt inside
+//    per-worker sinr::KernelArena slabs that live for the *whole sweep*:
+//    same-shape cells (and every instance within a cell) reuse warm storage
+//    instead of paying the allocator, and differently sized cells simply
+//    re-grow the slabs;
+//  * geometry -- one shared engine::GeometryCache keeps a cell's sampled
+//    decay spaces, link pairings and measured metricities warm, so a run of
+//    consecutive cells with equal GeometryKey (only power_tau / beta /
+//    noise / explicit zeta differ) pays instance *generation* once, which
+//    is the dominant per-cell cost (docs/performance.md).
 //
 // Determinism contract, inherited and extended from the batch runner:
 //  * every deterministic statistic of every cell is invariant under the
-//    worker-thread count (the batch runner's contract), and
+//    worker-thread count (the batch runner's contract),
 //  * arena reuse is invisible in the results -- a swept cell's aggregates
 //    are bit-identical to the same cell run with per-instance allocation
 //    (KernelCache::Build overwrites every entry, so rebuilt slabs hold the
-//    same bits as fresh ones).
+//    same bits as fresh ones), and
+//  * geometry reuse and the pairing route are invisible too -- a cached
+//    geometry is the bit-identical output of the same BuildGeometry call,
+//    and grid/MNN pairing provably reproduces the sort-greedy matching.
 // SweepSignature serialises the deterministic part of a whole grid; tests,
-// the sweep_runner CLI --smoke gate and bench_e20 assert both invariances.
+// the sweep_runner CLI --smoke gate and bench_e20 assert every invariance.
 #pragma once
 
 #include <span>
@@ -31,6 +41,13 @@ namespace decaylib::sweep {
 struct SweepConfig {
   int threads = 0;          // per-cell worker pool; 0 = hardware concurrency
   bool reuse_arena = true;  // rebuild kernels in per-worker arenas
+  // Share sampled instance geometry (decay space, points, link pairing,
+  // measured metricity) across cells whose engine::GeometryKey matches --
+  // i.e. cells differing only in power_tau / beta / noise / explicit zeta.
+  // Reuse follows grid order, so put non-geometric axes last (fastest).
+  bool reuse_geometry = true;
+  // Pairing route for instance builds (kSortGreedy = reference A/B arm).
+  engine::PairingMode pairing = engine::PairingMode::kAuto;
 };
 
 struct SweepCellResult {
@@ -45,6 +62,8 @@ struct SweepResult {
   // Non-deterministic timing/accounting.
   double wall_ms = 0.0;         // whole-grid wall time
   long long arena_rebuilds = 0; // kernel builds that went through an arena
+  long long geometry_builds = 0; // instance geometries sampled fresh
+  long long geometry_reuses = 0; // instance geometries served from cache
 
   double CellsPerSecond() const {
     return wall_ms > 0.0
@@ -71,7 +90,8 @@ class SweepRunner {
 
 // Serialises the deterministic part of a sweep: the grid identity plus
 // every cell's engine::AggregateSignature, in grid order.  Bit-identical
-// across thread counts and across arena/no-arena runs.
+// across thread counts, across arena/no-arena runs, across geometry-cache
+// on/off runs, and across pairing modes.
 std::string SweepSignature(const SweepResult& result);
 
 // Total feasibility/validation violations over all cells (must stay 0).

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 
 #include "core/decay_space.h"
 #include "geom/rng.h"
+#include "sinr/kernel.h"
 #include "sinr/power.h"
 
 namespace decaylib::auction {
@@ -109,6 +111,43 @@ TEST(AuctionTest, BlockedPairChargesCompetitorsBid) {
   const auto result = RunAuction(system, bids, 1e-8);
   EXPECT_EQ(result.winners, (std::vector<int>{0}));
   EXPECT_NEAR(result.payments[0], 3.0, 1e-4);
+}
+
+// The cached mechanism is bit-exact against the naive reference: winner
+// sets, critical bids, payments and revenue are identical doubles, with
+// and without ambient noise (noise exercises CanOvercomeNoise and the
+// c_v != beta noise factors).
+TEST(AuctionTest, CachedPathBitExactVsNaive) {
+  for (const double noise : {0.0, 0.02}) {
+    for (const std::uint64_t seed : {7ull, 8ull, 9ull, 10ull}) {
+      const Fixture fixture(12, 12.0, seed);
+      const sinr::LinkSystem system(fixture.space, fixture.links,
+                                    {1.5, noise});
+      const sinr::KernelCache kernel(system, sinr::UniformPower(system));
+
+      const auto naive_winners =
+          DetermineWinnersNaive(system, fixture.bids);
+      EXPECT_EQ(DetermineWinners(kernel, fixture.bids), naive_winners)
+          << "noise=" << noise << " seed=" << seed;
+      EXPECT_EQ(DetermineWinners(system, fixture.bids), naive_winners);
+
+      for (int v = 0; v < 12; v += 5) {
+        EXPECT_EQ(CriticalBid(kernel, fixture.bids, v, 1e-7),
+                  CriticalBidNaive(system, fixture.bids, v, 1e-7))
+            << "noise=" << noise << " seed=" << seed << " link=" << v;
+      }
+
+      const AuctionResult cached = RunAuction(kernel, fixture.bids, 1e-6);
+      const AuctionResult naive = RunAuctionNaive(system, fixture.bids, 1e-6);
+      EXPECT_EQ(cached.winners, naive.winners);
+      ASSERT_EQ(cached.payments.size(), naive.payments.size());
+      for (std::size_t v = 0; v < cached.payments.size(); ++v) {
+        EXPECT_EQ(cached.payments[v], naive.payments[v]) << "link " << v;
+      }
+      EXPECT_EQ(cached.social_welfare, naive.social_welfare);
+      EXPECT_EQ(cached.revenue, naive.revenue);
+    }
+  }
 }
 
 TEST(AuctionTest, TruthfulnessSpotCheck) {

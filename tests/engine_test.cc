@@ -81,6 +81,146 @@ TEST(ScenarioInstanceTest, PairingCoversEveryNodeExactlyOnce) {
   EXPECT_EQ(*endpoints.rbegin(), 31);
 }
 
+// Property: grid/MNN pairing is the sort-greedy matching, across every
+// registered topology, several deployment sizes and many seeds.  Only
+// shadowing-free specs route through the grid (sigma_db > 0 falls back to
+// the sort), but the equality must hold wherever the dispatch can go.
+TEST(ScenarioPairingTest, GridPairingEqualsSortGreedyAcrossTopologies) {
+  for (const std::string& topology : RegisteredTopologies()) {
+    for (const int links : {4, 9, 24}) {
+      for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        ScenarioSpec spec;
+        spec.name = "pairing_property";
+        spec.topology = topology;
+        spec.links = links;
+        spec.sigma_db = 0.0;
+        spec.seed = seed;
+        const ScenarioGeometry sorted =
+            BuildGeometry(spec, 0, PairingMode::kSortGreedy);
+        const ScenarioGeometry gridded =
+            BuildGeometry(spec, 0, PairingMode::kAuto);
+        ASSERT_EQ(sorted.points.size(), 2u * static_cast<std::size_t>(links))
+            << topology;
+        EXPECT_EQ(sorted.links, gridded.links)
+            << topology << " links=" << links << " seed=" << seed;
+        // The standalone pairing functions agree too (same space/points).
+        EXPECT_EQ(PairLinksByDecayGrid(*sorted.space, sorted.points,
+                                       spec.alpha),
+                  PairLinksByDecay(*sorted.space))
+            << topology << " links=" << links << " seed=" << seed;
+      }
+    }
+  }
+}
+
+// Shadowed specs cannot use the distance grid (decay is no longer monotone
+// in distance); the auto dispatch must fall back and stay identical.
+TEST(ScenarioPairingTest, ShadowedSpecsFallBackToSortGreedy) {
+  ScenarioSpec spec;
+  spec.name = "pairing_shadowed";
+  spec.topology = "uniform";
+  spec.links = 16;
+  spec.sigma_db = 6.0;
+  spec.seed = 42;
+  const ScenarioGeometry a = BuildGeometry(spec, 0, PairingMode::kAuto);
+  const ScenarioGeometry b = BuildGeometry(spec, 0, PairingMode::kSortGreedy);
+  EXPECT_EQ(a.links, b.links);
+}
+
+// The geometry key collects exactly the sampling-relevant fields.
+TEST(GeometryKeyTest, NonGeometricFieldsShareAKey) {
+  ScenarioSpec spec = Small(BuiltinScenarios().front(), 10, 2);
+  ScenarioSpec cfg = spec;
+  cfg.power_tau = 1.0;
+  cfg.beta = 2.0;
+  cfg.noise = 0.05;
+  cfg.zeta = 5.0;
+  cfg.instances = 7;
+  cfg.name = "renamed";
+  EXPECT_EQ(GeometryKeyOf(spec), GeometryKeyOf(cfg));
+  for (const auto& mutate : std::vector<void (*)(ScenarioSpec&)>{
+           [](ScenarioSpec& s) { s.topology = "grid"; },
+           [](ScenarioSpec& s) { s.links += 1; },
+           [](ScenarioSpec& s) { s.alpha += 0.5; },
+           [](ScenarioSpec& s) { s.sigma_db = 3.0; },
+           [](ScenarioSpec& s) { s.symmetric_shadowing = false; },
+           [](ScenarioSpec& s) { s.seed += 1; },
+           [](ScenarioSpec& s) { s.hotspots += 1; },
+           [](ScenarioSpec& s) { s.cluster_sigma += 0.5; },
+           [](ScenarioSpec& s) { s.corridor_width += 0.5; }}) {
+    ScenarioSpec changed = spec;
+    mutate(changed);
+    EXPECT_FALSE(GeometryKeyOf(spec) == GeometryKeyOf(changed));
+  }
+}
+
+// A cached geometry configures to the bit-identical instance BuildInstance
+// produces, reuse only kicks in on key-equal specs, and the measured
+// metricity is memoised in the slot.
+TEST(GeometryCacheTest, ReuseIsBitIdenticalAndKeyed) {
+  ScenarioSpec spec = Small(BuiltinScenarios().front(), 10, 3);
+  GeometryCache cache;
+  cache.Prepare(spec);
+  for (int i = 0; i < spec.instances; ++i) {
+    const ScenarioInstance direct = BuildInstance(spec, i);
+    const ScenarioInstance cached =
+        ConfigureInstance(spec, cache.Acquire(spec, i));
+    ASSERT_EQ(cached.space().size(), direct.space().size());
+    const auto raw_a = cached.space().Raw();
+    const auto raw_b = direct.space().Raw();
+    for (std::size_t k = 0; k < raw_a.size(); ++k) {
+      ASSERT_EQ(raw_a[k], raw_b[k]);
+    }
+    EXPECT_EQ(cached.system().links(), direct.system().links());
+    EXPECT_EQ(cached.power(), direct.power());
+    EXPECT_EQ(cached.zeta(), direct.zeta());
+  }
+  EXPECT_EQ(cache.builds(), 3);
+  EXPECT_EQ(cache.reuses(), 0);
+
+  // Non-geometric change: same key, slots stay warm.
+  ScenarioSpec power = spec;
+  power.power_tau = 0.5;
+  power.beta = 1.5;
+  cache.Prepare(power);
+  for (int i = 0; i < power.instances; ++i) {
+    const ScenarioInstance direct = BuildInstance(power, i);
+    const ScenarioInstance cached =
+        ConfigureInstance(power, cache.Acquire(power, i));
+    EXPECT_EQ(cached.power(), direct.power());
+    EXPECT_EQ(cached.zeta(), direct.zeta());
+    EXPECT_EQ(cached.system().links(), direct.system().links());
+  }
+  EXPECT_EQ(cache.builds(), 3);
+  EXPECT_EQ(cache.reuses(), 3);
+
+  // Geometric change: key differs, every slot rebuilds.
+  ScenarioSpec rekeyed = spec;
+  rekeyed.alpha += 0.5;
+  cache.Prepare(rekeyed);
+  (void)cache.Acquire(rekeyed, 0);
+  EXPECT_EQ(cache.builds(), 4);
+  EXPECT_EQ(cache.reuses(), 3);
+}
+
+TEST(GeometryCacheTest, MeasuredZetaIsMemoised) {
+  ScenarioSpec spec = Small(BuiltinScenarios().front(), 6, 1);
+  spec.zeta = -1.0;
+  GeometryCache cache;
+  cache.Prepare(spec);
+  const ScenarioGeometry& geometry = cache.Acquire(spec, 0);
+  EXPECT_TRUE(geometry.zeta_measured);
+  const ScenarioInstance direct = BuildInstance(spec, 0);
+  const ScenarioInstance cached = ConfigureInstance(spec, geometry);
+  EXPECT_EQ(cached.zeta(), direct.zeta());
+  // An explicit-zeta cell reusing the slot keeps the measurement around.
+  ScenarioSpec explicit_zeta = spec;
+  explicit_zeta.zeta = 4.0;
+  cache.Prepare(explicit_zeta);
+  EXPECT_TRUE(cache.Acquire(explicit_zeta, 0).zeta_measured);
+  EXPECT_EQ(cache.reuses(), 1);
+}
+
 // The engine's core contract: the deterministic aggregate report of a batch
 // does not depend on the worker-pool size.
 TEST(BatchRunnerTest, AggregateBitIdenticalAcrossThreadCounts) {
@@ -188,6 +328,35 @@ TEST(BatchRunnerTest, ArenaReuseBitIdenticalToPerInstanceKernels) {
   long long instances = 0;
   for (const ScenarioSpec& spec : specs) instances += spec.instances;
   EXPECT_EQ(rebuilds, instances);
+}
+
+// Geometry-cache-backed builds must be invisible in the deterministic
+// aggregate, across thread counts, and the cache must actually engage on
+// the key-equal run of specs.
+TEST(BatchRunnerTest, GeometryCacheBitIdenticalAcrossThreadCounts) {
+  std::vector<ScenarioSpec> specs;
+  ScenarioSpec base = Small(BuiltinScenarios().front(), 10, 3);
+  for (const double beta : {1.0, 1.5, 2.0}) {
+    base.beta = beta;
+    base.name = "geom_reuse_beta";
+    specs.push_back(base);
+  }
+
+  BatchConfig plain;
+  plain.threads = 2;
+  const auto reference = BatchRunner(plain).Run(specs);
+
+  for (const int threads : {1, 4}) {
+    GeometryCache cache;
+    BatchConfig with_cache;
+    with_cache.threads = threads;
+    with_cache.geometry = &cache;
+    const auto cached_run = BatchRunner(with_cache).Run(specs);
+    EXPECT_EQ(AggregateSignature(reference), AggregateSignature(cached_run))
+        << "threads=" << threads;
+    EXPECT_EQ(cache.builds(), 3);   // first spec samples its 3 instances
+    EXPECT_EQ(cache.reuses(), 6);   // the two beta variants reuse them
+  }
 }
 
 TEST(BatchRunnerTest, TaskSubsetLeavesOtherMetricsUnset) {

@@ -126,6 +126,56 @@ TEST(SweepRunnerTest, SignatureInvariantAcrossThreadsAndArena) {
   EXPECT_EQ(a.arena_rebuilds, 4 * 2);
   EXPECT_EQ(b.arena_rebuilds, 4 * 2);
   EXPECT_EQ(c.arena_rebuilds, 0);
+  // Both TinySweep axes are geometric, so the cache holds but never hits.
+  EXPECT_EQ(a.geometry_builds, 4 * 2);
+  EXPECT_EQ(a.geometry_reuses, 0);
+}
+
+// Geometry reuse and the pairing route are invisible in the signature --
+// across thread counts, cache on/off, and grid/MNN vs sort-greedy pairing
+// -- and the accounting matches the grid structure exactly.
+TEST(SweepRunnerTest, SignatureInvariantAcrossGeometryCacheAndPairing) {
+  SweepSpec spec = TinySweep();
+  // alpha re-samples geometry, power_tau and beta do not; with the
+  // non-geometric axes fastest, each alpha generation serves 4 cells.
+  spec.axes = {{"alpha", {2.5, 3.0}},
+               {"power_tau", {0.0, 0.5}},
+               {"beta", {1.0, 1.5}}};
+
+  SweepConfig cached_serial;
+  cached_serial.threads = 1;
+  SweepConfig cached_pooled;
+  cached_pooled.threads = 4;
+  SweepConfig uncached = cached_pooled;
+  uncached.reuse_geometry = false;
+  SweepConfig uncached_sort = uncached;
+  uncached_sort.pairing = engine::PairingMode::kSortGreedy;
+  SweepConfig cached_sort = cached_pooled;
+  cached_sort.pairing = engine::PairingMode::kSortGreedy;
+
+  const SweepResult a = SweepRunner(cached_serial).Run(spec);
+  const SweepResult b = SweepRunner(cached_pooled).Run(spec);
+  const SweepResult c = SweepRunner(uncached).Run(spec);
+  const SweepResult d = SweepRunner(uncached_sort).Run(spec);
+  const SweepResult e = SweepRunner(cached_sort).Run(spec);
+
+  ASSERT_EQ(a.cells.size(), 8u);
+  const std::string sig = SweepSignature(a);
+  EXPECT_EQ(sig, SweepSignature(b));
+  EXPECT_EQ(sig, SweepSignature(c));
+  EXPECT_EQ(sig, SweepSignature(d));
+  EXPECT_EQ(sig, SweepSignature(e));
+  EXPECT_EQ(SweepViolationCount(a), 0);
+
+  // 2 alpha generations x 2 instances sampled once each; the other 6 cells
+  // of each generation reuse them.  Identical accounting on every cached
+  // run, independent of the thread count.
+  EXPECT_EQ(a.geometry_builds, 2 * 2);
+  EXPECT_EQ(a.geometry_reuses, 6 * 2);
+  EXPECT_EQ(b.geometry_builds, 2 * 2);
+  EXPECT_EQ(b.geometry_reuses, 6 * 2);
+  EXPECT_EQ(c.geometry_builds, 0);
+  EXPECT_EQ(c.geometry_reuses, 0);
 }
 
 TEST(SweepReportTest, CsvHasOneRowPerCellAndAxisColumns) {

@@ -4,13 +4,15 @@
 //   $ scenario_runner --list
 //   $ scenario_runner --smoke [--json]
 //   $ scenario_runner [--scenario NAME] [--links N] [--instances K]
-//                     [--threads T] [--seed S] [--json]
+//                     [--alpha A] [--beta B] [--threads T] [--seed S]
+//                     [--json]
 //
 // Without --scenario, every builtin scenario runs.  --links / --instances /
-// --seed override the preset's values; --threads sizes the worker pool
-// (>= 1; when absent the pool uses hardware concurrency).  Numeric flags
-// are parsed strictly (tool_args.h): garbage, zero or negative thread
-// counts are usage errors rather than silently becoming defaults.  --json
+// --alpha / --beta / --seed override the preset's values; --threads sizes
+// the worker pool (>= 1; when absent the pool uses hardware concurrency).
+// Numeric flags are parsed strictly (tool_args.h): garbage, empty or
+// out-of-range values -- including non-finite doubles -- are usage errors
+// rather than silently becoming defaults.  --json
 // writes BENCH_SCENARIO.json in the working directory (the bench_util.h
 // record format plus a "scenarios" aggregate array; see docs/scenarios.md).
 //
@@ -36,7 +38,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--list] [--smoke] [--scenario NAME] [--links N]\n"
-               "          [--instances K] [--threads T] [--seed S] [--json]\n",
+               "          [--instances K] [--alpha A] [--beta B] [--threads T]\n"
+               "          [--seed S] [--json]\n",
                argv0);
   return 2;
 }
@@ -70,6 +73,8 @@ int main(int argc, char** argv) {
   int links = 0;       // 0 = keep the preset's value
   int instances = 0;   // 0 = keep the preset's value
   int threads = 0;     // 0 = hardware concurrency (explicit values >= 1)
+  double alpha = 0.0;  // 0 = keep the preset's value (explicit values > 0)
+  double beta = 0.0;   // 0 = keep the preset's value (explicit values > 0)
   std::uint64_t seed = 0;
   bool seed_set = false;
 
@@ -96,6 +101,14 @@ int main(int argc, char** argv) {
       if (!tools::ParseIntFlag("--threads", argv[++i], 1, 1 << 16, &threads)) {
         return Usage(argv[0]);
       }
+    } else if (std::strcmp(arg, "--alpha") == 0 && i + 1 < argc) {
+      if (!tools::ParseDoubleFlag("--alpha", argv[++i], 1e-3, 64.0, &alpha)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--beta") == 0 && i + 1 < argc) {
+      if (!tools::ParseDoubleFlag("--beta", argv[++i], 1e-6, 1e6, &beta)) {
+        return Usage(argv[0]);
+      }
     } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
       if (!tools::ParseSeedFlag("--seed", argv[++i], &seed)) {
         return Usage(argv[0]);
@@ -107,6 +120,15 @@ int main(int argc, char** argv) {
   }
 
   if (list) return ListScenarios();
+  // The smoke determinism gate runs the builtins at canonical small sizes;
+  // decay-model overrides would silently change what the gate certifies
+  // (same policy as sweep_runner --smoke: a usage error, not a drop).
+  if (smoke && (alpha > 0.0 || beta > 0.0)) {
+    std::fprintf(stderr,
+                 "--smoke runs the canonical decay models; it does not take "
+                 "--alpha/--beta\n");
+    return 2;
+  }
 
   std::vector<engine::ScenarioSpec> specs;
   if (!scenario.empty()) {
@@ -127,6 +149,8 @@ int main(int argc, char** argv) {
     }
     if (links > 0) spec.links = links;
     if (instances > 0) spec.instances = instances;
+    if (alpha > 0.0) spec.alpha = alpha;
+    if (beta > 0.0) spec.beta = beta;
     if (seed_set) spec.seed = seed;
   }
 

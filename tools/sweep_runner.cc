@@ -3,25 +3,31 @@
 //
 //   $ sweep_runner --list
 //   $ sweep_runner --smoke [--json]
-//   $ sweep_runner [--sweep NAME] [--instances K] [--threads T]
-//                  [--no-arena] [--csv] [--json]
+//   $ sweep_runner [--sweep NAME] [--instances K] [--alpha A] [--beta B]
+//                  [--threads T] [--no-arena] [--no-geometry-cache]
+//                  [--csv] [--json]
 //
 // Without --sweep, every builtin sweep runs.  --instances overrides the
-// per-cell batch size; --threads sizes the per-cell worker pool (>= 1,
-// strict parse via tool_args.h; when absent the pool uses hardware
-// concurrency); --no-arena disables cross-instance kernel-arena reuse (for
-// A/B timing; results are bit-identical either way).  --csv writes
+// per-cell batch size and --alpha / --beta the base spec's decay exponent
+// and SINR threshold (strict parses via tool_args.h: garbage, empty or
+// non-finite values are usage errors); --threads sizes the per-cell worker
+// pool (>= 1); --no-arena disables cross-instance kernel-arena reuse and
+// --no-geometry-cache disables cross-cell geometry reuse (both for A/B
+// timing; results are bit-identical either way).  --csv writes
 // SWEEP_<name>.csv per sweep (io/csv table format, one row per cell);
 // --json writes BENCH_SWEEP.json over all cells (engine report format).
 //
-// --smoke is the CI entry point: a tiny 2x2 grid (links x alpha) runs
-// pooled, single-threaded, and arena-less, and the run fails (exit 1)
-// unless all three deterministic sweep signatures are bit-identical and no
-// feasibility/validation violations occurred -- a fast end-to-end check of
-// the sweep -> batch -> kernel-arena stack.
+// --smoke is the CI entry point: a tiny 2x2x2 grid (links x alpha x beta;
+// the trailing beta axis is non-geometric, so it exercises geometry reuse)
+// runs pooled, single-threaded, arena-less, geometry-cache-less and
+// sort-paired, and the run fails (exit 1) unless all five deterministic
+// sweep signatures are bit-identical and no feasibility/validation
+// violations occurred -- a fast end-to-end check of the sweep -> batch ->
+// geometry-cache -> kernel-arena stack.
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sweep/sweep.h"
@@ -36,7 +42,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--list] [--smoke] [--sweep NAME] [--instances K]\n"
-               "          [--threads T] [--no-arena] [--csv] [--json]\n",
+               "          [--alpha A] [--beta B] [--threads T] [--no-arena]\n"
+               "          [--no-geometry-cache] [--csv] [--json]\n",
                argv0);
   return 2;
 }
@@ -59,7 +66,10 @@ int ListSweeps() {
 }
 
 // The --smoke grid: tiny, fixed, and axis-diverse enough to cross cell
-// shapes (two link counts force the arenas to re-grow mid-sweep).
+// shapes (two link counts force the arenas to re-grow mid-sweep) *and*
+// geometry generations (the trailing beta axis is non-geometric, so every
+// links x alpha geometry is reused across its beta pair when the cache is
+// on).
 sweep::SweepSpec SmokeSweep() {
   sweep::SweepSpec spec;
   spec.name = "smoke";
@@ -68,7 +78,7 @@ sweep::SweepSpec SmokeSweep() {
   spec.base.links = 12;
   spec.base.instances = 3;
   spec.base.seed = 9901;
-  spec.axes = {{"links", {10, 14}}, {"alpha", {2.5, 3.0}}};
+  spec.axes = {{"links", {10, 14}}, {"alpha", {2.5, 3.0}}, {"beta", {1.0, 1.5}}};
   return spec;
 }
 
@@ -83,10 +93,16 @@ int RunSmoke(int threads, bool json) {
   serial.threads = 1;
   sweep::SweepConfig no_arena = pooled;
   no_arena.reuse_arena = false;
+  sweep::SweepConfig no_geometry = pooled;
+  no_geometry.reuse_geometry = false;
+  sweep::SweepConfig sort_paired = pooled;
+  sort_paired.pairing = engine::PairingMode::kSortGreedy;
 
   const sweep::SweepResult a = sweep::SweepRunner(pooled).Run(spec);
   const sweep::SweepResult b = sweep::SweepRunner(serial).Run(spec);
   const sweep::SweepResult c = sweep::SweepRunner(no_arena).Run(spec);
+  const sweep::SweepResult d = sweep::SweepRunner(no_geometry).Run(spec);
+  const sweep::SweepResult e = sweep::SweepRunner(sort_paired).Run(spec);
   sweep::PrintSweepReport(a);
 
   if (sweep::SweepViolationCount(a) != 0) {
@@ -105,10 +121,31 @@ int RunSmoke(int threads, bool json) {
                  "FAIL: sweep signature differs with arena reuse disabled\n");
     return 1;
   }
+  if (sig != sweep::SweepSignature(d)) {
+    std::fprintf(stderr,
+                 "FAIL: sweep signature differs with the geometry cache "
+                 "disabled\n");
+    return 1;
+  }
+  if (sig != sweep::SweepSignature(e)) {
+    std::fprintf(stderr,
+                 "FAIL: sweep signature differs between grid/MNN and "
+                 "sort-greedy pairing\n");
+    return 1;
+  }
+  // The gate must actually exercise the cache: the beta axis guarantees
+  // one warm generation per links x alpha coordinate.
+  if (a.geometry_reuses <= 0 || d.geometry_reuses != 0) {
+    std::fprintf(stderr,
+                 "FAIL: geometry cache accounting (reuses on=%lld off=%lld)\n",
+                 a.geometry_reuses, d.geometry_reuses);
+    return 1;
+  }
   std::printf(
-      "smoke: sweep signatures bit-identical across thread counts and "
-      "arena reuse (%lld kernels through arenas)\n",
-      a.arena_rebuilds);
+      "smoke: sweep signatures bit-identical across thread counts, arena "
+      "reuse, geometry cache on/off and pairing modes (%lld kernels through "
+      "arenas, %lld geometries built / %lld reused)\n",
+      a.arena_rebuilds, a.geometry_builds, a.geometry_reuses);
 
   if (json && !sweep::WriteSweepJsonReport("SWEEP", {&a, 1})) return 1;
   return 0;
@@ -122,9 +159,12 @@ int main(int argc, char** argv) {
   bool csv = false;
   bool json = false;
   bool no_arena = false;
+  bool no_geometry_cache = false;
   std::string sweep_name;
-  int instances = 0;  // 0 = keep each sweep's value
-  int threads = 0;    // 0 = hardware concurrency (explicit values >= 1)
+  int instances = 0;   // 0 = keep each sweep's value
+  int threads = 0;     // 0 = hardware concurrency (explicit values >= 1)
+  double alpha = 0.0;  // 0 = keep each sweep's base value (explicit > 0)
+  double beta = 0.0;   // 0 = keep each sweep's base value (explicit > 0)
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -138,6 +178,8 @@ int main(int argc, char** argv) {
       json = true;
     } else if (std::strcmp(arg, "--no-arena") == 0) {
       no_arena = true;
+    } else if (std::strcmp(arg, "--no-geometry-cache") == 0) {
+      no_geometry_cache = true;
     } else if (std::strcmp(arg, "--sweep") == 0 && i + 1 < argc) {
       sweep_name = argv[++i];
     } else if (std::strcmp(arg, "--instances") == 0 && i + 1 < argc) {
@@ -149,6 +191,14 @@ int main(int argc, char** argv) {
       if (!tools::ParseIntFlag("--threads", argv[++i], 1, 1 << 16, &threads)) {
         return Usage(argv[0]);
       }
+    } else if (std::strcmp(arg, "--alpha") == 0 && i + 1 < argc) {
+      if (!tools::ParseDoubleFlag("--alpha", argv[++i], 1e-3, 64.0, &alpha)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--beta") == 0 && i + 1 < argc) {
+      if (!tools::ParseDoubleFlag("--beta", argv[++i], 1e-6, 1e6, &beta)) {
+        return Usage(argv[0]);
+      }
     } else {
       return Usage(argv[0]);
     }
@@ -158,7 +208,8 @@ int main(int argc, char** argv) {
   if (smoke) {
     // The smoke grid is fixed (it IS the determinism gate); flags that
     // would alter it are a usage error, not something to silently drop.
-    if (csv || no_arena || instances > 0 || !sweep_name.empty()) {
+    if (csv || no_arena || no_geometry_cache || instances > 0 ||
+        alpha > 0.0 || beta > 0.0 || !sweep_name.empty()) {
       std::fprintf(stderr,
                    "--smoke runs a fixed grid; it takes only --threads and "
                    "--json\n");
@@ -181,11 +232,30 @@ int main(int argc, char** argv) {
   }
   for (sweep::SweepSpec& spec : sweeps) {
     if (instances > 0) spec.base.instances = instances;
+    // Base overrides for swept fields would be silently erased by the axis
+    // values in every cell; per this tool's flag policy that is a usage
+    // error, not something to drop.
+    for (const auto& [flag, value] :
+         {std::pair<const char*, double>{"alpha", alpha}, {"beta", beta}}) {
+      if (value <= 0.0) continue;
+      for (const sweep::SweepAxis& axis : spec.axes) {
+        if (axis.field == flag) {
+          std::fprintf(stderr,
+                       "--%s: sweep '%s' sweeps %s as an axis; the base "
+                       "override would have no effect\n",
+                       flag, spec.name.c_str(), flag);
+          return 2;
+        }
+      }
+    }
+    if (alpha > 0.0) spec.base.alpha = alpha;
+    if (beta > 0.0) spec.base.beta = beta;
   }
 
   sweep::SweepConfig config;
   config.threads = threads;
   config.reuse_arena = !no_arena;
+  config.reuse_geometry = !no_geometry_cache;
   const sweep::SweepRunner runner(config);
 
   std::vector<sweep::SweepResult> results = runner.RunAll(sweeps);

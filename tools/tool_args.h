@@ -1,11 +1,13 @@
-// Strict integer flag parsing shared by the CLI tools (scenario_runner,
+// Strict numeric flag parsing shared by the CLI tools (scenario_runner,
 // sweep_runner).
 //
 // The tools originally used std::atoi, which silently maps garbage and
 // out-of-range text to 0 -- so "--threads x" or "--threads -2" fell through
 // the <= 0 default and quietly became "hardware concurrency".  These
-// helpers reject anything that is not a whole base-10 integer inside the
-// caller's range, and print a diagnostic naming the flag.
+// helpers reject anything that is not a whole base-10 integer (ParseInt)
+// or a finite decimal number (ParseDouble) inside the caller's range, and
+// print a diagnostic naming the flag.  "--alpha x", "--alpha ''" and
+// "--alpha nan" are usage errors, not silent zeros.
 #pragma once
 
 #include <cerrno>
@@ -39,6 +41,34 @@ inline bool ParseIntFlag(const char* flag, const char* text,
     return false;
   }
   *out = static_cast<int>(value);
+  return true;
+}
+
+// Parses a finite decimal double in [min_value, max_value]; rejects empty
+// text, trailing junk, overflow, and NaN/inf (the range comparison is
+// written so NaN fails it).
+inline bool ParseDouble(const char* text, double min_value, double max_value,
+                        double* out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  if (!(value >= min_value && value <= max_value)) return false;
+  *out = value;
+  return true;
+}
+
+// Parses the value of a double flag, printing a diagnostic on failure.
+inline bool ParseDoubleFlag(const char* flag, const char* text,
+                            double min_value, double max_value, double* out) {
+  double value = 0.0;
+  if (!ParseDouble(text, min_value, max_value, &value)) {
+    std::fprintf(stderr, "%s: expected a number in [%g, %g], got '%s'\n",
+                 flag, min_value, max_value, text == nullptr ? "" : text);
+    return false;
+  }
+  *out = value;
   return true;
 }
 
