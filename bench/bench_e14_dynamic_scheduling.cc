@@ -13,6 +13,7 @@
 #include "core/metricity.h"
 #include "dynamics/queue_system.h"
 #include "env/propagation.h"
+#include "sinr/kernel.h"
 #include "sinr/power.h"
 
 using namespace decaylib;
@@ -44,6 +45,9 @@ int main() {
 
   for (const SpaceCase& c : cases) {
     const sinr::LinkSystem system(c.space, dep.links, {2.0, 0.0});
+    // One kernel per space serves every (lambda, scheduler) simulation
+    // below; the LinkSystem entry point would rebuild it per call.
+    const sinr::KernelCache kernel(system, sinr::UniformPower(system));
     const double zeta = std::max(1.0, core::Metricity(c.space));
     const auto rho = capacity::EstimateInductiveIndependence(
         system, sinr::UniformPower(system));
@@ -57,18 +61,18 @@ int main() {
       geom::Rng r2(11);
       geom::Rng r3(11);
       const auto lqf = dynamics::RunQueueSimulation(
-          system,
+          kernel,
           dynamics::UniformArrivals(system, lambda,
                                     dynamics::Scheduler::kLongestQueueFirst,
                                     4000),
           r1);
       const auto greedy = dynamics::RunQueueSimulation(
-          system,
+          kernel,
           dynamics::UniformArrivals(system, lambda,
                                     dynamics::Scheduler::kGreedyByDecay, 4000),
           r2);
       const auto rnd = dynamics::RunQueueSimulation(
-          system,
+          kernel,
           dynamics::UniformArrivals(system, lambda,
                                     dynamics::Scheduler::kRandomAccess, 4000),
           r3);

@@ -8,14 +8,23 @@
 
 namespace decaylib::distributed {
 
-RegretResult RunRegretGame(const sinr::LinkSystem& system,
-                           const RegretConfig& config, geom::Rng& rng) {
+namespace {
+
+// Shared game driver: sender sampling, the multiplicative-weights update and
+// the tail accounting are common code, so at a fixed seed the naive and
+// cached paths draw the identical randomness stream and can only differ
+// through `succeeds` -- the per-sender SINR success check each path
+// implements against its own machinery.
+template <typename SuccessCheck>
+RegretResult RunRegretLoop(int n, const RegretConfig& config, geom::Rng& rng,
+                           SuccessCheck&& succeeds) {
   DL_CHECK(config.rounds >= config.measure_tail && config.measure_tail >= 1,
            "rounds must cover the measurement tail");
   DL_CHECK(config.learning_rate > 0.0 && config.learning_rate < 1.0,
            "learning rate must be in (0,1)");
-  const int n = system.NumLinks();
-  const sinr::PowerAssignment power = sinr::UniformPower(system);
+  DL_CHECK(std::isfinite(config.failure_penalty) &&
+               config.failure_penalty >= 0.0,
+           "failure penalty must be a non-negative finite cost");
 
   // Weights for the two actions per link: [transmit, idle].
   std::vector<double> w_tx(static_cast<std::size_t>(n), 1.0);
@@ -35,7 +44,7 @@ RegretResult RunRegretGame(const sinr::LinkSystem& system,
     }
     int successes = 0;
     for (int v : senders) {
-      const bool ok = system.Sinr(v, senders, power) >= system.config().beta;
+      const bool ok = succeeds(v, senders);
       if (ok) ++successes;
       const double utility = ok ? 1.0 : -config.failure_penalty;
       // Multiplicative weights on the realised utility of the played action;
@@ -67,6 +76,33 @@ RegretResult RunRegretGame(const sinr::LinkSystem& system,
         (w_tx[static_cast<std::size_t>(v)] + w_idle[static_cast<std::size_t>(v)]));
   }
   return result;
+}
+
+}  // namespace
+
+RegretResult RunRegretGame(const sinr::KernelCache& kernel,
+                           const RegretConfig& config, geom::Rng& rng) {
+  const double beta = kernel.system().config().beta;
+  return RunRegretLoop(kernel.NumLinks(), config, rng,
+                       [&](int v, const std::vector<int>& senders) {
+                         return kernel.Sinr(v, senders) >= beta;
+                       });
+}
+
+RegretResult RunRegretGame(const sinr::LinkSystem& system,
+                           const RegretConfig& config, geom::Rng& rng) {
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
+  return RunRegretGame(kernel, config, rng);
+}
+
+RegretResult RunRegretGameNaive(const sinr::LinkSystem& system,
+                                const RegretConfig& config, geom::Rng& rng) {
+  const sinr::PowerAssignment power = sinr::UniformPower(system);
+  const double beta = system.config().beta;
+  return RunRegretLoop(system.NumLinks(), config, rng,
+                       [&](int v, const std::vector<int>& senders) {
+                         return system.Sinr(v, senders, power) >= beta;
+                       });
 }
 
 }  // namespace decaylib::distributed

@@ -6,18 +6,28 @@
 // average number of concurrent successes is a constant fraction of
 // OPT / h(zeta); bench e07/e08 compare the empirical average against
 // Algorithm 1 and OPT.
+//
+// The hot path runs on a sinr::KernelCache: the per-round success checks
+// read the cached cross-decay matrix instead of re-deriving every
+// interference term from the decay space, so one O(n^2) kernel build serves
+// the whole game.  The LinkSystem entry point keeps its historical
+// uniform-power semantics by building one kernel and delegating; the
+// original per-round implementation survives as RunRegretGameNaive, and the
+// cached path is bit-exact against it at a fixed seed (the Sinr checks are
+// the identical expression and both paths draw the same randomness stream).
 #pragma once
 
 #include <vector>
 
 #include "geom/rng.h"
+#include "sinr/kernel.h"
 #include "sinr/link_system.h"
 
 namespace decaylib::distributed {
 
 struct RegretConfig {
-  double learning_rate = 0.1;   // multiplicative-weights eta
-  double failure_penalty = 1.0; // cost of a failed transmission
+  double learning_rate = 0.1;   // multiplicative-weights eta, in (0, 1)
+  double failure_penalty = 1.0; // cost of a failed transmission, >= 0
   int rounds = 2000;
   int measure_tail = 500;       // rounds at the end used for averaging
 };
@@ -26,9 +36,26 @@ struct RegretResult {
   double average_successes = 0.0;  // mean concurrent successes in the tail
   double transmit_rate = 0.0;      // mean fraction of links transmitting
   std::vector<double> final_transmit_probability;  // per link
+
+  // Bitwise equality over every field: the naive-vs-cached exactness gates
+  // (tests, bench_e21) compare whole results, so a new field is covered
+  // automatically.
+  friend bool operator==(const RegretResult&, const RegretResult&) = default;
 };
 
+// Runs the game against a warm kernel (and its power assignment).
+RegretResult RunRegretGame(const sinr::KernelCache& kernel,
+                           const RegretConfig& config, geom::Rng& rng);
+
+// Historical entry point (uniform power): builds one uniform-power kernel
+// and delegates to the cached overload.  Bit-identical to the naive
+// reference below.
 RegretResult RunRegretGame(const sinr::LinkSystem& system,
                            const RegretConfig& config, geom::Rng& rng);
+
+// Naive reference (per-round LinkSystem::Sinr under uniform power): kept as
+// the test oracle and bench A/B baseline for the cached path.
+RegretResult RunRegretGameNaive(const sinr::LinkSystem& system,
+                                const RegretConfig& config, geom::Rng& rng);
 
 }  // namespace decaylib::distributed

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <optional>
 #include <thread>
@@ -12,6 +13,8 @@
 #include "capacity/partitions.h"
 #include "capacity/weighted.h"
 #include "core/check.h"
+#include "distributed/regret_game.h"
+#include "dynamics/queue_system.h"
 #include "geom/rng.h"
 #include "scheduling/scheduler.h"
 #include "sinr/kernel.h"
@@ -27,12 +30,23 @@ double ElapsedMs(std::chrono::steady_clock::time_point since) {
       .count();
 }
 
-// Per-instance task weights: a stream independent of the instance builder's
-// (distinct mixing constant), deterministic in (spec.seed, index).
+// Per-task rng streams: independent of the instance builder's stream and of
+// each other (distinct salts), deterministic in (spec.seed, index) -- a
+// worker's identity never reaches any task's randomness.
+geom::Rng TaskRng(const ScenarioSpec& spec, std::uint64_t salt, int index) {
+  return geom::Rng(geom::Mix64(spec.seed ^ salt) +
+                   0x9e3779b97f4a7c15ULL *
+                       (static_cast<std::uint64_t>(index) + 1));
+}
+
+constexpr std::uint64_t kWeightStreamSalt = 0xa5b35705f00dfeedULL;
+constexpr std::uint64_t kQueueStreamSalt = 0x517cc1b727220a95ULL;
+constexpr std::uint64_t kRegretStreamSalt = 0x2545f4914f6cdd1dULL;
+
+// Per-instance task weights for the weighted-capacity task.
 std::vector<double> InstanceWeights(const ScenarioSpec& spec, int index,
                                     int n) {
-  geom::Rng rng(geom::Mix64(spec.seed ^ 0xa5b35705f00dfeedULL) +
-                0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1));
+  geom::Rng rng = TaskRng(spec, kWeightStreamSalt, index);
   std::vector<double> weights(static_cast<std::size_t>(n));
   for (double& w : weights) w = rng.Uniform(0.5, 2.0);
   return weights;
@@ -159,6 +173,43 @@ InstanceRecord RunInstance(const ScenarioSpec& spec, int index,
         rec.pc_obstructed = sinr::HasPairwiseObstruction(kernel, all) ? 1 : 0;
         break;
       }
+      case TaskKind::kQueue: {
+        dynamics::QueueConfig qc;
+        qc.arrival_rates.assign(static_cast<std::size_t>(rec.links),
+                                spec.dynamics.lambda);
+        qc.scheduler = spec.dynamics.scheduler;
+        qc.slots = spec.dynamics.queue_slots;
+        qc.warmup = spec.dynamics.queue_slots / 10;
+        geom::Rng rng = TaskRng(spec, kQueueStreamSalt, index);
+        const dynamics::QueueStats stats =
+            dynamics::RunQueueSimulation(kernel, qc, rng);
+        rec.queue_throughput = stats.throughput;
+        rec.queue_mean_queue = stats.mean_queue;
+        rec.queue_backlog_growth = stats.backlog_growth;
+        // Growth alone misfires on near-empty queues (the ratio of two tiny
+        // backlog sums is noise): flag unstable only when the backlog is
+        // also non-trivial -- more than one slot's worth of arrivals queued
+        // on time-average.
+        rec.queue_unstable =
+            stats.backlog_growth > dynamics::kUnstableGrowthThreshold &&
+                    stats.mean_queue > stats.offered_load
+                ? 1
+                : 0;
+        break;
+      }
+      case TaskKind::kRegret: {
+        distributed::RegretConfig rc;
+        rc.learning_rate = spec.dynamics.regret_learning_rate;
+        rc.failure_penalty = spec.dynamics.regret_penalty;
+        rc.rounds = spec.dynamics.regret_rounds;
+        rc.measure_tail = std::max(1, spec.dynamics.regret_rounds / 4);
+        geom::Rng rng = TaskRng(spec, kRegretStreamSalt, index);
+        const distributed::RegretResult res =
+            distributed::RunRegretGame(kernel, rc, rng);
+        rec.regret_successes = res.average_successes;
+        rec.regret_transmit_rate = res.transmit_rate;
+        break;
+      }
     }
   }
   rec.task_ms = ElapsedMs(task_start);
@@ -170,7 +221,8 @@ void Aggregate(ScenarioResult& result) {
   MetricSummary zeta, alg1_size, alg1_admitted, greedy_size, weighted_value,
       weighted_size, partition_classes, schedule_slots, alg1_infeasible,
       schedule_invalid, pc_greedy_size, pc_all_feasible, pc_obstructed,
-      pc_gain;
+      pc_gain, queue_throughput, queue_mean_queue, queue_backlog_growth,
+      queue_unstable, regret_successes, regret_transmit_rate;
   for (const InstanceRecord& rec : result.instances) {
     zeta.Add(rec.zeta);
     if (rec.alg1_size >= 0) {
@@ -199,6 +251,16 @@ void Aggregate(ScenarioResult& result) {
         pc_gain.Add(rec.pc_greedy_size - rec.greedy_size);
       }
     }
+    if (rec.queue_throughput >= 0.0) {
+      queue_throughput.Add(rec.queue_throughput);
+      queue_mean_queue.Add(rec.queue_mean_queue);
+      queue_backlog_growth.Add(rec.queue_backlog_growth);
+      queue_unstable.Add(rec.queue_unstable);
+    }
+    if (rec.regret_successes >= 0.0) {
+      regret_successes.Add(rec.regret_successes);
+      regret_transmit_rate.Add(rec.regret_transmit_rate);
+    }
   }
   result.aggregate = {
       {"zeta", zeta},
@@ -215,6 +277,12 @@ void Aggregate(ScenarioResult& result) {
       {"pc_all_feasible", pc_all_feasible},
       {"pc_obstructed", pc_obstructed},
       {"pc_gain_vs_uniform", pc_gain},
+      {"queue_throughput", queue_throughput},
+      {"queue_mean_queue", queue_mean_queue},
+      {"queue_backlog_growth", queue_backlog_growth},
+      {"queue_unstable", queue_unstable},
+      {"regret_successes", regret_successes},
+      {"regret_transmit_rate", regret_transmit_rate},
   };
 }
 
@@ -223,7 +291,8 @@ void Aggregate(ScenarioResult& result) {
 std::vector<TaskKind> AllTasks() {
   return {TaskKind::kAlgorithm1, TaskKind::kGreedyBaseline,
           TaskKind::kWeighted,   TaskKind::kPartitions,
-          TaskKind::kSchedule,   TaskKind::kPowerControl};
+          TaskKind::kSchedule,   TaskKind::kPowerControl,
+          TaskKind::kQueue,      TaskKind::kRegret};
 }
 
 int ResolveThreads(int requested) {
@@ -241,8 +310,39 @@ void MetricSummary::Add(double v) {
 
 BatchRunner::BatchRunner(BatchConfig config) : config_(std::move(config)) {}
 
+namespace {
+
+// Rejects out-of-range dynamics knobs before any worker starts: an invalid
+// lambda would otherwise flow straight into Rng::Chance and silently distort
+// the Bernoulli arrival process rather than fail.
+void ValidateDynamicsConfig(const ScenarioSpec& spec,
+                            const std::vector<TaskKind>& tasks) {
+  for (const TaskKind task : tasks) {
+    if (task == TaskKind::kQueue) {
+      DL_CHECK(std::isfinite(spec.dynamics.lambda) &&
+                   spec.dynamics.lambda >= 0.0 && spec.dynamics.lambda <= 1.0,
+               "queue task: lambda is a per-slot Bernoulli probability in "
+               "[0, 1]");
+      DL_CHECK(spec.dynamics.queue_slots >= 1,
+               "queue task: need at least one simulated slot");
+    } else if (task == TaskKind::kRegret) {
+      DL_CHECK(spec.dynamics.regret_learning_rate > 0.0 &&
+                   spec.dynamics.regret_learning_rate < 1.0,
+               "regret task: learning rate must be in (0, 1)");
+      DL_CHECK(std::isfinite(spec.dynamics.regret_penalty) &&
+                   spec.dynamics.regret_penalty >= 0.0,
+               "regret task: penalty must be a non-negative finite cost");
+      DL_CHECK(spec.dynamics.regret_rounds >= 1,
+               "regret task: need at least one round");
+    }
+  }
+}
+
+}  // namespace
+
 ScenarioResult BatchRunner::RunOne(const ScenarioSpec& spec) const {
   DL_CHECK(spec.instances >= 1, "batch needs at least one instance");
+  ValidateDynamicsConfig(spec, config_.tasks);
   ScenarioResult result;
   result.spec = spec;
   result.instances.resize(static_cast<std::size_t>(spec.instances));

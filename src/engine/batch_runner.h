@@ -47,6 +47,11 @@ enum class TaskKind {
   kPowerControl,    // cached Foschini-Miljanic oracle: greedy admission under
                     // arbitrary power control + all-links verdicts, charting
                     // the uniform-vs-power-control feasibility gap
+  kQueue,           // Bernoulli-arrival queueing simulation over the warm
+                    // kernel (spec.dynamics: lambda, scheduler, slots);
+                    // charts throughput / backlog / the stability indicator
+  kRegret,          // Asgeirsson-Mitra no-regret capacity game over the warm
+                    // kernel (spec.dynamics: learning rate, penalty, rounds)
 };
 
 // All tasks, in the canonical execution order.
@@ -93,6 +98,15 @@ struct InstanceRecord {
   int pc_greedy_size = -1;   // greedy admission with the power-control oracle
   int pc_all_feasible = -1;  // 1 iff all links feasible under some power
   int pc_obstructed = -1;    // 1 iff some pair can never coexist
+  // Dynamics tasks (negative when not run).  Both simulate over the warm
+  // kernel with an rng stream deterministic in (spec.seed, instance index).
+  double queue_throughput = -1.0;     // post-warmup served packets per slot
+  double queue_mean_queue = -1.0;     // time-average backlog, post warmup
+  double queue_backlog_growth = -1.0; // Q4/Q3 backlog ratio (~1 when stable)
+  int queue_unstable = -1;  // 1 iff growth above threshold AND backlog
+                            // non-trivial (> one slot of arrivals queued)
+  double regret_successes = -1.0;     // mean concurrent successes in the tail
+  double regret_transmit_rate = -1.0; // mean fraction of links transmitting
 
   // Wall clock, non-deterministic: instance + kernel build, then all tasks.
   double build_ms = 0.0;

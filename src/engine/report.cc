@@ -85,11 +85,13 @@ void PrintReport(std::span<const ScenarioResult> results) {
                     MeanOf(r, "zeta", 2), MeanOf(r, "alg1_size"),
                     MeanOf(r, "greedy_size"), MeanOf(r, "pc_greedy_size"),
                     MeanOf(r, "schedule_slots"),
+                    MeanOf(r, "queue_throughput", 2),
+                    MeanOf(r, "regret_successes"),
                     FmtFixed(r.batch_wall_ms, 1), FmtFixed(r.Throughput(), 1)});
   }
   PrintMarkdownTable({"scenario", "topology", "links", "inst", "zeta",
-                      "|S| alg1", "|S| greedy", "|S| pc", "slots", "batch ms",
-                      "inst/s"},
+                      "|S| alg1", "|S| greedy", "|S| pc", "slots", "q tput",
+                      "regret", "batch ms", "inst/s"},
                      rows);
 
   std::printf("feasibility/validation violations: %lld\n",

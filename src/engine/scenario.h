@@ -52,10 +52,30 @@
 #include <vector>
 
 #include "core/decay_space.h"
+#include "dynamics/queue_system.h"
 #include "geom/point.h"
 #include "sinr/link_system.h"
 
 namespace decaylib::engine {
+
+// Traffic/dynamics knobs consumed by TaskKind::kQueue and kRegret (ignored
+// by every other task).  Non-geometric: two specs differing only here share
+// a GeometryKey, so a sweep whose trailing axis is lambda or regret_penalty
+// reuses one sampled geometry across the whole row.  The batch runner
+// DL_CHECK-rejects out-of-range values before any worker starts (lambda is
+// a per-slot Bernoulli probability; feeding Rng::Chance anything outside
+// [0, 1] would silently distort the arrival process).
+struct DynamicsSpec {
+  double lambda = 0.1;  // per-link Bernoulli arrival rate, in [0, 1]
+  dynamics::Scheduler scheduler = dynamics::Scheduler::kLongestQueueFirst;
+  int queue_slots = 400;  // simulated slots; warmup = queue_slots / 10
+
+  double regret_learning_rate = 0.1;  // multiplicative-weights eta, in (0, 1)
+  double regret_penalty = 1.0;        // failed-transmission cost, >= 0
+  int regret_rounds = 400;            // game rounds; tail = rounds / 4
+
+  friend bool operator==(const DynamicsSpec&, const DynamicsSpec&) = default;
+};
 
 // Pure-data description of a deployment family.  Every field has a sane
 // default so specs can be written as designated initialisers.
@@ -89,6 +109,9 @@ struct ScenarioSpec {
   int hotspots = 5;             // clustered: number of hotspot centers
   double cluster_sigma = 1.5;   // clustered: point spread around a center
   double corridor_width = 2.0;  // corridor: strip width (length scales w/ n)
+
+  // Traffic/dynamics knobs (TaskKind::kQueue / kRegret only).
+  DynamicsSpec dynamics;
 };
 
 // How link pairing runs inside BuildGeometry / BuildInstance.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "core/check.h"
@@ -221,6 +222,20 @@ bool KernelCache::IsKFeasible(std::span<const int> S, double K) const {
     if (total > budget) return false;
   }
   return true;
+}
+
+double KernelCache::Sinr(int v, std::span<const int> S) const {
+  // Same expression and summation order as LinkSystem::Sinr, with the decay
+  // lookups served from the cached matrices.
+  const double signal =
+      power_[static_cast<std::size_t>(v)] / LinkDecay(v);
+  double interference = system_->config().noise;
+  for (int u : S) {
+    if (u == v) continue;
+    interference += power_[static_cast<std::size_t>(u)] / CrossDecay(u, v);
+  }
+  if (interference == 0.0) return std::numeric_limits<double>::infinity();
+  return signal / interference;
 }
 
 double KernelCache::MaxInAffectance(std::span<const int> S) const {

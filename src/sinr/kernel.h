@@ -119,6 +119,14 @@ class KernelCache {
   bool IsKFeasible(std::span<const int> S, double K) const;
   double MaxInAffectance(std::span<const int> S) const;
 
+  // Raw SINR of l_v when exactly the links in S transmit, against the
+  // cache's power assignment: the interference sum runs over S in order,
+  // reading the cached cross-decay row instead of the decay matrix, so the
+  // result is bit-identical to LinkSystem::Sinr(v, S, power()).  The per-
+  // slot success checks of the dynamics simulators (random access, the
+  // regret game) run on this.
+  double Sinr(int v, std::span<const int> S) const;
+
   // d_vv^{1/zeta} and d(l_v, l_w); one pow per call against cached decays.
   double LinkLength(int v, double zeta) const;
   double LinkDistance(int v, int w, double zeta) const;

@@ -47,6 +47,23 @@ const std::vector<FieldEntry>& FieldTable() {
       {"beta", [](engine::ScenarioSpec& s, double v) { s.beta = v; }, false},
       {"noise", [](engine::ScenarioSpec& s, double v) { s.noise = v; }, false},
       {"zeta", [](engine::ScenarioSpec& s, double v) { s.zeta = v; }, false},
+      // Dynamics knobs (TaskKind::kQueue / kRegret).  Both are
+      // non-geometric, so a trailing lambda or penalty axis reuses one
+      // sampled geometry generation across its whole row.
+      {"lambda",
+       [](engine::ScenarioSpec& s, double v) {
+         DL_CHECK(v >= 0.0 && v <= 1.0,
+                  "lambda axis values are per-slot Bernoulli probabilities "
+                  "in [0, 1]");
+         s.dynamics.lambda = v;
+       },
+       false},
+      {"regret_penalty",
+       [](engine::ScenarioSpec& s, double v) {
+         DL_CHECK(v >= 0.0, "regret_penalty axis values must be >= 0");
+         s.dynamics.regret_penalty = v;
+       },
+       false},
   };
   return table;
 }
@@ -185,6 +202,30 @@ std::vector<SweepSpec> BuiltinSweeps() {
     // Shadowing spread re-samples geometry, noise does not; keeping noise
     // fastest lets each sigma_db row share its sampled instances.
     sweep.axes = {{"sigma_db", {0.0, 6.0}}, {"noise", {0.0, 0.01, 0.05}}};
+    sweeps.push_back(std::move(sweep));
+  }
+
+  // The stability region made a chart: queue throughput and the backlog-
+  // growth instability indicator as the per-link arrival rate climbs, at
+  // two decay exponents, with the regret game's tail successes alongside
+  // (the transfer line's [2, 3, 44] + Asgeirsson-Mitra, over cached
+  // kernels).  Capacity context comes from the greedy baseline.
+  {
+    SweepSpec sweep;
+    sweep.name = "stability_region";
+    sweep.base.name = "stability_region";
+    sweep.base.topology = "uniform";
+    sweep.base.links = 24;
+    sweep.base.instances = 4;
+    sweep.base.seed = 4404;
+    sweep.base.dynamics.queue_slots = 600;
+    sweep.base.dynamics.regret_rounds = 600;
+    // Geometry axis (alpha) outermost, lambda fastest: the whole arrival-
+    // rate row of a cell reuses one sampled geometry (GeometryCache).
+    sweep.axes = {{"alpha", {2.5, 3.5}},
+                  {"lambda", {0.02, 0.05, 0.1, 0.2, 0.4}}};
+    sweep.tasks = {engine::TaskKind::kGreedyBaseline, engine::TaskKind::kQueue,
+                   engine::TaskKind::kRegret};
     sweeps.push_back(std::move(sweep));
   }
 

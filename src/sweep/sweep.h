@@ -42,7 +42,8 @@ struct SweepSpec {
 };
 
 // The ScenarioSpec fields an axis may name, in canonical order:
-// links, instances, alpha, sigma_db, power_tau, beta, noise, zeta.
+// links, instances, alpha, sigma_db, power_tau, beta, noise, zeta,
+// lambda, regret_penalty (the last two write spec.dynamics).
 std::vector<std::string> SweepableFields();
 bool IsSweepableField(const std::string& field);
 

@@ -19,8 +19,9 @@ using engine::PrintMarkdownTable;
 // all of them); each prints only when some cell produced it.
 const std::vector<std::string>& HeadlineMetrics() {
   static const std::vector<std::string> metrics = {
-      "alg1_size",      "greedy_size",        "pc_greedy_size",
-      "pc_all_feasible", "pc_gain_vs_uniform", "schedule_slots",
+      "alg1_size",        "greedy_size",        "pc_greedy_size",
+      "pc_all_feasible",  "pc_gain_vs_uniform", "schedule_slots",
+      "queue_throughput", "queue_unstable",     "regret_successes",
   };
   return metrics;
 }

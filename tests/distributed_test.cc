@@ -7,6 +7,8 @@
 #include "distributed/local_broadcast.h"
 #include "distributed/regret_game.h"
 #include "geom/samplers.h"
+#include "sinr/kernel.h"
+#include "sinr/power.h"
 #include "spaces/constructions.h"
 
 namespace decaylib::distributed {
@@ -197,6 +199,37 @@ TEST(RegretGameTest, CrowdedLinksBackOff) {
   geom::Rng rng(9);
   const RegretResult result = RunRegretGame(system, config, rng);
   EXPECT_LE(result.average_successes, 2.0);
+}
+
+// The cached path must reproduce the naive reference bit-for-bit at a fixed
+// seed: identical randomness stream, identical success verdicts, identical
+// tail averages and final transmit probabilities.
+TEST(RegretGameTest, CachedPathBitIdenticalToNaive) {
+  for (const double spread : {2.0, 15.0}) {  // crowded and well-separated
+    const LinkFixture fixture(8, spread);
+    const sinr::LinkSystem system(fixture.space, fixture.links, {2.0, 0.0});
+    const sinr::KernelCache kernel(system, sinr::UniformPower(system));
+    RegretConfig config;
+    config.rounds = 800;
+    config.measure_tail = 200;
+    config.failure_penalty = 0.7;
+
+    geom::Rng rng_naive(31);
+    const RegretResult naive = RunRegretGameNaive(system, config, rng_naive);
+    geom::Rng rng_cached(31);
+    const RegretResult cached = RunRegretGame(kernel, config, rng_cached);
+    EXPECT_TRUE(naive == cached);  // whole struct, covers future fields
+    EXPECT_EQ(naive.average_successes, cached.average_successes);
+    EXPECT_EQ(naive.transmit_rate, cached.transmit_rate);
+    EXPECT_EQ(naive.final_transmit_probability,
+              cached.final_transmit_probability);
+    // The historical LinkSystem entry point delegates to the same path.
+    geom::Rng rng_entry(31);
+    const RegretResult entry = RunRegretGame(system, config, rng_entry);
+    EXPECT_EQ(naive.average_successes, entry.average_successes);
+    EXPECT_EQ(naive.final_transmit_probability,
+              entry.final_transmit_probability);
+  }
 }
 
 }  // namespace

@@ -138,6 +138,9 @@ TEST(GeometryKeyTest, NonGeometricFieldsShareAKey) {
   cfg.instances = 7;
   cfg.name = "renamed";
   EXPECT_EQ(GeometryKeyOf(spec), GeometryKeyOf(cfg));
+  cfg.dynamics.lambda = 0.7;  // dynamics knobs are non-geometric too
+  cfg.dynamics.regret_penalty = 2.0;
+  EXPECT_EQ(GeometryKeyOf(spec), GeometryKeyOf(cfg));
   for (const auto& mutate : std::vector<void (*)(ScenarioSpec&)>{
            [](ScenarioSpec& s) { s.topology = "grid"; },
            [](ScenarioSpec& s) { s.links += 1; },
@@ -372,6 +375,91 @@ TEST(BatchRunnerTest, TaskSubsetLeavesOtherMetricsUnset) {
   EXPECT_EQ(rec.partition_classes, -1);
   EXPECT_EQ(rec.schedule_slots, -1);
   EXPECT_EQ(rec.pc_greedy_size, -1);
+  EXPECT_EQ(rec.queue_throughput, -1.0);
+  EXPECT_EQ(rec.queue_unstable, -1);
+  EXPECT_EQ(rec.regret_successes, -1.0);
+}
+
+// Shrinks the dynamics workloads to test size alongside the usual spec
+// shrink (the defaults simulate 400 slots/rounds per instance).
+ScenarioSpec SmallDynamics(ScenarioSpec spec, int links = 10,
+                           int instances = 3) {
+  spec = Small(std::move(spec), links, instances);
+  spec.dynamics.queue_slots = 150;
+  spec.dynamics.regret_rounds = 150;
+  return spec;
+}
+
+// The dynamics tasks obey the engine's core contract: their rng streams
+// derive from (spec.seed, instance index) alone, so the aggregate is
+// bit-identical across worker-pool sizes.
+TEST(BatchRunnerTest, DynamicsTasksBitIdenticalAcrossThreadCounts) {
+  std::vector<ScenarioSpec> specs;
+  for (const ScenarioSpec& spec : BuiltinScenarios()) {
+    specs.push_back(SmallDynamics(spec, 10, 4));
+  }
+  BatchConfig serial;
+  serial.threads = 1;
+  serial.tasks = {TaskKind::kQueue, TaskKind::kRegret};
+  BatchConfig pooled = serial;
+  pooled.threads = 4;
+
+  const auto a = BatchRunner(serial).Run(specs);
+  const auto b = BatchRunner(pooled).Run(specs);
+  EXPECT_EQ(AggregateSignature(a), AggregateSignature(b));
+  // The signature actually covers the dynamics metrics.
+  EXPECT_NE(AggregateSignature(a).find("queue_throughput"), std::string::npos);
+  EXPECT_NE(AggregateSignature(a).find("regret_successes"), std::string::npos);
+}
+
+// Dynamics records stay in range: throughput can never exceed the offered
+// load (packets served <= packets arrived, modulo the warmup window), the
+// instability flag is boolean, and the regret statistics are finite.
+TEST(BatchRunnerTest, DynamicsTasksRecordInRangeStatistics) {
+  BatchConfig config;
+  config.threads = 2;
+  config.tasks = {TaskKind::kQueue, TaskKind::kRegret};
+  ScenarioSpec spec = SmallDynamics(BuiltinScenarios().front(), 10, 3);
+  spec.dynamics.lambda = 0.2;
+  const ScenarioResult result = BatchRunner(config).RunOne(spec);
+  for (const InstanceRecord& rec : result.instances) {
+    EXPECT_GE(rec.queue_throughput, 0.0);
+    // Stable or not, the scheduler cannot serve more than one packet per
+    // link per slot.
+    EXPECT_LE(rec.queue_throughput, static_cast<double>(rec.links));
+    EXPECT_GE(rec.queue_mean_queue, 0.0);
+    EXPECT_GT(rec.queue_backlog_growth, 0.0);
+    EXPECT_TRUE(rec.queue_unstable == 0 || rec.queue_unstable == 1);
+    EXPECT_TRUE(std::isfinite(rec.regret_successes));
+    EXPECT_GE(rec.regret_successes, 0.0);
+    EXPECT_GE(rec.regret_transmit_rate, 0.0);
+    EXPECT_LE(rec.regret_transmit_rate, 1.0);
+  }
+  for (const char* metric : {"queue_throughput", "queue_mean_queue",
+                             "queue_backlog_growth", "queue_unstable",
+                             "regret_successes", "regret_transmit_rate"}) {
+    const MetricSummary* m = FindAggregateMetric(result, metric);
+    ASSERT_NE(m, nullptr) << metric;
+    EXPECT_EQ(m->count, 3) << metric;
+  }
+}
+
+// Invalid dynamics knobs are rejected by the engine before any worker
+// starts, not silently fed into the simulators.
+TEST(BatchRunnerDeathTest, InvalidDynamicsConfigRejected) {
+  BatchConfig config;
+  config.threads = 1;
+  config.tasks = {TaskKind::kQueue, TaskKind::kRegret};
+  const BatchRunner runner(config);
+  ScenarioSpec bad_lambda = SmallDynamics(BuiltinScenarios().front(), 6, 1);
+  bad_lambda.dynamics.lambda = 1.5;
+  EXPECT_DEATH(runner.RunOne(bad_lambda), "Bernoulli");
+  ScenarioSpec bad_penalty = SmallDynamics(BuiltinScenarios().front(), 6, 1);
+  bad_penalty.dynamics.regret_penalty = -1.0;
+  EXPECT_DEATH(runner.RunOne(bad_penalty), "penalty");
+  ScenarioSpec bad_rate = SmallDynamics(BuiltinScenarios().front(), 6, 1);
+  bad_rate.dynamics.regret_learning_rate = 1.0;
+  EXPECT_DEATH(runner.RunOne(bad_rate), "learning rate");
 }
 
 TEST(ReportTest, JsonReportRoundTrips) {

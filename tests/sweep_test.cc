@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -12,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/report.h"
 #include "engine/scenario.h"
 #include "sweep/sweep_report.h"
 #include "sweep/sweep_runner.h"
@@ -35,9 +37,12 @@ TEST(SweepSpecTest, SweepableFieldsApply) {
   engine::ScenarioSpec spec;
   for (const std::string& field : SweepableFields()) {
     EXPECT_TRUE(IsSweepableField(field)) << field;
-    ApplyAxisValue(spec, field, 2.0);  // integral, valid for every field
+    // 2.0 is integral and valid for every field except lambda, whose values
+    // are probabilities in [0, 1].
+    ApplyAxisValue(spec, field, field == "lambda" ? 0.5 : 2.0);
   }
   EXPECT_FALSE(IsSweepableField("topology"));
+  EXPECT_FALSE(IsSweepableField("scheduler"));
   EXPECT_EQ(spec.links, 2);
   EXPECT_EQ(spec.instances, 2);
   EXPECT_EQ(spec.alpha, 2.0);
@@ -46,6 +51,15 @@ TEST(SweepSpecTest, SweepableFieldsApply) {
   EXPECT_EQ(spec.beta, 2.0);
   EXPECT_EQ(spec.noise, 2.0);
   EXPECT_EQ(spec.zeta, 2.0);
+  EXPECT_EQ(spec.dynamics.lambda, 0.5);
+  EXPECT_EQ(spec.dynamics.regret_penalty, 2.0);
+}
+
+TEST(SweepSpecDeathTest, OutOfRangeDynamicsAxisValuesRejected) {
+  engine::ScenarioSpec spec;
+  EXPECT_DEATH(ApplyAxisValue(spec, "lambda", 1.5), "Bernoulli");
+  EXPECT_DEATH(ApplyAxisValue(spec, "lambda", -0.5), "Bernoulli");
+  EXPECT_DEATH(ApplyAxisValue(spec, "regret_penalty", -1.0), ">= 0");
 }
 
 TEST(SweepGridTest, ExpansionIsRowMajorLastAxisFastest) {
@@ -176,6 +190,57 @@ TEST(SweepRunnerTest, SignatureInvariantAcrossGeometryCacheAndPairing) {
   EXPECT_EQ(b.geometry_reuses, 6 * 2);
   EXPECT_EQ(c.geometry_builds, 0);
   EXPECT_EQ(c.geometry_reuses, 0);
+}
+
+// A dynamics grid (lambda x regret_penalty, both non-geometric) keeps the
+// sweep contract: thread-count-invariant signatures, one geometry
+// generation serving every cell, and the queue/regret metrics present in
+// every cell's aggregate and in the CSV export.
+TEST(SweepRunnerTest, DynamicsAxesShareGeometryAndStayDeterministic) {
+  SweepSpec spec = TinySweep();
+  spec.base.links = 10;
+  spec.base.dynamics.queue_slots = 120;
+  spec.base.dynamics.regret_rounds = 120;
+  spec.axes = {{"lambda", {0.05, 0.3}}, {"regret_penalty", {0.5, 1.0}}};
+  spec.tasks = {engine::TaskKind::kQueue, engine::TaskKind::kRegret};
+
+  SweepConfig serial;
+  serial.threads = 1;
+  SweepConfig pooled;
+  pooled.threads = 4;
+
+  const SweepResult a = SweepRunner(serial).Run(spec);
+  const SweepResult b = SweepRunner(pooled).Run(spec);
+  ASSERT_EQ(a.cells.size(), 4u);
+  EXPECT_EQ(SweepSignature(a), SweepSignature(b));
+  // Both axes are non-geometric: the first cell samples each instance once
+  // and every other cell reuses them.
+  EXPECT_EQ(a.geometry_builds, 2);
+  EXPECT_EQ(a.geometry_reuses, 3 * 2);
+  for (const SweepCellResult& cell : a.cells) {
+    for (const char* metric :
+         {"queue_throughput", "queue_unstable", "regret_successes"}) {
+      const engine::MetricSummary* m =
+          engine::FindAggregateMetric(cell.result, metric);
+      ASSERT_NE(m, nullptr) << cell.cell.spec.name << " " << metric;
+      EXPECT_EQ(m->count, 2) << cell.cell.spec.name << " " << metric;
+    }
+  }
+  const std::vector<std::string> header = SweepCsvHeader(a);
+  EXPECT_NE(std::find(header.begin(), header.end(), "queue_throughput_mean"),
+            header.end());
+  EXPECT_NE(std::find(header.begin(), header.end(), "regret_successes_mean"),
+            header.end());
+
+  // Higher arrival rates can only grow the per-cell mean backlog: the
+  // lambda frontier read off the grid is monotone.
+  const auto mean_queue_at = [&](std::size_t cell) {
+    const engine::MetricSummary* m =
+        engine::FindAggregateMetric(a.cells[cell].result, "queue_mean_queue");
+    return m == nullptr ? -1.0 : m->Mean();
+  };
+  EXPECT_LE(mean_queue_at(0), mean_queue_at(2) + 1e-9);
+  EXPECT_LE(mean_queue_at(1), mean_queue_at(3) + 1e-9);
 }
 
 TEST(SweepReportTest, CsvHasOneRowPerCellAndAxisColumns) {

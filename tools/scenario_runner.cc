@@ -4,15 +4,18 @@
 //   $ scenario_runner --list
 //   $ scenario_runner --smoke [--json]
 //   $ scenario_runner [--scenario NAME] [--links N] [--instances K]
-//                     [--alpha A] [--beta B] [--threads T] [--seed S]
-//                     [--json]
+//                     [--alpha A] [--beta B] [--lambda L] [--scheduler S]
+//                     [--threads T] [--seed S] [--json]
 //
 // Without --scenario, every builtin scenario runs.  --links / --instances /
-// --alpha / --beta / --seed override the preset's values; --threads sizes
+// --alpha / --beta / --seed override the preset's values; --lambda (in
+// [0, 1]) and --scheduler (lqf | greedy | random) override the dynamics
+// knobs the queue task consumes; --threads sizes
 // the worker pool (>= 1; when absent the pool uses hardware concurrency).
 // Numeric flags are parsed strictly (tool_args.h): garbage, empty or
 // out-of-range values -- including non-finite doubles -- are usage errors
-// rather than silently becoming defaults.  --json
+// rather than silently becoming defaults, and --scheduler rejects unknown
+// scheduler names.  --json
 // writes BENCH_SCENARIO.json in the working directory (the bench_util.h
 // record format plus a "scenarios" aggregate array; see docs/scenarios.md).
 //
@@ -26,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "dynamics/queue_system.h"
 #include "engine/batch_runner.h"
 #include "engine/report.h"
 #include "engine/scenario.h"
@@ -38,7 +42,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--list] [--smoke] [--scenario NAME] [--links N]\n"
-               "          [--instances K] [--alpha A] [--beta B] [--threads T]\n"
+               "          [--instances K] [--alpha A] [--beta B] [--lambda L]\n"
+               "          [--scheduler lqf|greedy|random] [--threads T]\n"
                "          [--seed S] [--json]\n",
                argv0);
   return 2;
@@ -75,6 +80,8 @@ int main(int argc, char** argv) {
   int threads = 0;     // 0 = hardware concurrency (explicit values >= 1)
   double alpha = 0.0;  // 0 = keep the preset's value (explicit values > 0)
   double beta = 0.0;   // 0 = keep the preset's value (explicit values > 0)
+  double lambda = -1.0;    // < 0 = keep the preset's value
+  int scheduler = -1;      // < 0 = keep; else index into SchedulerNames()
   std::uint64_t seed = 0;
   bool seed_set = false;
 
@@ -109,6 +116,15 @@ int main(int argc, char** argv) {
       if (!tools::ParseDoubleFlag("--beta", argv[++i], 1e-6, 1e6, &beta)) {
         return Usage(argv[0]);
       }
+    } else if (std::strcmp(arg, "--lambda") == 0 && i + 1 < argc) {
+      if (!tools::ParseDoubleFlag("--lambda", argv[++i], 0.0, 1.0, &lambda)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--scheduler") == 0 && i + 1 < argc) {
+      if (!tools::ParseChoiceFlag("--scheduler", argv[++i],
+                                  dynamics::SchedulerNames(), &scheduler)) {
+        return Usage(argv[0]);
+      }
     } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
       if (!tools::ParseSeedFlag("--seed", argv[++i], &seed)) {
         return Usage(argv[0]);
@@ -123,10 +139,10 @@ int main(int argc, char** argv) {
   // The smoke determinism gate runs the builtins at canonical small sizes;
   // decay-model overrides would silently change what the gate certifies
   // (same policy as sweep_runner --smoke: a usage error, not a drop).
-  if (smoke && (alpha > 0.0 || beta > 0.0)) {
+  if (smoke && (alpha > 0.0 || beta > 0.0 || lambda >= 0.0 || scheduler >= 0)) {
     std::fprintf(stderr,
-                 "--smoke runs the canonical decay models; it does not take "
-                 "--alpha/--beta\n");
+                 "--smoke runs the canonical decay and traffic models; it "
+                 "does not take --alpha/--beta/--lambda/--scheduler\n");
     return 2;
   }
 
@@ -151,6 +167,10 @@ int main(int argc, char** argv) {
     if (instances > 0) spec.instances = instances;
     if (alpha > 0.0) spec.alpha = alpha;
     if (beta > 0.0) spec.beta = beta;
+    if (lambda >= 0.0) spec.dynamics.lambda = lambda;
+    if (scheduler >= 0) {
+      spec.dynamics.scheduler = static_cast<dynamics::Scheduler>(scheduler);
+    }
     if (seed_set) spec.seed = seed;
   }
 

@@ -4,32 +4,41 @@
 //   $ sweep_runner --list
 //   $ sweep_runner --smoke [--json]
 //   $ sweep_runner [--sweep NAME] [--instances K] [--alpha A] [--beta B]
-//                  [--threads T] [--no-arena] [--no-geometry-cache]
-//                  [--csv] [--json]
+//                  [--lambda L] [--scheduler S] [--threads T] [--no-arena]
+//                  [--no-geometry-cache] [--csv] [--json]
 //
 // Without --sweep, every builtin sweep runs.  --instances overrides the
-// per-cell batch size and --alpha / --beta the base spec's decay exponent
-// and SINR threshold (strict parses via tool_args.h: garbage, empty or
-// non-finite values are usage errors); --threads sizes the per-cell worker
+// per-cell batch size, --alpha / --beta the base spec's decay exponent
+// and SINR threshold, and --lambda (in [0, 1]) / --scheduler (lqf | greedy
+// | random) the dynamics knobs the queue task consumes (strict parses via
+// tool_args.h: garbage, empty or non-finite values -- and unknown scheduler
+// names -- are usage errors); --threads sizes the per-cell worker
 // pool (>= 1); --no-arena disables cross-instance kernel-arena reuse and
 // --no-geometry-cache disables cross-cell geometry reuse (both for A/B
 // timing; results are bit-identical either way).  --csv writes
 // SWEEP_<name>.csv per sweep (io/csv table format, one row per cell);
 // --json writes BENCH_SWEEP.json over all cells (engine report format).
 //
-// --smoke is the CI entry point: a tiny 2x2x2 grid (links x alpha x beta;
-// the trailing beta axis is non-geometric, so it exercises geometry reuse)
-// runs pooled, single-threaded, arena-less, geometry-cache-less and
-// sort-paired, and the run fails (exit 1) unless all five deterministic
-// sweep signatures are bit-identical and no feasibility/validation
-// violations occurred -- a fast end-to-end check of the sweep -> batch ->
-// geometry-cache -> kernel-arena stack.
+// --smoke is the CI entry point, two fixed grids:
+//  * a tiny 2x2x2 capacity grid (links x alpha x beta; the trailing beta
+//    axis is non-geometric, so it exercises geometry reuse) runs pooled,
+//    single-threaded, arena-less, geometry-cache-less and sort-paired, and
+//    the run fails (exit 1) unless all five deterministic sweep signatures
+//    are bit-identical and no feasibility/validation violations occurred;
+//  * a 2x2 dynamics grid (alpha x lambda, TaskKind::kQueue + kRegret) runs
+//    pooled vs single-threaded vs geometry-cache-less, gating that the
+//    queue/regret task statistics are thread-count deterministic and that
+//    every cell actually produced them.
+// Together they are a fast end-to-end check of the sweep -> batch ->
+// geometry-cache -> kernel-arena stack, dynamics tasks included.
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "dynamics/queue_system.h"
+#include "engine/report.h"
 #include "sweep/sweep.h"
 #include "sweep/sweep_report.h"
 #include "sweep/sweep_runner.h"
@@ -42,8 +51,9 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--list] [--smoke] [--sweep NAME] [--instances K]\n"
-               "          [--alpha A] [--beta B] [--threads T] [--no-arena]\n"
-               "          [--no-geometry-cache] [--csv] [--json]\n",
+               "          [--alpha A] [--beta B] [--lambda L]\n"
+               "          [--scheduler lqf|greedy|random] [--threads T]\n"
+               "          [--no-arena] [--no-geometry-cache] [--csv] [--json]\n",
                argv0);
   return 2;
 }
@@ -80,6 +90,76 @@ sweep::SweepSpec SmokeSweep() {
   spec.base.seed = 9901;
   spec.axes = {{"links", {10, 14}}, {"alpha", {2.5, 3.0}}, {"beta", {1.0, 1.5}}};
   return spec;
+}
+
+// The --smoke dynamics grid: alpha x lambda with the queue + regret tasks,
+// small enough to stay fast in CI yet crossing a geometry boundary (alpha)
+// and an arrival-rate row (lambda, non-geometric).
+sweep::SweepSpec SmokeDynamicsSweep() {
+  sweep::SweepSpec spec;
+  spec.name = "smoke_dynamics";
+  spec.base.name = "smoke_dynamics";
+  spec.base.topology = "uniform";
+  spec.base.links = 10;
+  spec.base.instances = 2;
+  spec.base.seed = 9902;
+  spec.base.dynamics.queue_slots = 150;
+  spec.base.dynamics.regret_rounds = 150;
+  spec.axes = {{"alpha", {2.5, 3.0}}, {"lambda", {0.05, 0.3}}};
+  spec.tasks = {engine::TaskKind::kQueue, engine::TaskKind::kRegret};
+  return spec;
+}
+
+// Dynamics determinism gate: queue/regret statistics must be bit-identical
+// across thread counts and geometry-cache modes, and every cell must have
+// actually produced them (a silently skipped task would pass a pure
+// signature comparison).
+int RunDynamicsSmoke(const sweep::SweepConfig& pooled,
+                     sweep::SweepResult* out) {
+  const sweep::SweepSpec spec = SmokeDynamicsSweep();
+  sweep::SweepConfig serial = pooled;
+  serial.threads = 1;
+  sweep::SweepConfig no_geometry = pooled;
+  no_geometry.reuse_geometry = false;
+
+  const sweep::SweepResult a = sweep::SweepRunner(pooled).Run(spec);
+  const sweep::SweepResult b = sweep::SweepRunner(serial).Run(spec);
+  const sweep::SweepResult c = sweep::SweepRunner(no_geometry).Run(spec);
+  sweep::PrintSweepReport(a);
+
+  const std::string sig = sweep::SweepSignature(a);
+  if (sig != sweep::SweepSignature(b)) {
+    std::fprintf(stderr,
+                 "FAIL: dynamics sweep signature differs between thread "
+                 "counts\n");
+    return 1;
+  }
+  if (sig != sweep::SweepSignature(c)) {
+    std::fprintf(stderr,
+                 "FAIL: dynamics sweep signature differs with the geometry "
+                 "cache disabled\n");
+    return 1;
+  }
+  for (const sweep::SweepCellResult& cell : a.cells) {
+    for (const char* metric : {"queue_throughput", "queue_unstable",
+                               "regret_successes"}) {
+      const engine::MetricSummary* m =
+          engine::FindAggregateMetric(cell.result, metric);
+      if (m == nullptr ||
+          m->count != static_cast<long long>(cell.result.instances.size())) {
+        std::fprintf(stderr,
+                     "FAIL: cell %d did not produce %s for every instance\n",
+                     cell.cell.index, metric);
+        return 1;
+      }
+    }
+  }
+  std::printf(
+      "smoke: dynamics sweep signatures bit-identical across thread counts "
+      "and geometry cache on/off (%zu cells, queue + regret tasks)\n",
+      a.cells.size());
+  *out = a;
+  return 0;
 }
 
 int RunSmoke(int threads, bool json) {
@@ -147,7 +227,17 @@ int RunSmoke(int threads, bool json) {
       "arenas, %lld geometries built / %lld reused)\n",
       a.arena_rebuilds, a.geometry_builds, a.geometry_reuses);
 
-  if (json && !sweep::WriteSweepJsonReport("SWEEP", {&a, 1})) return 1;
+  std::printf("\n");
+  sweep::SweepResult dynamics;
+  if (const int dynamics_rc = RunDynamicsSmoke(pooled, &dynamics);
+      dynamics_rc != 0) {
+    return dynamics_rc;
+  }
+
+  // Both smoke grids land in the artifact: the capacity cells and the
+  // dynamics (queue/regret) cells.
+  const sweep::SweepResult results[] = {a, std::move(dynamics)};
+  if (json && !sweep::WriteSweepJsonReport("SWEEP", results)) return 1;
   return 0;
 }
 
@@ -165,6 +255,8 @@ int main(int argc, char** argv) {
   int threads = 0;     // 0 = hardware concurrency (explicit values >= 1)
   double alpha = 0.0;  // 0 = keep each sweep's base value (explicit > 0)
   double beta = 0.0;   // 0 = keep each sweep's base value (explicit > 0)
+  double lambda = -1.0;  // < 0 = keep each sweep's base value
+  int scheduler = -1;    // < 0 = keep; else index into SchedulerNames()
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -199,6 +291,15 @@ int main(int argc, char** argv) {
       if (!tools::ParseDoubleFlag("--beta", argv[++i], 1e-6, 1e6, &beta)) {
         return Usage(argv[0]);
       }
+    } else if (std::strcmp(arg, "--lambda") == 0 && i + 1 < argc) {
+      if (!tools::ParseDoubleFlag("--lambda", argv[++i], 0.0, 1.0, &lambda)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--scheduler") == 0 && i + 1 < argc) {
+      if (!tools::ParseChoiceFlag("--scheduler", argv[++i],
+                                  dynamics::SchedulerNames(), &scheduler)) {
+        return Usage(argv[0]);
+      }
     } else {
       return Usage(argv[0]);
     }
@@ -209,7 +310,8 @@ int main(int argc, char** argv) {
     // The smoke grid is fixed (it IS the determinism gate); flags that
     // would alter it are a usage error, not something to silently drop.
     if (csv || no_arena || no_geometry_cache || instances > 0 ||
-        alpha > 0.0 || beta > 0.0 || !sweep_name.empty()) {
+        alpha > 0.0 || beta > 0.0 || lambda >= 0.0 || scheduler >= 0 ||
+        !sweep_name.empty()) {
       std::fprintf(stderr,
                    "--smoke runs a fixed grid; it takes only --threads and "
                    "--json\n");
@@ -235,9 +337,14 @@ int main(int argc, char** argv) {
     // Base overrides for swept fields would be silently erased by the axis
     // values in every cell; per this tool's flag policy that is a usage
     // error, not something to drop.
-    for (const auto& [flag, value] :
-         {std::pair<const char*, double>{"alpha", alpha}, {"beta", beta}}) {
-      if (value <= 0.0) continue;
+    const struct {
+      const char* flag;
+      bool overridden;
+    } base_overrides[] = {{"alpha", alpha > 0.0},
+                          {"beta", beta > 0.0},
+                          {"lambda", lambda >= 0.0}};
+    for (const auto& [flag, overridden] : base_overrides) {
+      if (!overridden) continue;
       for (const sweep::SweepAxis& axis : spec.axes) {
         if (axis.field == flag) {
           std::fprintf(stderr,
@@ -250,6 +357,11 @@ int main(int argc, char** argv) {
     }
     if (alpha > 0.0) spec.base.alpha = alpha;
     if (beta > 0.0) spec.base.beta = beta;
+    if (lambda >= 0.0) spec.base.dynamics.lambda = lambda;
+    if (scheduler >= 0) {
+      spec.base.dynamics.scheduler =
+          static_cast<dynamics::Scheduler>(scheduler);
+    }
   }
 
   sweep::SweepConfig config;

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <span>
 
 namespace decaylib::tools {
 
@@ -70,6 +72,25 @@ inline bool ParseDoubleFlag(const char* flag, const char* text,
   }
   *out = value;
   return true;
+}
+
+// Parses the value of a fixed-choice string flag (e.g. a scheduler name),
+// writing the matched index into `out` and printing a diagnostic that lists
+// the valid choices on failure.
+inline bool ParseChoiceFlag(const char* flag, const char* text,
+                            std::span<const char* const> choices, int* out) {
+  if (text != nullptr) {
+    for (std::size_t i = 0; i < choices.size(); ++i) {
+      if (std::strcmp(text, choices[i]) == 0) {
+        *out = static_cast<int>(i);
+        return true;
+      }
+    }
+  }
+  std::fprintf(stderr, "%s: expected one of", flag);
+  for (const char* choice : choices) std::fprintf(stderr, " %s", choice);
+  std::fprintf(stderr, ", got '%s'\n", text == nullptr ? "" : text);
+  return false;
 }
 
 // Non-negative 64-bit flag (seeds).
