@@ -233,6 +233,39 @@ int main(int argc, char** argv) {
     report.Record("regret_naive", links, naive_ms);
     report.Record("regret_cached", links, cached_ms);
     report.Record("regret_warm", links, warm_ms);
+
+    // The LinkSystem entry point's size dispatch (kRegretKernelCrossover):
+    // below the crossover it must route to the naive path, so a standalone
+    // small game never pays an O(n^2) kernel build it cannot amortise.
+    // Gate bits first, then that "auto" does not regress against naive at
+    // this size (generous slack -- the two are the same code below the
+    // crossover, so anything past noise means the dispatch broke).
+    distributed::RegretResult auto_res;
+    {
+      geom::Rng rng(kSeed + 13);
+      auto_res = distributed::RunRegretGame(system, config, rng);
+    }
+    if (!(auto_res == naive_res)) {
+      std::printf("ERROR: regret: auto dispatch differs from the naive "
+                  "reference\n");
+      return 1;
+    }
+    const double auto_ms = best_of([&] {
+      geom::Rng rng(kSeed + 13);
+      volatile double sink =
+          distributed::RunRegretGame(system, config, rng).average_successes;
+      (void)sink;
+    });
+    table.AddRow({"regret auto", bench::Fmt(auto_ms, 1), "-", "-",
+                  bench::Fmt(naive_ms / auto_ms, 2) + "x"});
+    report.Record("regret_auto", links, auto_ms);
+    if (links < distributed::kRegretKernelCrossover &&
+        auto_ms > naive_ms * 1.3 + 0.2) {
+      std::printf("ERROR: regret auto dispatch slower than naive below the "
+                  "crossover (auto %.2f ms vs naive %.2f ms at n=%d)\n",
+                  auto_ms, naive_ms, links);
+      return 1;
+    }
   }
 
   table.Print();

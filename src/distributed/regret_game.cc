@@ -91,6 +91,9 @@ RegretResult RunRegretGame(const sinr::KernelCache& kernel,
 
 RegretResult RunRegretGame(const sinr::LinkSystem& system,
                            const RegretConfig& config, geom::Rng& rng) {
+  if (system.NumLinks() < kRegretKernelCrossover) {
+    return RunRegretGameNaive(system, config, rng);
+  }
   const sinr::KernelCache kernel(system, sinr::UniformPower(system));
   return RunRegretGame(kernel, config, rng);
 }

@@ -11,10 +11,15 @@
 // read the cached cross-decay matrix instead of re-deriving every
 // interference term from the decay space, so one O(n^2) kernel build serves
 // the whole game.  The LinkSystem entry point keeps its historical
-// uniform-power semantics by building one kernel and delegating; the
-// original per-round implementation survives as RunRegretGameNaive, and the
-// cached path is bit-exact against it at a fixed seed (the Sinr checks are
-// the identical expression and both paths draw the same randomness stream).
+// uniform-power semantics and dispatches on size: below
+// kRegretKernelCrossover links the O(n^2) kernel build costs more than the
+// direct Sinr evaluations it would save (BENCH_E21 measured the cached
+// route ~1.6x slower at n=96), so small systems take the naive route; at
+// and above the crossover it builds one kernel and delegates.  The two
+// routes are bit-identical at a fixed seed (the Sinr checks are the
+// identical expression and both paths draw the same randomness stream), so
+// the dispatch is result-invisible; the original per-round implementation
+// survives as RunRegretGameNaive, the test oracle and bench A/B baseline.
 #pragma once
 
 #include <vector>
@@ -43,13 +48,18 @@ struct RegretResult {
   friend bool operator==(const RegretResult&, const RegretResult&) = default;
 };
 
+// Link count at which a one-off kernel build starts paying for itself for
+// a *single* game (callers that already hold a warm kernel should use the
+// KernelCache overload regardless of size).
+inline constexpr int kRegretKernelCrossover = 128;
+
 // Runs the game against a warm kernel (and its power assignment).
 RegretResult RunRegretGame(const sinr::KernelCache& kernel,
                            const RegretConfig& config, geom::Rng& rng);
 
-// Historical entry point (uniform power): builds one uniform-power kernel
-// and delegates to the cached overload.  Bit-identical to the naive
-// reference below.
+// Historical entry point (uniform power): naive evaluation below
+// kRegretKernelCrossover links, one kernel build + the cached overload at
+// or above it.  Bit-identical to the naive reference either way.
 RegretResult RunRegretGame(const sinr::LinkSystem& system,
                            const RegretConfig& config, geom::Rng& rng);
 

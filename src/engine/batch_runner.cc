@@ -91,9 +91,14 @@ std::vector<int> GreedyPowerControlFeasible(const sinr::KernelCache& kernel) {
 // geometry cache, when provided, only change where matrices live and
 // whether sampling re-runs -- never the bits of any result.
 InstanceRecord RunInstance(const ScenarioSpec& spec, int index,
-                           const std::vector<TaskKind>& tasks,
-                           sinr::KernelArena* arena, GeometryCache* geometry,
-                           PairingMode pairing) {
+                           const BatchConfig& config,
+                           sinr::KernelArena* arena) {
+  const std::vector<TaskKind>& tasks = config.tasks;
+  GeometryCache* geometry = config.geometry;
+  const PairingMode pairing = config.pairing;
+  if (index == config.fault_instance) {
+    throw InjectedFault(config.fault_message);
+  }
   InstanceRecord rec;
   rec.index = index;
 
@@ -310,39 +315,11 @@ void MetricSummary::Add(double v) {
 
 BatchRunner::BatchRunner(BatchConfig config) : config_(std::move(config)) {}
 
-namespace {
-
-// Rejects out-of-range dynamics knobs before any worker starts: an invalid
-// lambda would otherwise flow straight into Rng::Chance and silently distort
-// the Bernoulli arrival process rather than fail.
-void ValidateDynamicsConfig(const ScenarioSpec& spec,
-                            const std::vector<TaskKind>& tasks) {
-  for (const TaskKind task : tasks) {
-    if (task == TaskKind::kQueue) {
-      DL_CHECK(std::isfinite(spec.dynamics.lambda) &&
-                   spec.dynamics.lambda >= 0.0 && spec.dynamics.lambda <= 1.0,
-               "queue task: lambda is a per-slot Bernoulli probability in "
-               "[0, 1]");
-      DL_CHECK(spec.dynamics.queue_slots >= 1,
-               "queue task: need at least one simulated slot");
-    } else if (task == TaskKind::kRegret) {
-      DL_CHECK(spec.dynamics.regret_learning_rate > 0.0 &&
-                   spec.dynamics.regret_learning_rate < 1.0,
-               "regret task: learning rate must be in (0, 1)");
-      DL_CHECK(std::isfinite(spec.dynamics.regret_penalty) &&
-                   spec.dynamics.regret_penalty >= 0.0,
-               "regret task: penalty must be a non-negative finite cost");
-      DL_CHECK(spec.dynamics.regret_rounds >= 1,
-               "regret task: need at least one round");
-    }
-  }
-}
-
-}  // namespace
-
 ScenarioResult BatchRunner::RunOne(const ScenarioSpec& spec) const {
-  DL_CHECK(spec.instances >= 1, "batch needs at least one instance");
-  ValidateDynamicsConfig(spec, config_.tasks);
+  // Runtime input is rejected as a recoverable error before any worker
+  // starts; an invalid lambda, say, would otherwise flow straight into
+  // Rng::Chance and silently distort the Bernoulli arrival process.
+  core::ThrowIfError(ValidateScenarioSpec(spec));
   ScenarioResult result;
   result.spec = spec;
   result.instances.resize(static_cast<std::size_t>(spec.instances));
@@ -369,7 +346,13 @@ ScenarioResult BatchRunner::RunOne(const ScenarioSpec& spec) const {
 
   const auto batch_start = std::chrono::steady_clock::now();
   // Work stealing over instance indices; records land in their own slot, so
-  // nothing about the interleaving survives into the results.
+  // nothing about the interleaving survives into the results.  A worker
+  // that throws records the failure in its instance's slot and keeps
+  // stealing -- every instance gets its attempt regardless of scheduling,
+  // so the lowest failed index (the one rethrown below) is deterministic
+  // under any thread count.
+  std::vector<std::string> errors(static_cast<std::size_t>(spec.instances));
+  std::vector<char> failed(static_cast<std::size_t>(spec.instances), 0);
   std::atomic<int> next{0};
   const auto worker = [&](int t) {
     sinr::KernelArena* arena =
@@ -377,9 +360,16 @@ ScenarioResult BatchRunner::RunOne(const ScenarioSpec& spec) const {
                                                     : nullptr;
     for (int i = next.fetch_add(1); i < spec.instances;
          i = next.fetch_add(1)) {
-      result.instances[static_cast<std::size_t>(i)] =
-          RunInstance(spec, i, config_.tasks, arena, config_.geometry,
-                      config_.pairing);
+      const std::size_t slot = static_cast<std::size_t>(i);
+      try {
+        result.instances[slot] = RunInstance(spec, i, config_, arena);
+      } catch (const std::exception& e) {
+        failed[slot] = 1;
+        errors[slot] = e.what();
+      } catch (...) {
+        failed[slot] = 1;
+        errors[slot] = "unknown exception";
+      }
     }
   };
   if (threads <= 1) {
@@ -391,6 +381,14 @@ ScenarioResult BatchRunner::RunOne(const ScenarioSpec& spec) const {
     for (std::thread& t : pool) t.join();
   }
   result.batch_wall_ms = ElapsedMs(batch_start);
+
+  for (int i = 0; i < spec.instances; ++i) {
+    if (failed[static_cast<std::size_t>(i)]) {
+      throw core::StatusError(core::Status::Internal(
+          "instance " + std::to_string(i) + ": " +
+          errors[static_cast<std::size_t>(i)]));
+    }
+  }
 
   for (const InstanceRecord& rec : result.instances) {
     result.build_ms_total += rec.build_ms;
@@ -406,6 +404,17 @@ std::vector<ScenarioResult> BatchRunner::Run(
   results.reserve(specs.size());
   for (const ScenarioSpec& spec : specs) results.push_back(RunOne(spec));
   return results;
+}
+
+core::Status AggregateHealth(const ScenarioResult& result) {
+  for (const auto& [name, m] : result.aggregate) {
+    if (m.count <= 0) continue;  // empty summaries keep their inf sentinels
+    if (!std::isfinite(m.sum) || !std::isfinite(m.min) ||
+        !std::isfinite(m.max)) {
+      return core::Status::NumericError("non-finite aggregate " + name);
+    }
+  }
+  return core::Status::Ok();
 }
 
 std::string AggregateSignature(std::span<const ScenarioResult> results) {

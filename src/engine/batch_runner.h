@@ -22,10 +22,12 @@
 
 #include <limits>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/status.h"
 #include "engine/scenario.h"
 #include "sinr/kernel.h"
 
@@ -77,6 +79,19 @@ struct BatchConfig {
   // Link-pairing route inside instance builds; kSortGreedy forces the
   // O(n^2 log n) reference path (A/B baseline).  Result-invisible.
   PairingMode pairing = PairingMode::kAuto;
+  // Fault injection: when >= 0, the worker that picks up this instance
+  // index throws InjectedFault{fault_message} instead of running it.  The
+  // sweep runner arms this per cell/attempt to exercise its failure
+  // isolation and retry paths end to end, through the real worker pool.
+  int fault_instance = -1;
+  std::string fault_message = "injected fault";
+};
+
+// The exception an armed BatchConfig::fault_instance raises inside a
+// worker.  Deliberately a plain runtime_error subtype: the recovery path
+// must not be able to special-case it.
+struct InjectedFault : std::runtime_error {
+  using std::runtime_error::runtime_error;
 };
 
 // Per-instance outcome.  Algorithm fields are -1 when the task was not in
@@ -151,6 +166,14 @@ class BatchRunner {
 
   // Runs every instance of every spec through the pool; one KernelCache per
   // instance, all configured tasks against the warm cache.
+  //
+  // Runtime-input failures surface as core::StatusError: an invalid spec
+  // (ValidateScenarioSpec) throws before any worker starts, and a worker
+  // that throws -- injected fault or real -- is captured per instance, the
+  // remaining instances still run, and the lowest failed index is rethrown
+  // as kInternal after the pool drains (so the error is deterministic under
+  // any thread count).  Contract violations (short arena span) stay
+  // DL_CHECKs.
   std::vector<ScenarioResult> Run(std::span<const ScenarioSpec> specs) const;
 
   ScenarioResult RunOne(const ScenarioSpec& spec) const;
@@ -169,5 +192,12 @@ std::string AggregateSignature(std::span<const ScenarioResult> results);
 // The worker-pool size a config's `threads` value resolves to:
 // the value itself when positive, hardware concurrency (min 1) at 0.
 int ResolveThreads(int requested);
+
+// Numeric-health check over a batch outcome: kNumericError naming the first
+// aggregate whose populated summary (count > 0) carries a non-finite
+// sum/min/max, Ok otherwise.  A NaN that leaks out of a kernel or simulator
+// would silently poison every downstream mean; the sweep runner treats a
+// failed check like any other cell failure.
+core::Status AggregateHealth(const ScenarioResult& result);
 
 }  // namespace decaylib::engine

@@ -142,6 +142,74 @@ bool IsRegisteredTopology(const std::string& topology) {
   return FindTopology(topology) != nullptr;
 }
 
+core::Status ValidateScenarioSpec(const ScenarioSpec& spec) {
+  using core::Status;
+  if (!IsRegisteredTopology(spec.topology)) {
+    return Status::InvalidArgument("unknown topology '" + spec.topology + "'");
+  }
+  if (spec.links < 1) {
+    return Status::InvalidArgument("links must be >= 1");
+  }
+  if (spec.instances < 1) {
+    return Status::InvalidArgument("instances must be >= 1");
+  }
+  if (!(std::isfinite(spec.alpha) && spec.alpha > 0.0)) {
+    return Status::InvalidArgument(
+        "alpha must be a positive finite decay exponent");
+  }
+  if (!(std::isfinite(spec.sigma_db) && spec.sigma_db >= 0.0)) {
+    return Status::InvalidArgument(
+        "sigma_db must be a non-negative finite shadowing spread");
+  }
+  if (!std::isfinite(spec.power_tau)) {
+    return Status::InvalidArgument("power_tau must be finite");
+  }
+  // The SINR model requires beta >= 1 (LinkSystem's precondition); catching
+  // it here keeps bad CLI/sweep input out of the constructor's DL_CHECK.
+  if (!(std::isfinite(spec.beta) && spec.beta >= 1.0)) {
+    return Status::InvalidArgument("beta must be a finite threshold >= 1");
+  }
+  if (!(std::isfinite(spec.noise) && spec.noise >= 0.0)) {
+    return Status::InvalidArgument(
+        "noise must be a non-negative finite ambient level");
+  }
+  if (!std::isfinite(spec.zeta)) {
+    return Status::InvalidArgument(
+        "zeta must be finite (> 0 explicit, 0 = alpha, < 0 = measured)");
+  }
+  if (spec.hotspots < 1) {
+    return Status::InvalidArgument("hotspots must be >= 1");
+  }
+  if (!(std::isfinite(spec.cluster_sigma) && spec.cluster_sigma > 0.0)) {
+    return Status::InvalidArgument("cluster_sigma must be positive and finite");
+  }
+  if (!(std::isfinite(spec.corridor_width) && spec.corridor_width > 0.0)) {
+    return Status::InvalidArgument(
+        "corridor_width must be positive and finite");
+  }
+  // Dynamics knobs are validated unconditionally -- a spec is either valid
+  // or it is not, independent of which tasks a given batch happens to run.
+  const DynamicsSpec& dyn = spec.dynamics;
+  if (!(std::isfinite(dyn.lambda) && dyn.lambda >= 0.0 && dyn.lambda <= 1.0)) {
+    return Status::InvalidArgument(
+        "lambda is a per-slot Bernoulli probability in [0, 1]");
+  }
+  if (dyn.queue_slots < 1) {
+    return Status::InvalidArgument("queue_slots must be >= 1");
+  }
+  if (!(dyn.regret_learning_rate > 0.0 && dyn.regret_learning_rate < 1.0)) {
+    return Status::InvalidArgument("regret learning rate must be in (0, 1)");
+  }
+  if (!(std::isfinite(dyn.regret_penalty) && dyn.regret_penalty >= 0.0)) {
+    return Status::InvalidArgument(
+        "regret penalty must be a non-negative finite cost");
+  }
+  if (dyn.regret_rounds < 1) {
+    return Status::InvalidArgument("regret_rounds must be >= 1");
+  }
+  return Status::Ok();
+}
+
 std::vector<sinr::Link> PairLinksByDecay(const core::DecaySpace& space) {
   const int n = space.size();
   DL_CHECK(n >= 2 && n % 2 == 0, "pairing needs an even number of nodes");

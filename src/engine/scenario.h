@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "core/decay_space.h"
+#include "core/status.h"
 #include "dynamics/queue_system.h"
 #include "geom/point.h"
 #include "sinr/link_system.h"
@@ -61,8 +62,8 @@ namespace decaylib::engine {
 // Traffic/dynamics knobs consumed by TaskKind::kQueue and kRegret (ignored
 // by every other task).  Non-geometric: two specs differing only here share
 // a GeometryKey, so a sweep whose trailing axis is lambda or regret_penalty
-// reuses one sampled geometry across the whole row.  The batch runner
-// DL_CHECK-rejects out-of-range values before any worker starts (lambda is
+// reuses one sampled geometry across the whole row.  Out-of-range values
+// are rejected by ValidateScenarioSpec before any worker starts (lambda is
 // a per-slot Bernoulli probability; feeding Rng::Chance anything outside
 // [0, 1] would silently distort the arrival process).
 struct DynamicsSpec {
@@ -187,6 +188,16 @@ class ScenarioInstance {
 // Registered topology kinds, in registration order.
 std::vector<std::string> RegisteredTopologies();
 bool IsRegisteredTopology(const std::string& topology);
+
+// Runtime-input validation of a spec: registered topology, positive sizes,
+// finite decay/SINR knobs in their documented ranges (beta >= 1, the
+// dynamics knobs' probability/positivity constraints, ...).  Returns the
+// first violation as Status::InvalidArgument naming the field; specs are
+// user/CLI/sweep input, so rejection is an expected error path, not a
+// DL_CHECK abort (core/status.h).  BatchRunner::RunOne throws the result as
+// core::StatusError; CLI tools and the sweep runner's per-cell isolation
+// surface it as a message instead.
+core::Status ValidateScenarioSpec(const ScenarioSpec& spec);
 
 // Samples the geometry of instance `index`: decay space (+ points), link
 // pairing.  Deterministic in (GeometryKeyOf(spec), index, pairing is

@@ -1,0 +1,269 @@
+#include "sweep/checkpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "io/json.h"
+
+namespace decaylib::sweep {
+
+namespace {
+
+using core::Status;
+using core::StatusOr;
+using io::Json;
+
+std::string Fmt17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// FNV-1a, 64-bit: stable across platforms and trivially reimplementable if
+// the sidecar format is ever read by another tool.
+struct Fnv1a {
+  std::uint64_t state = 0xcbf29ce484222325ULL;
+
+  void Bytes(const void* data, std::size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      state ^= p[i];
+      state *= 0x100000001b3ULL;
+    }
+  }
+  void Str(const std::string& s) {
+    Bytes(s.data(), s.size());
+    Bytes("\x1f", 1);  // field separator so "ab"+"c" != "a"+"bc"
+  }
+  void Int(long long v) { Str(std::to_string(v)); }
+  void Dbl(double v) { Str(Fmt17(v)); }
+};
+
+}  // namespace
+
+std::string SweepSpecHash(const SweepSpec& spec) {
+  Fnv1a h;
+  h.Str(spec.name);
+  const engine::ScenarioSpec& b = spec.base;
+  h.Str(b.name);
+  h.Str(b.topology);
+  h.Int(b.links);
+  h.Int(b.instances);
+  h.Dbl(b.alpha);
+  h.Dbl(b.sigma_db);
+  h.Int(b.symmetric_shadowing ? 1 : 0);
+  h.Dbl(b.power_tau);
+  h.Dbl(b.beta);
+  h.Dbl(b.noise);
+  h.Dbl(b.zeta);
+  h.Int(static_cast<long long>(b.seed));
+  h.Int(b.hotspots);
+  h.Dbl(b.cluster_sigma);
+  h.Dbl(b.corridor_width);
+  h.Dbl(b.dynamics.lambda);
+  h.Int(static_cast<long long>(b.dynamics.scheduler));
+  h.Int(b.dynamics.queue_slots);
+  h.Dbl(b.dynamics.regret_learning_rate);
+  h.Dbl(b.dynamics.regret_penalty);
+  h.Int(b.dynamics.regret_rounds);
+  h.Int(static_cast<long long>(spec.axes.size()));
+  for (const SweepAxis& axis : spec.axes) {
+    h.Str(axis.field);
+    h.Int(static_cast<long long>(axis.values.size()));
+    for (const double v : axis.values) h.Dbl(v);
+  }
+  h.Int(static_cast<long long>(spec.tasks.size()));
+  for (const engine::TaskKind task : spec.tasks) {
+    h.Int(static_cast<long long>(task));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h.state));
+  return buf;
+}
+
+std::string CheckpointToJson(const SweepCheckpoint& checkpoint) {
+  Json doc = Json::Object();
+  doc.Set("sweep", Json::String(checkpoint.sweep));
+  doc.Set("spec_hash", Json::String(checkpoint.spec_hash));
+  doc.Set("grid", Json::Number(static_cast<double>(checkpoint.grid)));
+  Json cells = Json::Array();
+  for (const CheckpointCell& cell : checkpoint.cells) {
+    Json c = Json::Object();
+    c.Set("index", Json::Number(cell.index));
+    c.Set("attempts", Json::Number(cell.attempts));
+    c.Set("instances", Json::Number(cell.instances));
+    Json aggregate = Json::Array();
+    for (const auto& [name, m] : cell.aggregate) {
+      Json entry = Json::Object();
+      entry.Set("name", Json::String(name));
+      // %.17g strings, not JSON numbers: strtod restores every double
+      // bit-exactly, including the +/-inf sentinels of count-0 summaries.
+      entry.Set("sum", Json::String(Fmt17(m.sum)));
+      entry.Set("min", Json::String(Fmt17(m.min)));
+      entry.Set("max", Json::String(Fmt17(m.max)));
+      entry.Set("count", Json::Number(static_cast<double>(m.count)));
+      aggregate.Append(std::move(entry));
+    }
+    c.Set("aggregate", std::move(aggregate));
+    cells.Append(std::move(c));
+  }
+  doc.Set("cells", std::move(cells));
+  return doc.Dump();
+}
+
+namespace {
+
+Status FieldError(const std::string& what) {
+  return Status::IoError("checkpoint: " + what);
+}
+
+StatusOr<double> ReadDouble17(const Json& obj, const std::string& key) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr || v->kind() != Json::Kind::kString) {
+    return FieldError("missing string field '" + key + "'");
+  }
+  const std::string& s = v->AsString();
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return FieldError("unparseable double '" + s + "' in '" + key + "'");
+  }
+  return value;
+}
+
+StatusOr<double> ReadNumber(const Json& obj, const std::string& key) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr || v->kind() != Json::Kind::kNumber) {
+    return FieldError("missing number field '" + key + "'");
+  }
+  return v->AsNumber();
+}
+
+StatusOr<std::string> ReadString(const Json& obj, const std::string& key) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr || v->kind() != Json::Kind::kString) {
+    return FieldError("missing string field '" + key + "'");
+  }
+  return v->AsString();
+}
+
+}  // namespace
+
+StatusOr<SweepCheckpoint> CheckpointFromJson(const std::string& text) {
+  StatusOr<Json> parsed = Json::Parse(text);
+  if (!parsed.ok()) return parsed.status();
+  const Json& doc = *parsed;
+  if (!doc.is_object()) return FieldError("document is not an object");
+
+  SweepCheckpoint out;
+  if (StatusOr<std::string> s = ReadString(doc, "sweep"); s.ok()) {
+    out.sweep = *s;
+  } else {
+    return s.status();
+  }
+  if (StatusOr<std::string> s = ReadString(doc, "spec_hash"); s.ok()) {
+    out.spec_hash = *s;
+  } else {
+    return s.status();
+  }
+  if (StatusOr<double> g = ReadNumber(doc, "grid"); g.ok()) {
+    out.grid = static_cast<long long>(*g);
+  } else {
+    return g.status();
+  }
+  const Json* cells = doc.Find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    return FieldError("missing 'cells' array");
+  }
+  for (const Json& c : cells->Items()) {
+    if (!c.is_object()) return FieldError("cell is not an object");
+    CheckpointCell cell;
+    if (StatusOr<double> v = ReadNumber(c, "index"); v.ok()) {
+      cell.index = static_cast<int>(*v);
+    } else {
+      return v.status();
+    }
+    if (StatusOr<double> v = ReadNumber(c, "attempts"); v.ok()) {
+      cell.attempts = static_cast<int>(*v);
+    } else {
+      return v.status();
+    }
+    if (StatusOr<double> v = ReadNumber(c, "instances"); v.ok()) {
+      cell.instances = static_cast<int>(*v);
+    } else {
+      return v.status();
+    }
+    const Json* aggregate = c.Find("aggregate");
+    if (aggregate == nullptr || !aggregate->is_array()) {
+      return FieldError("cell missing 'aggregate' array");
+    }
+    for (const Json& e : aggregate->Items()) {
+      if (!e.is_object()) return FieldError("aggregate entry not an object");
+      std::string name;
+      engine::MetricSummary m;
+      if (StatusOr<std::string> s = ReadString(e, "name"); s.ok()) {
+        name = *s;
+      } else {
+        return s.status();
+      }
+      if (StatusOr<double> v = ReadDouble17(e, "sum"); v.ok()) {
+        m.sum = *v;
+      } else {
+        return v.status();
+      }
+      if (StatusOr<double> v = ReadDouble17(e, "min"); v.ok()) {
+        m.min = *v;
+      } else {
+        return v.status();
+      }
+      if (StatusOr<double> v = ReadDouble17(e, "max"); v.ok()) {
+        m.max = *v;
+      } else {
+        return v.status();
+      }
+      if (StatusOr<double> v = ReadNumber(e, "count"); v.ok()) {
+        m.count = static_cast<long long>(*v);
+      } else {
+        return v.status();
+      }
+      cell.aggregate.emplace_back(std::move(name), m);
+    }
+    out.cells.push_back(std::move(cell));
+  }
+  return out;
+}
+
+Status SaveCheckpoint(const std::string& path,
+                      const SweepCheckpoint& checkpoint) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + tmp + " for writing");
+    out << CheckpointToJson(checkpoint) << "\n";
+    out.flush();
+    if (!out) return Status::IoError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " over " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<SweepCheckpoint> LoadCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return CheckpointFromJson(buffer.str());
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return static_cast<bool>(in);
+}
+
+}  // namespace decaylib::sweep

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "core/check.h"
@@ -11,57 +12,105 @@ namespace decaylib::sweep {
 
 namespace {
 
+using core::Status;
+
 struct FieldEntry {
   const char* name;
-  void (*apply)(engine::ScenarioSpec&, double);
+  Status (*apply)(engine::ScenarioSpec&, double);
   bool integral;
 };
 
-void CheckIntegral(double value, const char* field) {
-  DL_CHECK(std::isfinite(value) && value == std::floor(value),
-           "integer sweep field needs an integral value");
-  (void)field;
+Status CheckIntegral(double value, const char* field) {
+  if (!(std::isfinite(value) && value == std::floor(value))) {
+    return Status::InvalidArgument(std::string(field) +
+                                   ": integer sweep field needs an integral "
+                                   "value, got " +
+                                   FormatAxisValue(value));
+  }
+  return Status::Ok();
 }
 
 const std::vector<FieldEntry>& FieldTable() {
   static const std::vector<FieldEntry> table = {
       {"links",
        [](engine::ScenarioSpec& s, double v) {
-         CheckIntegral(v, "links");
-         DL_CHECK(v >= 1.0, "links axis values must be >= 1");
+         if (Status st = CheckIntegral(v, "links"); !st.ok()) return st;
+         if (v < 1.0) {
+           return Status::InvalidArgument("links axis values must be >= 1");
+         }
          s.links = static_cast<int>(v);
+         return Status::Ok();
        },
        true},
       {"instances",
        [](engine::ScenarioSpec& s, double v) {
-         CheckIntegral(v, "instances");
-         DL_CHECK(v >= 1.0, "instances axis values must be >= 1");
+         if (Status st = CheckIntegral(v, "instances"); !st.ok()) return st;
+         if (v < 1.0) {
+           return Status::InvalidArgument(
+               "instances axis values must be >= 1");
+         }
          s.instances = static_cast<int>(v);
+         return Status::Ok();
        },
        true},
-      {"alpha", [](engine::ScenarioSpec& s, double v) { s.alpha = v; }, false},
-      {"sigma_db", [](engine::ScenarioSpec& s, double v) { s.sigma_db = v; },
+      {"alpha",
+       [](engine::ScenarioSpec& s, double v) {
+         s.alpha = v;
+         return Status::Ok();
+       },
        false},
-      {"power_tau", [](engine::ScenarioSpec& s, double v) { s.power_tau = v; },
+      {"sigma_db",
+       [](engine::ScenarioSpec& s, double v) {
+         s.sigma_db = v;
+         return Status::Ok();
+       },
        false},
-      {"beta", [](engine::ScenarioSpec& s, double v) { s.beta = v; }, false},
-      {"noise", [](engine::ScenarioSpec& s, double v) { s.noise = v; }, false},
-      {"zeta", [](engine::ScenarioSpec& s, double v) { s.zeta = v; }, false},
+      {"power_tau",
+       [](engine::ScenarioSpec& s, double v) {
+         s.power_tau = v;
+         return Status::Ok();
+       },
+       false},
+      {"beta",
+       [](engine::ScenarioSpec& s, double v) {
+         s.beta = v;
+         return Status::Ok();
+       },
+       false},
+      {"noise",
+       [](engine::ScenarioSpec& s, double v) {
+         s.noise = v;
+         return Status::Ok();
+       },
+       false},
+      {"zeta",
+       [](engine::ScenarioSpec& s, double v) {
+         s.zeta = v;
+         return Status::Ok();
+       },
+       false},
       // Dynamics knobs (TaskKind::kQueue / kRegret).  Both are
       // non-geometric, so a trailing lambda or penalty axis reuses one
       // sampled geometry generation across its whole row.
       {"lambda",
        [](engine::ScenarioSpec& s, double v) {
-         DL_CHECK(v >= 0.0 && v <= 1.0,
-                  "lambda axis values are per-slot Bernoulli probabilities "
-                  "in [0, 1]");
+         if (!(v >= 0.0 && v <= 1.0)) {
+           return Status::InvalidArgument(
+               "lambda axis values are per-slot Bernoulli probabilities in "
+               "[0, 1]");
+         }
          s.dynamics.lambda = v;
+         return Status::Ok();
        },
        false},
       {"regret_penalty",
        [](engine::ScenarioSpec& s, double v) {
-         DL_CHECK(v >= 0.0, "regret_penalty axis values must be >= 0");
+         if (!(v >= 0.0)) {
+           return Status::InvalidArgument(
+               "regret_penalty axis values must be >= 0");
+         }
          s.dynamics.regret_penalty = v;
+         return Status::Ok();
        },
        false},
   };
@@ -94,11 +143,49 @@ bool IsSweepableField(const std::string& field) {
   return FindField(field) != nullptr;
 }
 
-void ApplyAxisValue(engine::ScenarioSpec& spec, const std::string& field,
-                    double value) {
+core::Status ApplyAxisValue(engine::ScenarioSpec& spec,
+                            const std::string& field, double value) {
   const FieldEntry* entry = FindField(field);
-  DL_CHECK(entry != nullptr, "unknown sweep field");
-  entry->apply(spec, value);
+  if (entry == nullptr) {
+    std::string msg = "unknown sweep field '" + field + "' (sweepable:";
+    for (const std::string& name : SweepableFields()) msg += " " + name;
+    msg += ")";
+    return Status::InvalidArgument(msg);
+  }
+  return entry->apply(spec, value);
+}
+
+core::Status ValidateSweepSpec(const SweepSpec& spec) {
+  if (Status st = engine::ValidateScenarioSpec(spec.base); !st.ok()) {
+    return Status::InvalidArgument("base spec: " + st.message());
+  }
+  long long size = 1;
+  for (const SweepAxis& axis : spec.axes) {
+    if (axis.values.empty()) {
+      return Status::InvalidArgument("axis '" + axis.field +
+                                     "' needs at least one value");
+    }
+    for (const double value : axis.values) {
+      // Each value must both land in the field and leave a valid spec;
+      // applying to a copy of the base catches e.g. beta=0.5 or alpha=-1
+      // before a worker ever sees the cell.
+      engine::ScenarioSpec probe = spec.base;
+      if (Status st = ApplyAxisValue(probe, axis.field, value); !st.ok()) {
+        return st;
+      }
+      if (Status st = engine::ValidateScenarioSpec(probe); !st.ok()) {
+        return Status::InvalidArgument("axis '" + axis.field +
+                                       "' value " + FormatAxisValue(value) +
+                                       ": " + st.message());
+      }
+    }
+    size *= static_cast<long long>(axis.values.size());
+    if (size > std::numeric_limits<int>::max()) {
+      return Status::InvalidArgument(
+          "sweep grid exceeds the flat cell-index range");
+    }
+  }
+  return Status::Ok();
 }
 
 long long GridSize(const SweepSpec& spec) {
@@ -134,7 +221,10 @@ std::vector<SweepCell> ExpandGrid(const SweepSpec& spec) {
       const SweepAxis& axis = spec.axes[a];
       const double value =
           axis.values[static_cast<std::size_t>(coords[a])];
-      ApplyAxisValue(cell.spec, axis.field, value);
+      const core::Status applied = ApplyAxisValue(cell.spec, axis.field, value);
+      // Callers gate external input through ValidateSweepSpec; by the time
+      // a grid expands, a bad binding is a programmer error.
+      DL_CHECK(applied.ok(), "ExpandGrid: invalid axis binding");
       suffix +=
           (a == 0 ? "/" : ",") + axis.field + "=" + FormatAxisValue(value);
     }

@@ -47,11 +47,20 @@ struct SweepSpec {
 std::vector<std::string> SweepableFields();
 bool IsSweepableField(const std::string& field);
 
-// Writes one axis value into the spec.  Aborts (DL_CHECK) on an unknown
-// field, a non-integral value for an integer field, or an out-of-range
-// value (links/instances >= 1).
-void ApplyAxisValue(engine::ScenarioSpec& spec, const std::string& field,
-                    double value);
+// Writes one axis value into the spec.  Rejects an unknown field, a
+// non-integral value for an integer field, or an out-of-range value as
+// kInvalidArgument (the spec is untouched in that case) -- axis bindings
+// are runtime input (CLI flags, sweep files), not programmer state.
+core::Status ApplyAxisValue(engine::ScenarioSpec& spec,
+                            const std::string& field, double value);
+
+// Full runtime validation of a sweep description: the base spec
+// (engine::ValidateScenarioSpec), every axis (known field, non-empty
+// values, each value applicable to the base and yielding a valid spec),
+// and grid-size representability.  Callers that expand or run a sweep
+// built from external input should gate on this; ExpandGrid itself keeps
+// DL_CHECK backstops only.
+core::Status ValidateSweepSpec(const SweepSpec& spec);
 
 // Canonical "%g" rendering of an axis value, shared by cell names and the
 // report/CSV axis columns so they always agree.

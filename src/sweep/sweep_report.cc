@@ -55,11 +55,21 @@ void PrintSweepReport(const SweepResult& result) {
     std::printf(", %lld geometries built / %lld reused",
                 result.geometry_builds, result.geometry_reuses);
   }
-  std::printf(")\n\n");
+  std::printf(")\n");
+  if (result.cells_failed > 0 || result.cells_retried > 0 ||
+      result.cells_resumed > 0) {
+    std::printf("robustness: %d failed, %d retried, %d resumed\n",
+                result.cells_failed, result.cells_retried,
+                result.cells_resumed);
+  }
+  std::printf("\n");
 
-  // Per-cell table: axis coordinates + headline means.
+  // Per-cell table: axis coordinates + headline means (+ a status column
+  // once any cell failed, so a partial grid is visibly partial).
+  const bool show_status = result.cells_failed > 0;
   std::vector<std::string> headers = {"cell"};
   for (const SweepAxis& axis : result.spec.axes) headers.push_back(axis.field);
+  if (show_status) headers.push_back("status");
   for (const std::string& name : metrics) headers.push_back(name);
   std::vector<std::vector<std::string>> rows;
   for (const SweepCellResult& cell : result.cells) {
@@ -68,6 +78,7 @@ void PrintSweepReport(const SweepResult& result) {
       row.push_back(FormatAxisValue(result.spec.axes[a].values[
           static_cast<std::size_t>(cell.cell.coords[a])]));
     }
+    if (show_status) row.push_back(cell.outcome.ok ? "ok" : "failed");
     for (const std::string& name : metrics) {
       const engine::MetricSummary* m = FindAggregateMetric(cell.result, name);
       row.push_back(m != nullptr ? FmtFixed(m->Mean()) : "-");
@@ -75,6 +86,13 @@ void PrintSweepReport(const SweepResult& result) {
     rows.push_back(std::move(row));
   }
   PrintMarkdownTable(headers, rows);
+  for (const SweepCellResult& cell : result.cells) {
+    if (!cell.outcome.ok) {
+      std::printf("cell %d failed after %d attempt%s: %s\n", cell.cell.index,
+                  cell.outcome.attempts, cell.outcome.attempts == 1 ? "" : "s",
+                  cell.outcome.error.c_str());
+    }
+  }
 
   // One frontier table per axis: the 1-D mean curve of each headline
   // metric along that axis, marginalised over all other axes.
@@ -131,6 +149,11 @@ std::vector<std::string> SweepCsvHeader(const SweepResult& result) {
   // carry them (a duplicated header name would mangle CSV consumers).
   if (!HasAxis(result.spec, "links")) header.push_back("links");
   if (!HasAxis(result.spec, "instances")) header.push_back("instances");
+  // Robustness columns: every row says whether its cell completed, how
+  // many attempts it took, and (failed rows only) the error text.
+  header.push_back("ok");
+  header.push_back("attempts");
+  header.push_back("error");
   // Every aggregate metric observed anywhere in the grid, first-seen order
   // (aggregates list metrics in a fixed order, so this is stable).
   for (const SweepCellResult& cell : result.cells) {
@@ -156,7 +179,8 @@ std::vector<std::vector<std::string>> RowsForHeader(
   const bool instances_column = !HasAxis(result.spec, "instances");
   const std::size_t fixed = 2 + result.spec.axes.size() +
                             (links_column ? 1 : 0) +
-                            (instances_column ? 1 : 0);
+                            (instances_column ? 1 : 0) +
+                            3;  // ok, attempts, error
   std::vector<std::vector<std::string>> rows;
   rows.reserve(result.cells.size());
   char buf[64];
@@ -171,6 +195,9 @@ std::vector<std::vector<std::string>> RowsForHeader(
     if (instances_column) {
       row.push_back(std::to_string(cell.result.instances.size()));
     }
+    row.push_back(cell.outcome.ok ? "1" : "0");
+    row.push_back(std::to_string(cell.outcome.attempts));
+    row.push_back(cell.outcome.ok ? "" : cell.outcome.error);
     for (std::size_t c = fixed; c < header.size(); ++c) {
       const std::string name = header[c].substr(0, header[c].size() - 5);
       const engine::MetricSummary* m = FindAggregateMetric(cell.result, name);
@@ -209,6 +236,7 @@ bool WriteSweepJsonReport(const std::string& id,
   std::vector<engine::ScenarioResult> flat;
   for (const SweepResult& sweep : results) {
     for (const SweepCellResult& cell : sweep.cells) {
+      if (!cell.outcome.ok) continue;  // failed cells carry no aggregates
       flat.push_back(cell.result);
     }
   }

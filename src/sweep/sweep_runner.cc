@@ -1,21 +1,43 @@
 #include "sweep/sweep_runner.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <utility>
 
 #include "engine/report.h"
+#include "sweep/checkpoint.h"
 
 namespace decaylib::sweep {
 
 SweepRunner::SweepRunner(SweepConfig config) : config_(std::move(config)) {}
 
+namespace {
+
+using core::Status;
+using core::StatusError;
+
+// Restored cells come back index-keyed from the sidecar; map them for the
+// grid walk.  The sidecar is trusted only after its spec-hash matched.
+struct RestoredCells {
+  std::vector<const CheckpointCell*> by_index;  // nullptr = not restored
+
+  explicit RestoredCells(std::size_t grid) : by_index(grid, nullptr) {}
+};
+
+}  // namespace
+
 SweepResult SweepRunner::Run(const SweepSpec& spec) const {
+  // Whole-sweep validation up front: a sweep built from external input
+  // fails here with a clean diagnostic instead of cell-by-cell.
+  core::ThrowIfError(ValidateSweepSpec(spec));
+
   SweepResult out;
   out.spec = spec;
 
   const int threads = engine::ResolveThreads(config_.threads);
-  // One arena per worker, shared across every cell of the grid.
+  // One arena per worker, shared across every cell of the grid -- and
+  // across retries: a failed attempt leaves slabs warm for the next.
   std::vector<sinr::KernelArena> arenas;
   if (config_.reuse_arena) {
     arenas.resize(static_cast<std::size_t>(threads));
@@ -24,21 +46,156 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
   // instances a geometry-axis change actually invalidates.
   engine::GeometryCache geometry;
 
-  engine::BatchConfig batch;
-  batch.threads = threads;
-  batch.tasks = spec.tasks;
-  batch.arenas = std::span<sinr::KernelArena>(arenas);
-  batch.geometry = config_.reuse_geometry ? &geometry : nullptr;
-  batch.pairing = config_.pairing;
-  const engine::BatchRunner runner(batch);
-
   const auto start = std::chrono::steady_clock::now();
   std::vector<SweepCell> cells = ExpandGrid(spec);
-  out.cells.reserve(cells.size());
-  for (SweepCell& cell : cells) {
-    engine::ScenarioResult result = runner.RunOne(cell.spec);
-    out.cells.push_back({std::move(cell), std::move(result)});
+
+  // Resume: load the sidecar (if any) and index its cells.  A missing file
+  // is a fresh start; a corrupt file or one hashed from a different spec is
+  // a hard error -- splicing foreign results into the grid would corrupt
+  // the signature silently.
+  const std::string hash =
+      config_.checkpoint_path.empty() ? std::string() : SweepSpecHash(spec);
+  SweepCheckpoint restored_doc;
+  RestoredCells restored(cells.size());
+  if (config_.resume && !config_.checkpoint_path.empty() &&
+      FileExists(config_.checkpoint_path)) {
+    core::StatusOr<SweepCheckpoint> loaded =
+        LoadCheckpoint(config_.checkpoint_path);
+    if (!loaded.ok()) {
+      throw StatusError(Status::FailedPrecondition(
+          "resume: " + loaded.status().ToString()));
+    }
+    restored_doc = std::move(*loaded);
+    if (restored_doc.spec_hash != hash) {
+      throw StatusError(Status::FailedPrecondition(
+          "resume: checkpoint " + config_.checkpoint_path +
+          " belongs to a different sweep spec (hash " +
+          restored_doc.spec_hash + ", expected " + hash + ")"));
+    }
+    for (const CheckpointCell& cell : restored_doc.cells) {
+      if (cell.index >= 0 && cell.index < static_cast<int>(cells.size())) {
+        restored.by_index[static_cast<std::size_t>(cell.index)] = &cell;
+      }
+    }
   }
+
+  // The checkpoint being (re)written this run: starts from the restored
+  // cells so a resume-of-a-resume keeps accumulating.
+  SweepCheckpoint save_doc;
+  save_doc.sweep = spec.name;
+  save_doc.spec_hash = hash;
+  save_doc.grid = static_cast<long long>(cells.size());
+  const bool checkpointing = !config_.checkpoint_path.empty();
+  int completed_since_save = 0;
+  const auto maybe_save = [&](bool force) {
+    if (!checkpointing) return;
+    if (!force && completed_since_save < std::max(1, config_.checkpoint_every))
+      return;
+    core::ThrowIfError(SaveCheckpoint(config_.checkpoint_path, save_doc));
+    completed_since_save = 0;
+  };
+
+  out.cells.reserve(cells.size());
+  int fresh_cells = 0;  // executed (non-restored) cells, for halt_after
+  bool halted = false;
+  for (SweepCell& cell : cells) {
+    const int index = cell.index;
+
+    // Restored cell: rebuild its ScenarioResult from the sidecar.  Only
+    // the aggregate and instance count are stored -- exactly the
+    // deterministic surface SweepSignature reads.
+    if (const CheckpointCell* rc =
+            restored.by_index[static_cast<std::size_t>(index)]) {
+      engine::ScenarioResult result;
+      result.spec = cell.spec;
+      result.instances.resize(static_cast<std::size_t>(rc->instances));
+      result.aggregate = rc->aggregate;
+      CellOutcome outcome;
+      outcome.attempts = rc->attempts;
+      outcome.resumed = true;
+      ++out.cells_resumed;
+      if (rc->attempts > 1) ++out.cells_retried;
+      save_doc.cells.push_back(*rc);
+      out.cells.push_back({std::move(cell), std::move(result), outcome});
+      continue;
+    }
+
+    if (halted) break;
+
+    CellOutcome outcome;
+    engine::ScenarioResult result;
+    for (int attempt = 1;; ++attempt) {
+      outcome.attempts = attempt;
+      // Per-cell BatchRunner: the fault plan arms instance 0 of the
+      // targeted cell for this attempt only, and a throwing cell cannot
+      // leave state behind in the runner (arenas and the geometry cache
+      // are overwrite-on-use, so a half-run attempt is invisible).
+      engine::BatchConfig batch;
+      batch.threads = threads;
+      batch.tasks = spec.tasks;
+      batch.arenas = std::span<sinr::KernelArena>(arenas);
+      batch.geometry = config_.reuse_geometry ? &geometry : nullptr;
+      batch.pairing = config_.pairing;
+      if (config_.fault.Trips(index, attempt)) {
+        batch.fault_instance = 0;
+        batch.fault_message = "injected fault: cell " + std::to_string(index) +
+                              " attempt " + std::to_string(attempt);
+      }
+      bool permanent = false;
+      try {
+        result = engine::BatchRunner(batch).RunOne(cell.spec);
+        const Status health = engine::AggregateHealth(result);
+        if (health.ok()) {
+          outcome.ok = true;
+          outcome.error.clear();
+          break;
+        }
+        // A poisoned aggregate is deterministic in the cell's inputs;
+        // retrying replays the same NaN.
+        outcome.ok = false;
+        outcome.error = health.ToString();
+        permanent = true;
+      } catch (const StatusError& e) {
+        outcome.ok = false;
+        outcome.error = e.status().ToString();
+        permanent = e.status().code() == core::StatusCode::kInvalidArgument;
+      } catch (const std::exception& e) {
+        outcome.ok = false;
+        outcome.error = e.what();
+      } catch (...) {
+        outcome.ok = false;
+        outcome.error = "unknown exception";
+      }
+      if (permanent || attempt >= std::max(1, config_.max_attempts)) break;
+    }
+
+    if (outcome.attempts > 1) ++out.cells_retried;
+    if (!outcome.ok) {
+      ++out.cells_failed;
+      result = engine::ScenarioResult{};
+      result.spec = cell.spec;
+    } else if (checkpointing) {
+      CheckpointCell saved;
+      saved.index = index;
+      saved.attempts = outcome.attempts;
+      saved.instances = static_cast<int>(result.instances.size());
+      saved.aggregate = result.aggregate;
+      save_doc.cells.push_back(std::move(saved));
+      ++completed_since_save;
+      maybe_save(false);
+    }
+    out.cells.push_back({std::move(cell), std::move(result), outcome});
+
+    ++fresh_cells;
+    if (config_.halt_after_cells > 0 &&
+        fresh_cells >= config_.halt_after_cells) {
+      // Simulated kill: later restored cells still append (they cost
+      // nothing), but no further cell executes.
+      halted = true;
+    }
+  }
+  maybe_save(true);
+
   out.wall_ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - start)
                     .count();
@@ -68,6 +225,14 @@ std::string SweepSignature(const SweepResult& result) {
   out += " cells=" + std::to_string(result.cells.size()) + "\n";
   for (const SweepCellResult& cell : result.cells) {
     char buf[64];
+    if (!cell.outcome.ok) {
+      // Attempt counts are config-dependent (retry budget), so only the
+      // failure itself and its message enter the signature.
+      std::snprintf(buf, sizeof(buf), "cell %d failed", cell.cell.index);
+      out += buf;
+      out += " error=" + cell.outcome.error + "\n";
+      continue;
+    }
     std::snprintf(buf, sizeof(buf), "cell %d\n", cell.cell.index);
     out += buf;
     out += engine::AggregateSignature(std::span(&cell.result, 1));
@@ -78,6 +243,7 @@ std::string SweepSignature(const SweepResult& result) {
 long long SweepViolationCount(const SweepResult& result) {
   long long violations = 0;
   for (const SweepCellResult& cell : result.cells) {
+    if (!cell.outcome.ok) continue;
     violations += engine::ViolationCount(std::span(&cell.result, 1));
   }
   return violations;

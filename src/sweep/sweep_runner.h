@@ -27,8 +27,25 @@
 //    and grid/MNN pairing provably reproduces the sort-greedy matching.
 // SweepSignature serialises the deterministic part of a whole grid; tests,
 // the sweep_runner CLI --smoke gate and bench_e20 assert every invariance.
+//
+// Fault tolerance (the robustness layer):
+//  * a cell whose batch throws -- invalid runtime input, an injected
+//    fault, a real bug -- or whose aggregates fail the numeric-health
+//    check is *isolated*: its CellOutcome records the failure and the rest
+//    of the grid keeps running on the same warm arenas;
+//  * transient failures are retried up to SweepConfig::max_attempts;
+//    invalid-input failures are permanent (retrying a bad spec cannot
+//    help);
+//  * with a checkpoint path set, completed healthy cells are persisted
+//    after every cell (sweep/checkpoint.h) and `resume` restores them
+//    bit-exactly, so an interrupted sweep re-runs only what it must and
+//    its SweepSignature equals an uninterrupted run's at any thread count;
+//  * FaultPlan injects deterministic failures (cell i, first k attempts)
+//    through the real worker pool, so the recovery paths above are
+//    exercised end to end by tests and the CLI --smoke gate.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -37,6 +54,21 @@
 #include "sweep/sweep.h"
 
 namespace decaylib::sweep {
+
+// Deterministic fault injection: makes the worker that picks up instance 0
+// of the targeted cell throw engine::InjectedFault.  `fail_attempts` is how
+// many leading attempts of that cell fail (-1 = every attempt, so the cell
+// exhausts its retries and lands failed).
+struct FaultPlan {
+  int fail_cell = -1;     // flat grid index; -1 disarms the plan
+  int fail_attempts = 1;  // attempts 1..k fail; -1 = all attempts fail
+
+  bool Armed() const { return fail_cell >= 0; }
+  bool Trips(int cell, int attempt) const {  // attempt is 1-based
+    return cell == fail_cell &&
+           (fail_attempts < 0 || attempt <= fail_attempts);
+  }
+};
 
 struct SweepConfig {
   int threads = 0;          // per-cell worker pool; 0 = hardware concurrency
@@ -48,16 +80,41 @@ struct SweepConfig {
   bool reuse_geometry = true;
   // Pairing route for instance builds (kSortGreedy = reference A/B arm).
   engine::PairingMode pairing = engine::PairingMode::kAuto;
+
+  // Robustness knobs.
+  int max_attempts = 2;  // tries per cell before it is recorded failed
+  FaultPlan fault;       // deterministic injected failures (tests, --smoke)
+  std::string checkpoint_path;  // empty = no checkpointing
+  bool resume = false;   // restore completed cells from checkpoint_path
+  int checkpoint_every = 1;  // save after every N completed cells (+ final)
+  // Test hook: stop executing after this many *fresh* (non-restored) cells
+  // complete, returning a partial result -- simulates a kill mid-sweep
+  // without process gymnastics.  0 = run the whole grid.
+  int halt_after_cells = 0;
+};
+
+// How one cell's execution ended.
+struct CellOutcome {
+  bool ok = true;
+  std::string error;   // status/exception text of the *last* attempt
+  int attempts = 1;    // attempts consumed (1 = first try succeeded)
+  bool resumed = false;  // restored from a checkpoint, not executed
 };
 
 struct SweepCellResult {
   SweepCell cell;
-  engine::ScenarioResult result;
+  engine::ScenarioResult result;  // meaningful only when outcome.ok
+  CellOutcome outcome;
 };
 
 struct SweepResult {
   SweepSpec spec;
   std::vector<SweepCellResult> cells;  // grid (row-major) order
+
+  // Robustness accounting (deterministic given config + fault plan).
+  int cells_failed = 0;   // cells whose outcome is !ok
+  int cells_retried = 0;  // cells that needed more than one attempt
+  int cells_resumed = 0;  // cells restored from the checkpoint
 
   // Non-deterministic timing/accounting.
   double wall_ms = 0.0;         // whole-grid wall time
@@ -77,7 +134,10 @@ class SweepRunner {
   explicit SweepRunner(SweepConfig config = {});
 
   // Runs every cell of the grid, in grid order, against arenas shared
-  // across the whole sweep.
+  // across the whole sweep.  Cell failures are isolated into CellOutcome;
+  // Run itself throws core::StatusError only for whole-sweep problems (an
+  // invalid SweepSpec, or a checkpoint that is unreadable / belongs to a
+  // different spec when resuming).
   SweepResult Run(const SweepSpec& spec) const;
 
   std::vector<SweepResult> RunAll(std::span<const SweepSpec> specs) const;
@@ -91,7 +151,9 @@ class SweepRunner {
 // Serialises the deterministic part of a sweep: the grid identity plus
 // every cell's engine::AggregateSignature, in grid order.  Bit-identical
 // across thread counts, across arena/no-arena runs, across geometry-cache
-// on/off runs, and across pairing modes.
+// on/off runs, across pairing modes, and across fresh-vs-resumed runs.
+// A failed cell contributes "cell N failed error=<message>\n" (the attempt
+// count is config-dependent, so it stays out of the signature).
 std::string SweepSignature(const SweepResult& result);
 
 // Total feasibility/validation violations over all cells (must stay 0).

@@ -5,8 +5,10 @@
 #include <cmath>
 #include <cstdio>
 #include <set>
+#include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "engine/report.h"
 #include "engine/scenario.h"
 
@@ -445,21 +447,36 @@ TEST(BatchRunnerTest, DynamicsTasksRecordInRangeStatistics) {
 }
 
 // Invalid dynamics knobs are rejected by the engine before any worker
-// starts, not silently fed into the simulators.
-TEST(BatchRunnerDeathTest, InvalidDynamicsConfigRejected) {
+// starts -- as recoverable core::StatusError now, so a sweep can isolate
+// the bad cell instead of losing the process.
+TEST(BatchRunnerTest, InvalidDynamicsConfigRejected) {
   BatchConfig config;
   config.threads = 1;
   config.tasks = {TaskKind::kQueue, TaskKind::kRegret};
   const BatchRunner runner(config);
+  const auto expect_invalid = [&](const ScenarioSpec& spec,
+                                  const std::string& needle) {
+    try {
+      runner.RunOne(spec);
+      FAIL() << "expected StatusError mentioning '" << needle << "'";
+    } catch (const core::StatusError& e) {
+      EXPECT_EQ(e.status().code(), core::StatusCode::kInvalidArgument);
+      EXPECT_NE(e.status().message().find(needle), std::string::npos)
+          << e.status().message();
+    }
+  };
   ScenarioSpec bad_lambda = SmallDynamics(BuiltinScenarios().front(), 6, 1);
   bad_lambda.dynamics.lambda = 1.5;
-  EXPECT_DEATH(runner.RunOne(bad_lambda), "Bernoulli");
+  expect_invalid(bad_lambda, "Bernoulli");
   ScenarioSpec bad_penalty = SmallDynamics(BuiltinScenarios().front(), 6, 1);
   bad_penalty.dynamics.regret_penalty = -1.0;
-  EXPECT_DEATH(runner.RunOne(bad_penalty), "penalty");
+  expect_invalid(bad_penalty, "penalty");
   ScenarioSpec bad_rate = SmallDynamics(BuiltinScenarios().front(), 6, 1);
   bad_rate.dynamics.regret_learning_rate = 1.0;
-  EXPECT_DEATH(runner.RunOne(bad_rate), "learning rate");
+  expect_invalid(bad_rate, "learning rate");
+  ScenarioSpec bad_topology = SmallDynamics(BuiltinScenarios().front(), 6, 1);
+  bad_topology.topology = "hexagonal";
+  expect_invalid(bad_topology, "topology");
 }
 
 TEST(ReportTest, JsonReportRoundTrips) {

@@ -39,7 +39,9 @@ TEST(SweepSpecTest, SweepableFieldsApply) {
     EXPECT_TRUE(IsSweepableField(field)) << field;
     // 2.0 is integral and valid for every field except lambda, whose values
     // are probabilities in [0, 1].
-    ApplyAxisValue(spec, field, field == "lambda" ? 0.5 : 2.0);
+    EXPECT_TRUE(
+        ApplyAxisValue(spec, field, field == "lambda" ? 0.5 : 2.0).ok())
+        << field;
   }
   EXPECT_FALSE(IsSweepableField("topology"));
   EXPECT_FALSE(IsSweepableField("scheduler"));
@@ -55,11 +57,59 @@ TEST(SweepSpecTest, SweepableFieldsApply) {
   EXPECT_EQ(spec.dynamics.regret_penalty, 2.0);
 }
 
-TEST(SweepSpecDeathTest, OutOfRangeDynamicsAxisValuesRejected) {
+// Bad axis bindings are recoverable errors now, not aborts: the status
+// carries the diagnostic and the spec is left untouched.
+TEST(SweepSpecTest, OutOfRangeAxisValuesRejectedAsStatus) {
   engine::ScenarioSpec spec;
-  EXPECT_DEATH(ApplyAxisValue(spec, "lambda", 1.5), "Bernoulli");
-  EXPECT_DEATH(ApplyAxisValue(spec, "lambda", -0.5), "Bernoulli");
-  EXPECT_DEATH(ApplyAxisValue(spec, "regret_penalty", -1.0), ">= 0");
+  const engine::ScenarioSpec before = spec;
+
+  core::Status status = ApplyAxisValue(spec, "lambda", 1.5);
+  EXPECT_EQ(status.code(), core::StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("Bernoulli"), std::string::npos);
+  EXPECT_EQ(spec.dynamics.lambda, before.dynamics.lambda);
+
+  status = ApplyAxisValue(spec, "lambda", -0.5);
+  EXPECT_EQ(status.code(), core::StatusCode::kInvalidArgument);
+
+  status = ApplyAxisValue(spec, "regret_penalty", -1.0);
+  EXPECT_EQ(status.code(), core::StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find(">= 0"), std::string::npos);
+
+  status = ApplyAxisValue(spec, "links", 2.5);
+  EXPECT_EQ(status.code(), core::StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("integral"), std::string::npos);
+
+  status = ApplyAxisValue(spec, "no_such_field", 1.0);
+  EXPECT_EQ(status.code(), core::StatusCode::kInvalidArgument);
+  // The diagnostic lists the sweepable fields, so a CLI typo self-explains.
+  EXPECT_NE(status.message().find("links"), std::string::npos);
+  EXPECT_NE(status.message().find("regret_penalty"), std::string::npos);
+}
+
+TEST(SweepSpecTest, ValidateSweepSpecCatchesBadAxesAndBase) {
+  EXPECT_TRUE(ValidateSweepSpec(TinySweep()).ok());
+
+  SweepSpec bad_base = TinySweep();
+  bad_base.base.beta = 0.5;
+  EXPECT_EQ(ValidateSweepSpec(bad_base).code(),
+            core::StatusCode::kInvalidArgument);
+
+  SweepSpec unknown_axis = TinySweep();
+  unknown_axis.axes.push_back({"bogus", {1.0}});
+  EXPECT_EQ(ValidateSweepSpec(unknown_axis).code(),
+            core::StatusCode::kInvalidArgument);
+
+  SweepSpec empty_axis = TinySweep();
+  empty_axis.axes.push_back({"noise", {}});
+  EXPECT_EQ(ValidateSweepSpec(empty_axis).code(),
+            core::StatusCode::kInvalidArgument);
+
+  // The value parses into the field but yields an invalid cell spec.
+  SweepSpec bad_cell = TinySweep();
+  bad_cell.axes.push_back({"beta", {1.0, 0.25}});
+  const core::Status status = ValidateSweepSpec(bad_cell);
+  EXPECT_EQ(status.code(), core::StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("beta"), std::string::npos);
 }
 
 TEST(SweepGridTest, ExpansionIsRowMajorLastAxisFastest) {

@@ -5,7 +5,13 @@
 //   $ scenario_runner --smoke [--json]
 //   $ scenario_runner [--scenario NAME] [--links N] [--instances K]
 //                     [--alpha A] [--beta B] [--lambda L] [--scheduler S]
-//                     [--threads T] [--seed S] [--json]
+//                     [--set FIELD=VALUE] [--threads T] [--seed S] [--json]
+//
+// --set writes any sweepable field (sweep::SweepableFields(): links,
+// instances, alpha, ..., lambda, regret_penalty) into the selected specs;
+// unknown fields or out-of-range values are clean CLI errors listing the
+// valid fields, and the final specs are validated
+// (engine::ValidateScenarioSpec) before anything runs.
 //
 // Without --scenario, every builtin scenario runs.  --links / --instances /
 // --alpha / --beta / --seed override the preset's values; --lambda (in
@@ -27,12 +33,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/status.h"
 #include "dynamics/queue_system.h"
 #include "engine/batch_runner.h"
 #include "engine/report.h"
 #include "engine/scenario.h"
+#include "sweep/sweep.h"
 #include "tool_args.h"
 
 using namespace decaylib;
@@ -43,10 +52,36 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--list] [--smoke] [--scenario NAME] [--links N]\n"
                "          [--instances K] [--alpha A] [--beta B] [--lambda L]\n"
-               "          [--scheduler lqf|greedy|random] [--threads T]\n"
-               "          [--seed S] [--json]\n",
+               "          [--scheduler lqf|greedy|random] [--set FIELD=VALUE]\n"
+               "          [--threads T] [--seed S] [--json]\n",
                argv0);
   return 2;
+}
+
+void ListSweepableFields(std::FILE* out) {
+  std::fprintf(out, "settable fields:");
+  for (const std::string& field : sweep::SweepableFields()) {
+    std::fprintf(out, " %s", field.c_str());
+  }
+  std::fprintf(out, "\n");
+}
+
+// Splits "FIELD=VALUE"; semantic checks happen when the binding is applied.
+bool ParseSetFlag(const char* text, std::pair<std::string, double>* out) {
+  const std::string arg = text == nullptr ? "" : text;
+  const std::size_t eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= arg.size()) {
+    std::fprintf(stderr, "--set: expected FIELD=VALUE, got '%s'\n",
+                 arg.c_str());
+    return false;
+  }
+  double value = 0.0;
+  if (!tools::ParseDouble(arg.c_str() + eq + 1, -1e300, 1e300, &value)) {
+    std::fprintf(stderr, "--set: unparseable value in '%s'\n", arg.c_str());
+    return false;
+  }
+  *out = {arg.substr(0, eq), value};
+  return true;
 }
 
 int ListScenarios() {
@@ -84,6 +119,7 @@ int main(int argc, char** argv) {
   int scheduler = -1;      // < 0 = keep; else index into SchedulerNames()
   std::uint64_t seed = 0;
   bool seed_set = false;
+  std::vector<std::pair<std::string, double>> set_bindings;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -125,6 +161,10 @@ int main(int argc, char** argv) {
                                   dynamics::SchedulerNames(), &scheduler)) {
         return Usage(argv[0]);
       }
+    } else if (std::strcmp(arg, "--set") == 0 && i + 1 < argc) {
+      std::pair<std::string, double> binding;
+      if (!ParseSetFlag(argv[++i], &binding)) return Usage(argv[0]);
+      set_bindings.push_back(std::move(binding));
     } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
       if (!tools::ParseSeedFlag("--seed", argv[++i], &seed)) {
         return Usage(argv[0]);
@@ -139,10 +179,11 @@ int main(int argc, char** argv) {
   // The smoke determinism gate runs the builtins at canonical small sizes;
   // decay-model overrides would silently change what the gate certifies
   // (same policy as sweep_runner --smoke: a usage error, not a drop).
-  if (smoke && (alpha > 0.0 || beta > 0.0 || lambda >= 0.0 || scheduler >= 0)) {
+  if (smoke && (alpha > 0.0 || beta > 0.0 || lambda >= 0.0 ||
+                scheduler >= 0 || !set_bindings.empty())) {
     std::fprintf(stderr,
                  "--smoke runs the canonical decay and traffic models; it "
-                 "does not take --alpha/--beta/--lambda/--scheduler\n");
+                 "does not take --alpha/--beta/--lambda/--scheduler/--set\n");
     return 2;
   }
 
@@ -172,6 +213,25 @@ int main(int argc, char** argv) {
       spec.dynamics.scheduler = static_cast<dynamics::Scheduler>(scheduler);
     }
     if (seed_set) spec.seed = seed;
+    // --set bindings go through the sweep layer's field table, so the same
+    // validation (and the same field names) back both tools.
+    for (const auto& [field, value] : set_bindings) {
+      const core::Status status = sweep::ApplyAxisValue(spec, field, value);
+      if (!status.ok()) {
+        std::fprintf(stderr, "--set %s=%g: %s\n", field.c_str(), value,
+                     status.message().c_str());
+        ListSweepableFields(stderr);
+        return 2;
+      }
+    }
+    // Final gate: the composed spec must be valid before anything runs; an
+    // out-of-range combination exits cleanly instead of aborting a worker.
+    if (const core::Status status = engine::ValidateScenarioSpec(spec);
+        !status.ok()) {
+      std::fprintf(stderr, "scenario '%s': %s\n", spec.name.c_str(),
+                   status.message().c_str());
+      return 2;
+    }
   }
 
   engine::BatchConfig config;
@@ -182,7 +242,13 @@ int main(int argc, char** argv) {
   // runs serial and the check vacuous).
   if (smoke && config.threads < 4) config.threads = 4;
   const engine::BatchRunner runner(config);
-  const std::vector<engine::ScenarioResult> results = runner.Run(specs);
+  std::vector<engine::ScenarioResult> results;
+  try {
+    results = runner.Run(specs);
+  } catch (const core::StatusError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   engine::PrintReport(results);
 
   if (smoke) {

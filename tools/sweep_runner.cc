@@ -5,7 +5,10 @@
 //   $ sweep_runner --smoke [--json]
 //   $ sweep_runner [--sweep NAME] [--instances K] [--alpha A] [--beta B]
 //                  [--lambda L] [--scheduler S] [--threads T] [--no-arena]
-//                  [--no-geometry-cache] [--csv] [--json]
+//                  [--no-geometry-cache] [--axis FIELD=V1,V2,...]
+//                  [--checkpoint PATH] [--resume] [--retries K] [--strict]
+//                  [--halt-after N] [--fail-cell I] [--fail-attempts K]
+//                  [--csv] [--json]
 //
 // Without --sweep, every builtin sweep runs.  --instances overrides the
 // per-cell batch size, --alpha / --beta the base spec's decay exponent
@@ -18,6 +21,19 @@
 // timing; results are bit-identical either way).  --csv writes
 // SWEEP_<name>.csv per sweep (io/csv table format, one row per cell);
 // --json writes BENCH_SWEEP.json over all cells (engine report format).
+//
+// Robustness flags (docs/robustness.md):
+//  * --axis FIELD=V1,V2,... appends an axis to every selected sweep; an
+//    unknown field or out-of-range value is a clean CLI error listing the
+//    sweepable fields (validation via sweep::ValidateSweepSpec), not an
+//    abort;
+//  * --checkpoint PATH persists completed cells; with --resume, a partial
+//    sidecar restores them bit-exactly and only the remainder runs;
+//  * --retries K sets attempts per cell (default 2); failed cells are
+//    isolated, reported, and exit non-zero only under --strict;
+//  * --halt-after N stops after N fresh cells (simulated kill, for resume
+//    drills); --fail-cell I / --fail-attempts K arm the deterministic
+//    fault-injection plan (K = -1 fails every attempt).
 //
 // --smoke is the CI entry point, two fixed grids:
 //  * a tiny 2x2x2 capacity grid (links x alpha x beta; the trailing beta
@@ -37,8 +53,10 @@
 #include <utility>
 #include <vector>
 
+#include "core/status.h"
 #include "dynamics/queue_system.h"
 #include "engine/report.h"
+#include "sweep/checkpoint.h"
 #include "sweep/sweep.h"
 #include "sweep/sweep_report.h"
 #include "sweep/sweep_runner.h"
@@ -53,9 +71,57 @@ int Usage(const char* argv0) {
                "usage: %s [--list] [--smoke] [--sweep NAME] [--instances K]\n"
                "          [--alpha A] [--beta B] [--lambda L]\n"
                "          [--scheduler lqf|greedy|random] [--threads T]\n"
-               "          [--no-arena] [--no-geometry-cache] [--csv] [--json]\n",
+               "          [--no-arena] [--no-geometry-cache]\n"
+               "          [--axis FIELD=V1,V2,...] [--checkpoint PATH]\n"
+               "          [--resume] [--retries K] [--strict]\n"
+               "          [--halt-after N] [--fail-cell I]\n"
+               "          [--fail-attempts K] [--csv] [--json]\n",
                argv0);
   return 2;
+}
+
+// Parses "FIELD=V1,V2,..." into an axis.  Field/value *semantics* are
+// checked later by ValidateSweepSpec; this only splits the syntax.
+bool ParseAxisFlag(const char* text, sweep::SweepAxis* out) {
+  const std::string arg = text == nullptr ? "" : text;
+  const std::size_t eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= arg.size()) {
+    std::fprintf(stderr, "--axis: expected FIELD=V1,V2,..., got '%s'\n",
+                 arg.c_str());
+    return false;
+  }
+  out->field = arg.substr(0, eq);
+  out->values.clear();
+  std::size_t start = eq + 1;
+  while (start <= arg.size()) {
+    std::size_t comma = arg.find(',', start);
+    if (comma == std::string::npos) comma = arg.size();
+    const std::string token = arg.substr(start, comma - start);
+    double value = 0.0;
+    if (!tools::ParseDouble(token.c_str(), -1e300, 1e300, &value)) {
+      std::fprintf(stderr, "--axis: unparseable value '%s' in '%s'\n",
+                   token.c_str(), arg.c_str());
+      return false;
+    }
+    out->values.push_back(value);
+    start = comma + 1;
+  }
+  return true;
+}
+
+// Clean-CLI-error wrapper: validation failures list the sweepable fields
+// so a typo'd --axis is self-diagnosing.
+bool ValidateOrComplain(const sweep::SweepSpec& spec) {
+  const core::Status status = sweep::ValidateSweepSpec(spec);
+  if (status.ok()) return true;
+  std::fprintf(stderr, "sweep '%s': %s\n", spec.name.c_str(),
+               status.message().c_str());
+  std::fprintf(stderr, "sweepable fields:");
+  for (const std::string& field : sweep::SweepableFields()) {
+    std::fprintf(stderr, " %s", field.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  return false;
 }
 
 int ListSweeps() {
@@ -227,6 +293,114 @@ int RunSmoke(int threads, bool json) {
       "arenas, %lld geometries built / %lld reused)\n",
       a.arena_rebuilds, a.geometry_builds, a.geometry_reuses);
 
+  // Robustness gate 1 -- failure isolation: a cell that fails every
+  // attempt is recorded failed while every other cell still matches the
+  // clean run bit-for-bit.
+  {
+    sweep::SweepConfig faulty = pooled;
+    faulty.fault.fail_cell = 2;
+    faulty.fault.fail_attempts = -1;  // exhaust the retry budget
+    const sweep::SweepResult f = sweep::SweepRunner(faulty).Run(spec);
+    if (f.cells.size() != a.cells.size() || f.cells_failed != 1) {
+      std::fprintf(stderr,
+                   "FAIL: fault isolation (cells=%zu of %zu, failed=%d)\n",
+                   f.cells.size(), a.cells.size(), f.cells_failed);
+      return 1;
+    }
+    for (std::size_t i = 0; i < f.cells.size(); ++i) {
+      const sweep::SweepCellResult& cell = f.cells[i];
+      if (cell.cell.index == 2) {
+        if (cell.outcome.ok) {
+          std::fprintf(stderr, "FAIL: injected-fault cell completed\n");
+          return 1;
+        }
+        continue;
+      }
+      if (!cell.outcome.ok ||
+          engine::AggregateSignature(std::span(&cell.result, 1)) !=
+              engine::AggregateSignature(std::span(&a.cells[i].result, 1))) {
+        std::fprintf(stderr,
+                     "FAIL: cell %d diverged from the clean run under a "
+                     "fault in cell 2\n",
+                     cell.cell.index);
+        return 1;
+      }
+    }
+  }
+
+  // Robustness gate 2 -- retry: a cell that fails only its first attempt
+  // recovers transparently; the whole-grid signature equals the clean one.
+  {
+    sweep::SweepConfig flaky = pooled;
+    flaky.fault.fail_cell = 2;
+    flaky.fault.fail_attempts = 1;
+    const sweep::SweepResult f = sweep::SweepRunner(flaky).Run(spec);
+    if (f.cells_failed != 0 || f.cells_retried != 1 ||
+        sweep::SweepSignature(f) != sig) {
+      std::fprintf(stderr,
+                   "FAIL: retry recovery (failed=%d retried=%d, signature %s)"
+                   "\n",
+                   f.cells_failed, f.cells_retried,
+                   sweep::SweepSignature(f) == sig ? "equal" : "differs");
+      return 1;
+    }
+  }
+
+  // Robustness gate 3 -- checkpoint/resume: halt after half the grid, then
+  // resume; the resumed run's signature must equal the uninterrupted one,
+  // including at a different thread count.
+  {
+    const std::string ckpt = "SWEEP_smoke_checkpoint.json";
+    std::remove(ckpt.c_str());
+    sweep::SweepConfig half = pooled;
+    half.checkpoint_path = ckpt;
+    half.halt_after_cells = 4;
+    const sweep::SweepResult partial = sweep::SweepRunner(half).Run(spec);
+    if (partial.cells.size() >= a.cells.size()) {
+      std::fprintf(stderr, "FAIL: halt-after did not truncate the grid\n");
+      std::remove(ckpt.c_str());
+      return 1;
+    }
+    // A completed resume rewrites the sidecar to the full grid; snapshot
+    // the half-grid document so every iteration resumes the same kill.
+    core::StatusOr<sweep::SweepCheckpoint> half_doc =
+        sweep::LoadCheckpoint(ckpt);
+    if (!half_doc.ok() || half_doc->cells.size() != 4) {
+      std::fprintf(stderr, "FAIL: halt-after checkpoint unreadable or not "
+                           "4 cells\n");
+      std::remove(ckpt.c_str());
+      return 1;
+    }
+    bool ok = true;
+    for (const int resume_threads : {pooled.threads, 1}) {
+      if (!sweep::SaveCheckpoint(ckpt, *half_doc).ok()) {
+        std::fprintf(stderr, "FAIL: cannot rewrite smoke checkpoint\n");
+        ok = false;
+        break;
+      }
+      sweep::SweepConfig resumed = pooled;
+      resumed.threads = resume_threads;
+      resumed.checkpoint_path = ckpt;
+      resumed.resume = true;
+      const sweep::SweepResult r = sweep::SweepRunner(resumed).Run(spec);
+      if (r.cells_resumed != 4 || r.cells_failed != 0 ||
+          sweep::SweepSignature(r) != sig) {
+        std::fprintf(stderr,
+                     "FAIL: resume at %d threads (resumed=%d failed=%d, "
+                     "signature %s)\n",
+                     resume_threads, r.cells_resumed, r.cells_failed,
+                     sweep::SweepSignature(r) == sig ? "equal" : "differs");
+        ok = false;
+        break;
+      }
+    }
+    std::remove(ckpt.c_str());
+    if (!ok) return 1;
+  }
+  std::printf(
+      "smoke: fault isolation, retry recovery and checkpoint/resume "
+      "reproduce the clean signature bit-exactly\n");
+
   std::printf("\n");
   sweep::SweepResult dynamics;
   if (const int dynamics_rc = RunDynamicsSmoke(pooled, &dynamics);
@@ -257,6 +431,14 @@ int main(int argc, char** argv) {
   double beta = 0.0;   // 0 = keep each sweep's base value (explicit > 0)
   double lambda = -1.0;  // < 0 = keep each sweep's base value
   int scheduler = -1;    // < 0 = keep; else index into SchedulerNames()
+  std::vector<sweep::SweepAxis> extra_axes;
+  std::string checkpoint_path;
+  bool resume = false;
+  bool strict = false;
+  int retries = 0;      // 0 = keep SweepConfig's default
+  int halt_after = 0;   // 0 = run the whole grid
+  int fail_cell = -1;   // fault plan: < 0 = disarmed
+  int fail_attempts = 1;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -300,9 +482,42 @@ int main(int argc, char** argv) {
                                   dynamics::SchedulerNames(), &scheduler)) {
         return Usage(argv[0]);
       }
+    } else if (std::strcmp(arg, "--axis") == 0 && i + 1 < argc) {
+      sweep::SweepAxis axis;
+      if (!ParseAxisFlag(argv[++i], &axis)) return Usage(argv[0]);
+      extra_axes.push_back(std::move(axis));
+    } else if (std::strcmp(arg, "--checkpoint") == 0 && i + 1 < argc) {
+      checkpoint_path = argv[++i];
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      resume = true;
+    } else if (std::strcmp(arg, "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(arg, "--retries") == 0 && i + 1 < argc) {
+      if (!tools::ParseIntFlag("--retries", argv[++i], 1, 100, &retries)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--halt-after") == 0 && i + 1 < argc) {
+      if (!tools::ParseIntFlag("--halt-after", argv[++i], 1, 1 << 30,
+                               &halt_after)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--fail-cell") == 0 && i + 1 < argc) {
+      if (!tools::ParseIntFlag("--fail-cell", argv[++i], 0, 1 << 30,
+                               &fail_cell)) {
+        return Usage(argv[0]);
+      }
+    } else if (std::strcmp(arg, "--fail-attempts") == 0 && i + 1 < argc) {
+      if (!tools::ParseIntFlag("--fail-attempts", argv[++i], -1, 100,
+                               &fail_attempts)) {
+        return Usage(argv[0]);
+      }
     } else {
       return Usage(argv[0]);
     }
+  }
+  if (resume && checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume needs --checkpoint PATH\n");
+    return 2;
   }
 
   if (list) return ListSweeps();
@@ -311,7 +526,9 @@ int main(int argc, char** argv) {
     // would alter it are a usage error, not something to silently drop.
     if (csv || no_arena || no_geometry_cache || instances > 0 ||
         alpha > 0.0 || beta > 0.0 || lambda >= 0.0 || scheduler >= 0 ||
-        !sweep_name.empty()) {
+        !sweep_name.empty() || !extra_axes.empty() ||
+        !checkpoint_path.empty() || resume || strict || retries > 0 ||
+        halt_after > 0 || fail_cell >= 0) {
       std::fprintf(stderr,
                    "--smoke runs a fixed grid; it takes only --threads and "
                    "--json\n");
@@ -362,20 +579,55 @@ int main(int argc, char** argv) {
       spec.base.dynamics.scheduler =
           static_cast<dynamics::Scheduler>(scheduler);
     }
+    for (const sweep::SweepAxis& axis : spec.axes) {
+      for (const sweep::SweepAxis& extra : extra_axes) {
+        if (axis.field == extra.field) {
+          std::fprintf(stderr,
+                       "--axis %s: sweep '%s' already sweeps that field\n",
+                       extra.field.c_str(), spec.name.c_str());
+          return 2;
+        }
+      }
+    }
+    spec.axes.insert(spec.axes.end(), extra_axes.begin(), extra_axes.end());
+    // Unknown fields / out-of-range values become a clean exit here (the
+    // runner would reject them too, but via an exception).
+    if (!ValidateOrComplain(spec)) return 2;
+  }
+  if (!checkpoint_path.empty() && sweeps.size() > 1) {
+    std::fprintf(stderr,
+                 "--checkpoint tracks one grid; select one with --sweep\n");
+    return 2;
   }
 
   sweep::SweepConfig config;
   config.threads = threads;
   config.reuse_arena = !no_arena;
   config.reuse_geometry = !no_geometry_cache;
+  if (retries > 0) config.max_attempts = retries;
+  config.checkpoint_path = checkpoint_path;
+  config.resume = resume;
+  config.halt_after_cells = halt_after;
+  config.fault.fail_cell = fail_cell;
+  config.fault.fail_attempts = fail_attempts;
   const sweep::SweepRunner runner(config);
 
-  std::vector<sweep::SweepResult> results = runner.RunAll(sweeps);
+  std::vector<sweep::SweepResult> results;
+  try {
+    results = runner.RunAll(sweeps);
+  } catch (const core::StatusError& e) {
+    // Whole-sweep failures (bad input, unusable checkpoint) are clean CLI
+    // errors, not aborts.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  int failed_cells = 0;
   bool first = true;
   for (const sweep::SweepResult& result : results) {
     if (!first) std::printf("\n");
     first = false;
     sweep::PrintSweepReport(result);
+    failed_cells += result.cells_failed;
     if (sweep::SweepViolationCount(result) != 0) {
       std::fprintf(stderr, "FAIL: violations in sweep %s\n",
                    result.spec.name.c_str());
@@ -388,5 +640,11 @@ int main(int argc, char** argv) {
     }
   }
   if (json && !sweep::WriteSweepJsonReport("SWEEP", results)) return 1;
+  if (failed_cells > 0) {
+    std::fprintf(stderr, "%d cell%s failed (isolated; rest of the grid "
+                         "completed)\n",
+                 failed_cells, failed_cells == 1 ? "" : "s");
+    if (strict) return 1;
+  }
   return 0;
 }
