@@ -16,6 +16,8 @@
 #include "distributed/regret_game.h"
 #include "dynamics/queue_system.h"
 #include "geom/rng.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "scheduling/scheduler.h"
 #include "sinr/kernel.h"
 #include "sinr/power_control.h"
@@ -23,6 +25,36 @@
 namespace decaylib::engine {
 
 namespace {
+
+// Registry handles of the engine layer, resolved once.  Counters/histograms
+// only tick when obs::Enabled(); the stage breakdown in ScenarioResult is
+// populated always (it is plain wall clock, like build_ms/task_ms).
+// Metric name catalogue: docs/observability.md.
+struct EngineInstruments {
+  obs::Counter& instances;
+  obs::Counter& geometry_builds;
+  obs::Counter& geometry_reuses;
+  obs::Histogram& geometry_ms;
+  obs::Histogram& kernel_build_ms;
+  obs::Histogram& instance_task_ms;
+  obs::Gauge& threads;
+
+  static EngineInstruments& Get() {
+    static EngineInstruments* instruments = [] {
+      obs::Registry& registry = obs::Registry::Global();
+      return new EngineInstruments{
+          registry.GetCounter("engine.instances"),
+          registry.GetCounter("engine.geometry_builds"),
+          registry.GetCounter("engine.geometry_reuses"),
+          registry.GetHistogram("engine.geometry_ms"),
+          registry.GetHistogram("engine.kernel_build_ms"),
+          registry.GetHistogram("engine.instance_task_ms"),
+          registry.GetGauge("engine.threads"),
+      };
+    }();
+    return *instruments;
+  }
+};
 
 double ElapsedMs(std::chrono::steady_clock::time_point since) {
   return std::chrono::duration<double, std::milli>(
@@ -102,18 +134,41 @@ InstanceRecord RunInstance(const ScenarioSpec& spec, int index,
   InstanceRecord rec;
   rec.index = index;
 
+  // The record's stage timers (geometry_ms / kernel_ms / task_kind_ms) are
+  // plain clocks, measured always -- they feed the StageStats breakdown the
+  // reports show.  The obs::Spans alongside them are the opt-in layer:
+  // trace events + registry histograms, inert and near-free when disabled.
+  obs::Span instance_span("instance");
   const auto build_start = std::chrono::steady_clock::now();
-  const ScenarioInstance instance =
-      geometry != nullptr
-          ? ConfigureInstance(spec, geometry->Acquire(spec, index, pairing))
-          : BuildInstance(spec, index, pairing);
-  std::optional<sinr::KernelCache> local;
-  if (arena == nullptr) {
-    local.emplace(instance.system(), instance.power());
+  std::optional<ScenarioInstance> built;
+  {
+    obs::Span span("geometry", &EngineInstruments::Get().geometry_ms);
+    if (geometry != nullptr) {
+      bool sampled = true;
+      const ScenarioGeometry& shared =
+          geometry->Acquire(spec, index, pairing, &sampled);
+      rec.geometry_reused = !sampled;
+      built.emplace(ConfigureInstance(spec, shared));
+    } else {
+      built.emplace(BuildInstance(spec, index, pairing));
+    }
+    rec.geometry_ms = ElapsedMs(build_start);
   }
-  const sinr::KernelCache& kernel =
-      arena != nullptr ? arena->Rebuild(instance.system(), instance.power())
-                       : *local;
+  const ScenarioInstance& instance = *built;
+  std::optional<sinr::KernelCache> local;
+  const sinr::KernelCache* kernel_ptr = nullptr;
+  {
+    obs::Span span("kernel_build", &EngineInstruments::Get().kernel_build_ms);
+    const auto kernel_start = std::chrono::steady_clock::now();
+    if (arena != nullptr) {
+      kernel_ptr = &arena->Rebuild(instance.system(), instance.power());
+    } else {
+      local.emplace(instance.system(), instance.power());
+      kernel_ptr = &*local;
+    }
+    rec.kernel_ms = ElapsedMs(kernel_start);
+  }
+  const sinr::KernelCache& kernel = *kernel_ptr;
   rec.build_ms = ElapsedMs(build_start);
   rec.links = instance.NumLinks();
   rec.zeta = instance.zeta();
@@ -130,6 +185,10 @@ InstanceRecord RunInstance(const ScenarioSpec& spec, int index,
   };
 
   for (const TaskKind task : tasks) {
+    const std::size_t kind = static_cast<std::size_t>(task);
+    obs::Span task_span(std::string("task.") + TaskKindName(task),
+                        &EngineInstruments::Get().instance_task_ms, "task");
+    const auto kind_start = std::chrono::steady_clock::now();
     switch (task) {
       case TaskKind::kAlgorithm1: {
         ensure_alg1();
@@ -216,9 +275,37 @@ InstanceRecord RunInstance(const ScenarioSpec& spec, int index,
         break;
       }
     }
+    // A kind listed twice in the task set accumulates; -1 stays reserved
+    // for "never ran".
+    if (rec.task_kind_ms[kind] < 0.0) rec.task_kind_ms[kind] = 0.0;
+    rec.task_kind_ms[kind] += ElapsedMs(kind_start);
   }
   rec.task_ms = ElapsedMs(task_start);
   return rec;
+}
+
+// Folds the per-instance stage timers into the result's StageStats (always)
+// and the process-wide registry (when enabled).  Runs in the sequential
+// post-pool reduction, so no synchronisation is needed.
+void AggregateStages(ScenarioResult& result) {
+  EngineInstruments& ins = EngineInstruments::Get();
+  ins.instances.Add(static_cast<long long>(result.instances.size()));
+  for (const InstanceRecord& rec : result.instances) {
+    if (rec.geometry_reused) {
+      result.stage_stats.Record("geometry_reuse", rec.geometry_ms);
+      ins.geometry_reuses.Add();
+    } else {
+      result.stage_stats.Record("geometry_build", rec.geometry_ms);
+      ins.geometry_builds.Add();
+    }
+    result.stage_stats.Record("kernel_build", rec.kernel_ms);
+    for (int k = 0; k < kNumTaskKinds; ++k) {
+      const double ms = rec.task_kind_ms[static_cast<std::size_t>(k)];
+      if (ms < 0.0) continue;
+      result.stage_stats.Record(
+          std::string("task.") + TaskKindName(static_cast<TaskKind>(k)), ms);
+    }
+  }
 }
 
 // Sequential, instance-ordered reduction of the deterministic metrics.
@@ -293,6 +380,20 @@ void Aggregate(ScenarioResult& result) {
 
 }  // namespace
 
+const char* TaskKindName(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kAlgorithm1: return "algorithm1";
+    case TaskKind::kGreedyBaseline: return "greedy";
+    case TaskKind::kWeighted: return "weighted";
+    case TaskKind::kPartitions: return "partitions";
+    case TaskKind::kSchedule: return "schedule";
+    case TaskKind::kPowerControl: return "power_control";
+    case TaskKind::kQueue: return "queue";
+    case TaskKind::kRegret: return "regret";
+  }
+  return "unknown";
+}
+
 std::vector<TaskKind> AllTasks() {
   return {TaskKind::kAlgorithm1, TaskKind::kGreedyBaseline,
           TaskKind::kWeighted,   TaskKind::kPartitions,
@@ -344,6 +445,8 @@ ScenarioResult BatchRunner::RunOne(const ScenarioSpec& spec) const {
   // this against every worker's Acquire.
   if (config_.geometry != nullptr) config_.geometry->Prepare(spec);
 
+  EngineInstruments::Get().threads.Set(threads);
+  obs::Span batch_span("batch." + spec.name, nullptr, "batch");
   const auto batch_start = std::chrono::steady_clock::now();
   // Work stealing over instance indices; records land in their own slot, so
   // nothing about the interleaving survives into the results.  A worker
@@ -394,6 +497,7 @@ ScenarioResult BatchRunner::RunOne(const ScenarioSpec& spec) const {
     result.build_ms_total += rec.build_ms;
     result.task_ms_total += rec.task_ms;
   }
+  AggregateStages(result);
   Aggregate(result);
   return result;
 }

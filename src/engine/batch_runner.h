@@ -20,6 +20,7 @@
 // are measured per run and are the only non-deterministic outputs.
 #pragma once
 
+#include <array>
 #include <limits>
 #include <span>
 #include <stdexcept>
@@ -29,6 +30,7 @@
 
 #include "core/status.h"
 #include "engine/scenario.h"
+#include "obs/stage_stats.h"
 #include "sinr/kernel.h"
 
 namespace decaylib::engine {
@@ -58,6 +60,15 @@ enum class TaskKind {
 
 // All tasks, in the canonical execution order.
 std::vector<TaskKind> AllTasks();
+
+// Number of TaskKind values (the per-kind timing arrays below are indexed
+// by static_cast<int>(kind)).
+inline constexpr int kNumTaskKinds = 8;
+
+// Short stable name of a task kind ("algorithm1", "queue", ...): the
+// per-stage key used by StageStats ("task.<name>"), trace span names and
+// the metric catalogue.
+const char* TaskKindName(TaskKind kind);
 
 struct BatchConfig {
   int threads = 0;  // worker threads; 0 = hardware concurrency
@@ -126,6 +137,18 @@ struct InstanceRecord {
   // Wall clock, non-deterministic: instance + kernel build, then all tasks.
   double build_ms = 0.0;
   double task_ms = 0.0;
+  // Stage-resolved wall clock (build_ms = geometry_ms + kernel_ms up to
+  // clock overhead; task_kind_ms entries sum to task_ms).  -1 marks a task
+  // kind that was not in the batch's task set.  The sequential reduction
+  // folds these into ScenarioResult::stage_stats.
+  double geometry_ms = 0.0;  // sampling / cache acquire + ConfigureInstance
+  double kernel_ms = 0.0;    // KernelCache build or arena rebuild
+  bool geometry_reused = false;  // served from a warm GeometryCache slot
+  std::array<double, kNumTaskKinds> task_kind_ms = [] {
+    std::array<double, kNumTaskKinds> ms{};
+    ms.fill(-1.0);
+    return ms;
+  }();
 };
 
 // Running sum/min/max/count of one metric, reduced in instance order.
@@ -152,6 +175,11 @@ struct ScenarioResult {
   double build_ms_total = 0.0;
   double task_ms_total = 0.0;
   double batch_wall_ms = 0.0;  // wall time of the whole batch section
+  // Worker-summed per-stage breakdown (geometry_build / geometry_reuse /
+  // kernel_build / task.<kind>), reduced sequentially from the instance
+  // records after the pool drains.  Like every *_ms field it is
+  // non-deterministic and never enters AggregateSignature.
+  obs::StageStats stage_stats;
 
   double Throughput() const {  // instances per second of batch wall time
     return batch_wall_ms > 0.0

@@ -94,6 +94,23 @@ void PrintReport(std::span<const ScenarioResult> results) {
                       "regret", "batch ms", "inst/s"},
                      rows);
 
+  // Per-stage wall-time breakdown (worker-summed; totals can exceed batch
+  // wall time when several workers overlap).
+  std::vector<std::vector<std::string>> stage_rows;
+  for (const ScenarioResult& r : results) {
+    for (const obs::StageStats::Stage& s : r.stage_stats.stages) {
+      stage_rows.push_back({r.spec.name, s.name, std::to_string(s.count),
+                            FmtFixed(s.total_ms, 1), FmtFixed(s.MeanMs(), 3),
+                            FmtFixed(s.min_ms, 3), FmtFixed(s.max_ms, 3)});
+    }
+  }
+  if (!stage_rows.empty()) {
+    std::printf("\nstage breakdown (worker-summed wall time)\n");
+    PrintMarkdownTable({"scenario", "stage", "count", "total ms", "mean ms",
+                        "min ms", "max ms"},
+                       stage_rows);
+  }
+
   std::printf("feasibility/validation violations: %lld\n",
               ViolationCount(results));
 }
@@ -154,6 +171,17 @@ bool WriteJsonReport(const std::string& id,
                    first_metric ? "" : ",", name.c_str(), m.sum, m.Mean(),
                    m.min, m.max, m.count);
       first_metric = false;
+    }
+    std::fprintf(out, "\n  }, \"stages\": {");
+    bool first_stage = true;
+    for (const obs::StageStats::Stage& s : r.stage_stats.stages) {
+      if (s.count <= 0) continue;  // keep inf sentinels out of the file
+      std::fprintf(out,
+                   "%s\n    \"%s\": {\"count\": %lld, \"total_ms\": %.6g, "
+                   "\"min_ms\": %.6g, \"max_ms\": %.6g}",
+                   first_stage ? "" : ",", EscapeJson(s.name).c_str(), s.count,
+                   s.total_ms, s.min_ms, s.max_ms);
+      first_stage = false;
     }
     std::fprintf(out, "\n  }}");
   }

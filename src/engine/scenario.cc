@@ -421,13 +421,14 @@ void GeometryCache::Prepare(const ScenarioSpec& spec) {
 }
 
 const ScenarioGeometry& GeometryCache::Acquire(const ScenarioSpec& spec,
-                                               int index,
-                                               PairingMode pairing) {
+                                               int index, PairingMode pairing,
+                                               bool* built) {
   DL_CHECK(has_key_ && GeometryKeyOf(spec) == key_,
            "Acquire needs a Prepare with a key-equal spec first");
   DL_CHECK(index >= 0 && index < static_cast<int>(slots_.size()),
            "instance index outside the prepared slot range");
   Slot& slot = slots_[static_cast<std::size_t>(index)];
+  if (built != nullptr) *built = !slot.valid;
   if (!slot.valid) {
     slot.geometry = BuildGeometry(spec, index, pairing);
     slot.valid = true;

@@ -267,8 +267,12 @@ class GeometryCache {
   // the slot when cold.  The reference stays valid until the next Prepare
   // with a different key (slots live in a deque, so a same-key Prepare
   // that merely grows the instance count leaves existing slots in place).
+  // `built` (optional) reports whether this call sampled the slot fresh
+  // (true) or served it warm (false) -- the per-instance cache-hit fact
+  // the batch runner's stage breakdown and the obs registry record.
   const ScenarioGeometry& Acquire(const ScenarioSpec& spec, int index,
-                                  PairingMode pairing = PairingMode::kAuto);
+                                  PairingMode pairing = PairingMode::kAuto,
+                                  bool* built = nullptr);
 
   // Accounting (deterministic in the sequence of Prepare/Acquire calls).
   long long builds() const noexcept { return builds_.load(); }

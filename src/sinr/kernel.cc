@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "core/check.h"
+#include "obs/registry.h"
 
 namespace decaylib::sinr {
 
@@ -14,6 +15,33 @@ namespace {
 std::size_t Idx(int a, int b, int n) {
   return static_cast<std::size_t>(a) * static_cast<std::size_t>(n) +
          static_cast<std::size_t>(b);
+}
+
+// Registry handles for the kernel layer, resolved once (static locals) so
+// the hot paths pay one enabled-flag branch per event, not a map lookup.
+// Metric name catalogue: docs/observability.md.
+obs::Counter& KernelBuildCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("sinr.kernel_builds");
+  return counter;
+}
+
+obs::Counter& ArenaRebuildCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("sinr.arena_rebuilds");
+  return counter;
+}
+
+obs::Counter& ArenaWarmSkipCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("sinr.arena_warm_skips");
+  return counter;
+}
+
+obs::Counter& AdmissionCheckCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("sinr.admission_checks");
+  return counter;
 }
 
 }  // namespace
@@ -25,6 +53,7 @@ KernelCache::KernelCache(const LinkSystem& system, PowerAssignment power) {
 
 void KernelCache::Build(const LinkSystem& system, PowerAssignment power,
                         std::vector<double>& scratch) {
+  KernelBuildCounter().Add();
   system_ = &system;
   power_ = std::move(power);
   n_ = system.NumLinks();
@@ -191,8 +220,15 @@ void KernelCache::Build(const LinkSystem& system, PowerAssignment power,
 
 const KernelCache& KernelArena::Rebuild(const LinkSystem& system,
                                         PowerAssignment power) {
+  // Warm iff the slot already holds matrices of this link count: every
+  // resize inside Build is then a no-op and no allocation happens.
+  const bool warm =
+      slot_.system_ != nullptr && slot_.n_ == system.NumLinks();
   slot_.Build(system, std::move(power), scratch_);
   ++rebuilds_;
+  if (warm) ++warm_skips_;
+  ArenaRebuildCounter().Add();
+  if (warm) ArenaWarmSkipCounter().Add();
   return slot_;
 }
 
@@ -324,6 +360,7 @@ void AffectanceAccumulator::Remove(int v) {
 }
 
 bool AffectanceAccumulator::CanAddFeasibly(int v) const {
+  AdmissionCheckCounter().Add();
   if (InRaw(v) > 1.0) return false;
   for (int w : members_) {
     if (InRaw(w) + kernel_->AffectanceRaw(v, w) > 1.0) return false;

@@ -186,11 +186,18 @@ class KernelArena {
   const KernelCache& Rebuild(const LinkSystem& system, PowerAssignment power);
 
   long long rebuilds() const noexcept { return rebuilds_; }
+  // Rebuilds whose link count matched the warm slot's, so every matrix
+  // resize was a no-op and the allocator (and, for same-shape slabs, the
+  // pre-clearing memsets) were skipped entirely -- the case the arena
+  // exists for.  rebuilds() - warm_skips() is the number of cold/grow
+  // builds (first touch, or a cell-shape change mid-sweep).
+  long long warm_skips() const noexcept { return warm_skips_; }
 
  private:
   KernelCache slot_;
   std::vector<double> scratch_;
   long long rebuilds_ = 0;
+  long long warm_skips_ = 0;
 };
 
 // Running in/out-affectance sums over a growing (or shrinking) set of links.

@@ -62,6 +62,31 @@ void PrintSweepReport(const SweepResult& result) {
                 result.cells_failed, result.cells_retried,
                 result.cells_resumed);
   }
+  // Cache effectiveness: how much of the grid's instance generation and
+  // kernel allocation was served warm.
+  const long long geometry_total =
+      result.geometry_builds + result.geometry_reuses;
+  if (geometry_total > 0 || result.arena_rebuilds > 0) {
+    std::printf("caches:");
+    if (geometry_total > 0) {
+      std::printf(" geometry hit rate %.1f%% (%lld/%lld served warm)",
+                  100.0 * static_cast<double>(result.geometry_reuses) /
+                      static_cast<double>(geometry_total),
+                  result.geometry_reuses, geometry_total);
+    }
+    if (result.arena_rebuilds > 0) {
+      std::printf("%s arena %lld rebuilds / %lld warm skips (%.1f%%)",
+                  geometry_total > 0 ? "," : "", result.arena_rebuilds,
+                  result.arena_warm_skips,
+                  100.0 * static_cast<double>(result.arena_warm_skips) /
+                      static_cast<double>(result.arena_rebuilds));
+    }
+    std::printf("\n");
+  }
+  if (result.checkpoint_write_ms > 0.0 || result.resume_restore_ms > 0.0) {
+    std::printf("checkpointing: %.1f ms writing, %.1f ms restoring\n",
+                result.checkpoint_write_ms, result.resume_restore_ms);
+  }
   std::printf("\n");
 
   // Per-cell table: axis coordinates + headline means (+ a status column
@@ -92,6 +117,40 @@ void PrintSweepReport(const SweepResult& result) {
                   cell.outcome.attempts, cell.outcome.attempts == 1 ? "" : "s",
                   cell.outcome.error.c_str());
     }
+  }
+
+  // Per-cell timing: the wall time of the attempt that produced each cell's
+  // result, split by stage.  Stage totals are worker-summed, so with more
+  // than one worker they legitimately exceed the attempt wall time (and
+  // match it, up to clock overhead, at 1 thread).  Resumed cells executed
+  // nothing and are skipped.
+  std::vector<std::vector<std::string>> timing_rows;
+  for (const SweepCellResult& cell : result.cells) {
+    if (!cell.outcome.ok || cell.outcome.resumed) continue;
+    const obs::StageStats& stats = cell.result.stage_stats;
+    if (stats.empty()) continue;
+    double geometry_ms = 0.0, kernel_ms = 0.0, task_ms = 0.0;
+    for (const obs::StageStats::Stage& s : stats.stages) {
+      if (s.name == "geometry_build" || s.name == "geometry_reuse") {
+        geometry_ms += s.total_ms;
+      } else if (s.name == "kernel_build") {
+        kernel_ms += s.total_ms;
+      } else if (s.name.rfind("task.", 0) == 0) {
+        task_ms += s.total_ms;
+      }
+    }
+    timing_rows.push_back(
+        {std::to_string(cell.cell.index), std::to_string(cell.outcome.attempts),
+         FmtFixed(cell.outcome.attempt_ms, 1),
+         FmtFixed(cell.outcome.total_attempt_ms, 1), FmtFixed(geometry_ms, 1),
+         FmtFixed(kernel_ms, 1), FmtFixed(task_ms, 1),
+         FmtFixed(stats.TotalMs(), 1)});
+  }
+  if (!timing_rows.empty()) {
+    std::printf("\nper-cell timing (final attempt; stage totals worker-summed)\n");
+    PrintMarkdownTable({"cell", "attempts", "attempt ms", "all attempts ms",
+                        "geometry ms", "kernel ms", "task ms", "stages ms"},
+                       timing_rows);
   }
 
   // One frontier table per axis: the 1-D mean curve of each headline

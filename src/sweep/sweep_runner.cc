@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "engine/report.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "sweep/checkpoint.h"
 
 namespace decaylib::sweep {
@@ -16,6 +18,43 @@ namespace {
 
 using core::Status;
 using core::StatusError;
+
+// Registry handles of the sweep layer, resolved once.  Everything here only
+// ticks when obs::Enabled(); the SweepResult accounting fields are plain
+// wall clock and are populated always.  Catalogue: docs/observability.md.
+struct SweepInstruments {
+  obs::Counter& cells;
+  obs::Counter& cell_attempts;
+  obs::Counter& cells_failed;
+  obs::Counter& cells_retried;
+  obs::Counter& cells_resumed;
+  obs::Counter& checkpoint_writes;
+  obs::Histogram& cell_ms;
+  obs::Histogram& checkpoint_write_ms;
+
+  static SweepInstruments& Get() {
+    static SweepInstruments* instruments = [] {
+      obs::Registry& registry = obs::Registry::Global();
+      return new SweepInstruments{
+          registry.GetCounter("sweep.cells"),
+          registry.GetCounter("sweep.cell_attempts"),
+          registry.GetCounter("sweep.cells_failed"),
+          registry.GetCounter("sweep.cells_retried"),
+          registry.GetCounter("sweep.cells_resumed"),
+          registry.GetCounter("sweep.checkpoint_writes"),
+          registry.GetHistogram("sweep.cell_ms"),
+          registry.GetHistogram("sweep.checkpoint_write_ms"),
+      };
+    }();
+    return *instruments;
+  }
+};
+
+double ElapsedMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
 
 // Restored cells come back index-keyed from the sidecar; map them for the
 // grid walk.  The sidecar is trusted only after its spec-hash matched.
@@ -59,6 +98,8 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
   RestoredCells restored(cells.size());
   if (config_.resume && !config_.checkpoint_path.empty() &&
       FileExists(config_.checkpoint_path)) {
+    obs::Span restore_span("resume_restore", nullptr, "sweep");
+    const auto restore_start = std::chrono::steady_clock::now();
     core::StatusOr<SweepCheckpoint> loaded =
         LoadCheckpoint(config_.checkpoint_path);
     if (!loaded.ok()) {
@@ -77,6 +118,8 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
         restored.by_index[static_cast<std::size_t>(cell.index)] = &cell;
       }
     }
+    out.resume_restore_ms = ElapsedMs(restore_start);
+    out.stage_stats.Record("resume_restore", out.resume_restore_ms);
   }
 
   // The checkpoint being (re)written this run: starts from the restored
@@ -91,7 +134,16 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
     if (!checkpointing) return;
     if (!force && completed_since_save < std::max(1, config_.checkpoint_every))
       return;
+    // Timed separately from cell attempts (CellOutcome::attempt_ms), so
+    // checkpointed cells don't report sidecar I/O as batch time.
+    obs::Span save_span("checkpoint_write",
+                        &SweepInstruments::Get().checkpoint_write_ms, "sweep");
+    const auto save_start = std::chrono::steady_clock::now();
     core::ThrowIfError(SaveCheckpoint(config_.checkpoint_path, save_doc));
+    const double save_ms = ElapsedMs(save_start);
+    out.checkpoint_write_ms += save_ms;
+    out.stage_stats.Record("checkpoint_write", save_ms);
+    SweepInstruments::Get().checkpoint_writes.Add();
     completed_since_save = 0;
   };
 
@@ -114,6 +166,7 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
       outcome.attempts = rc->attempts;
       outcome.resumed = true;
       ++out.cells_resumed;
+      SweepInstruments::Get().cells_resumed.Add();
       if (rc->attempts > 1) ++out.cells_retried;
       save_doc.cells.push_back(*rc);
       out.cells.push_back({std::move(cell), std::move(result), outcome});
@@ -124,8 +177,14 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
 
     CellOutcome outcome;
     engine::ScenarioResult result;
+    obs::Span cell_span("cell." + cell.spec.name,
+                        &SweepInstruments::Get().cell_ms, "cell");
+    SweepInstruments::Get().cells.Add();
     for (int attempt = 1;; ++attempt) {
       outcome.attempts = attempt;
+      obs::Span attempt_span("cell_attempt", nullptr, "cell");
+      SweepInstruments::Get().cell_attempts.Add();
+      const auto attempt_start = std::chrono::steady_clock::now();
       // Per-cell BatchRunner: the fault plan arms instance 0 of the
       // targeted cell for this attempt only, and a throwing cell cannot
       // leave state behind in the runner (arenas and the geometry cache
@@ -148,13 +207,13 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
         if (health.ok()) {
           outcome.ok = true;
           outcome.error.clear();
-          break;
+        } else {
+          // A poisoned aggregate is deterministic in the cell's inputs;
+          // retrying replays the same NaN.
+          outcome.ok = false;
+          outcome.error = health.ToString();
+          permanent = true;
         }
-        // A poisoned aggregate is deterministic in the cell's inputs;
-        // retrying replays the same NaN.
-        outcome.ok = false;
-        outcome.error = health.ToString();
-        permanent = true;
       } catch (const StatusError& e) {
         outcome.ok = false;
         outcome.error = e.status().ToString();
@@ -166,12 +225,25 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
         outcome.ok = false;
         outcome.error = "unknown exception";
       }
-      if (permanent || attempt >= std::max(1, config_.max_attempts)) break;
+      // attempt_ms is the *final* attempt's wall time: overwritten each
+      // round, so a retried cell reports the run that produced its result.
+      // Checkpoint writes happen outside this window (see maybe_save).
+      outcome.attempt_ms = ElapsedMs(attempt_start);
+      outcome.total_attempt_ms += outcome.attempt_ms;
+      if (outcome.ok || permanent ||
+          attempt >= std::max(1, config_.max_attempts)) {
+        break;
+      }
     }
 
-    if (outcome.attempts > 1) ++out.cells_retried;
+    if (outcome.attempts > 1) {
+      ++out.cells_retried;
+      SweepInstruments::Get().cells_retried.Add();
+    }
+    if (outcome.ok) out.stage_stats.Merge(result.stage_stats);
     if (!outcome.ok) {
       ++out.cells_failed;
+      SweepInstruments::Get().cells_failed.Add();
       result = engine::ScenarioResult{};
       result.spec = cell.spec;
     } else if (checkpointing) {
@@ -201,6 +273,7 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
                     .count();
   for (const sinr::KernelArena& arena : arenas) {
     out.arena_rebuilds += arena.rebuilds();
+    out.arena_warm_skips += arena.warm_skips();
   }
   out.geometry_builds = geometry.builds();
   out.geometry_reuses = geometry.reuses();

@@ -50,6 +50,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/stage_stats.h"
 #include "sinr/kernel.h"
 #include "sweep/sweep.h"
 
@@ -99,6 +100,12 @@ struct CellOutcome {
   std::string error;   // status/exception text of the *last* attempt
   int attempts = 1;    // attempts consumed (1 = first try succeeded)
   bool resumed = false;  // restored from a checkpoint, not executed
+  // Wall time of the *final* attempt alone -- batch execution only, with
+  // checkpoint writes excluded, so a retried or checkpointed cell reports
+  // what the surviving run actually cost.  Resumed cells report 0.
+  double attempt_ms = 0.0;
+  // Wall time summed over every attempt (failed ones included).
+  double total_attempt_ms = 0.0;
 };
 
 struct SweepCellResult {
@@ -119,8 +126,15 @@ struct SweepResult {
   // Non-deterministic timing/accounting.
   double wall_ms = 0.0;         // whole-grid wall time
   long long arena_rebuilds = 0; // kernel builds that went through an arena
+  long long arena_warm_skips = 0; // rebuilds into an already-right-sized slab
   long long geometry_builds = 0; // instance geometries sampled fresh
   long long geometry_reuses = 0; // instance geometries served from cache
+  double checkpoint_write_ms = 0.0;  // total time in SaveCheckpoint
+  double resume_restore_ms = 0.0;    // time loading/verifying the sidecar
+  // Per-stage breakdown merged from every ok cell's batch (plus the
+  // sweep-level checkpoint_write / resume_restore stages).  Wall clock;
+  // never enters SweepSignature.
+  obs::StageStats stage_stats;
 
   double CellsPerSecond() const {
     return wall_ms > 0.0

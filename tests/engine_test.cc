@@ -11,6 +11,8 @@
 #include "core/status.h"
 #include "engine/report.h"
 #include "engine/scenario.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace decaylib::engine {
 namespace {
@@ -492,6 +494,87 @@ TEST(ReportTest, JsonReportRoundTrips) {
   std::fclose(in);
   EXPECT_EQ(std::string(buf).rfind("{\"bench\": \"ENGINE_TEST\"", 0), 0u);
   EXPECT_EQ(std::remove("BENCH_ENGINE_TEST.json"), 0);
+}
+
+// The observability layer must be inert: the deterministic aggregate is
+// bit-identical with metrics + tracing on vs off, at any thread count.
+TEST(BatchRunnerTest, ObservabilityOnOffLeavesSignatureBitIdentical) {
+  const std::vector<ScenarioSpec> specs = {Small(BuiltinScenarios().front())};
+  BatchConfig pooled;
+  pooled.threads = 4;
+  BatchConfig serial;
+  serial.threads = 1;
+
+  obs::SetEnabled(false);
+  const std::string sig =
+      AggregateSignature(BatchRunner(pooled).Run(specs));
+
+  obs::SetEnabled(true);
+  obs::TraceSink::Global().Start();
+  const std::vector<ScenarioResult> on_pooled = BatchRunner(pooled).Run(specs);
+  const std::vector<ScenarioResult> on_serial = BatchRunner(serial).Run(specs);
+  EXPECT_GT(obs::TraceSink::Global().EventCount(), 0u);
+  obs::TraceSink::Global().Stop();
+  obs::TraceSink::Global().Clear();
+  obs::SetEnabled(false);
+
+  EXPECT_EQ(AggregateSignature(on_pooled), sig);
+  EXPECT_EQ(AggregateSignature(on_serial), sig);
+}
+
+// Stage stats are plain wall clock, populated with observability off: one
+// kernel_build and one geometry stage entry per instance, one task.<kind>
+// entry per configured task per instance.
+TEST(BatchRunnerTest, StageStatsCoverEveryInstanceAndTask) {
+  BatchConfig config;
+  config.threads = 2;
+  const ScenarioSpec spec = Small(BuiltinScenarios().front());
+  const ScenarioResult r = BatchRunner(config).RunOne(spec);
+  const long long n = static_cast<long long>(r.instances.size());
+
+  const obs::StageStats::Stage* kernel = r.stage_stats.Find("kernel_build");
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_EQ(kernel->count, n);
+  EXPECT_GE(kernel->max_ms, kernel->min_ms);
+  const obs::StageStats::Stage* geometry =
+      r.stage_stats.Find("geometry_build");
+  ASSERT_NE(geometry, nullptr);  // no cache configured: all builds
+  EXPECT_EQ(geometry->count, n);
+  for (const TaskKind task : AllTasks()) {
+    const std::string key = std::string("task.") + TaskKindName(task);
+    const obs::StageStats::Stage* stage = r.stage_stats.Find(key);
+    ASSERT_NE(stage, nullptr) << key;
+    EXPECT_EQ(stage->count, n) << key;
+  }
+  // Per-record: every configured task ran, so no -1 sentinel survives, and
+  // the per-kind timers account for the record's task wall time.
+  for (const InstanceRecord& rec : r.instances) {
+    double task_sum = 0.0;
+    for (int k = 0; k < kNumTaskKinds; ++k) {
+      EXPECT_GE(rec.task_kind_ms[static_cast<std::size_t>(k)], 0.0);
+      task_sum += rec.task_kind_ms[static_cast<std::size_t>(k)];
+    }
+    EXPECT_LE(task_sum, rec.task_ms + 1.0);
+    EXPECT_GE(rec.build_ms, rec.geometry_ms + rec.kernel_ms - 1.0);
+  }
+}
+
+// A task subset leaves the unrun kinds' timers at the -1 sentinel.
+TEST(BatchRunnerTest, TaskSubsetKeepsUnrunTimerSentinels) {
+  BatchConfig config;
+  config.threads = 1;
+  config.tasks = {TaskKind::kGreedyBaseline};
+  const ScenarioSpec spec = Small(BuiltinScenarios().front(), 10, 2);
+  const ScenarioResult r = BatchRunner(config).RunOne(spec);
+  for (const InstanceRecord& rec : r.instances) {
+    EXPECT_GE(rec.task_kind_ms[static_cast<std::size_t>(
+                  TaskKind::kGreedyBaseline)],
+              0.0);
+    EXPECT_EQ(rec.task_kind_ms[static_cast<std::size_t>(TaskKind::kQueue)],
+              -1.0);
+  }
+  EXPECT_EQ(r.stage_stats.Find("task.queue"), nullptr);
+  EXPECT_NE(r.stage_stats.Find("task.greedy"), nullptr);
 }
 
 }  // namespace

@@ -15,6 +15,8 @@
 
 #include "engine/report.h"
 #include "engine/scenario.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "sweep/sweep_report.h"
 #include "sweep/sweep_runner.h"
 
@@ -334,6 +336,153 @@ TEST(SweepReportTest, CsvHasOneRowPerCellAndAxisColumns) {
   in.close();
   EXPECT_EQ(lines, result.cells.size() + 1);  // header + one row per cell
   EXPECT_EQ(std::remove(path.c_str()), 0);
+}
+
+// Metrics + tracing must be inert: a sweep's signature is bit-identical
+// with observability off and on, at any thread count -- and the timing
+// surfaces (stage stats, attempt times) are populated either way.
+TEST(SweepRunnerTest, ObservabilityInertAcrossThreadsAndStageStats) {
+  const SweepSpec spec = TinySweep();
+  SweepConfig serial;
+  serial.threads = 1;
+  SweepConfig pooled;
+  pooled.threads = 4;
+
+  obs::SetEnabled(false);
+  const std::string sig = SweepSignature(SweepRunner(pooled).Run(spec));
+
+  obs::SetEnabled(true);
+  obs::TraceSink::Global().Start();
+  const SweepResult on_pooled = SweepRunner(pooled).Run(spec);
+  const SweepResult on_serial = SweepRunner(serial).Run(spec);
+  EXPECT_GT(obs::TraceSink::Global().EventCount(), 0u);
+  obs::TraceSink::Global().Stop();
+  obs::TraceSink::Global().Clear();
+  obs::SetEnabled(false);
+
+  EXPECT_EQ(SweepSignature(on_pooled), sig);
+  EXPECT_EQ(SweepSignature(on_serial), sig);
+
+  // Timing surfaces are plain wall clock, independent of the obs flag.
+  EXPECT_FALSE(on_serial.stage_stats.empty());
+  for (const SweepCellResult& cell : on_serial.cells) {
+    ASSERT_TRUE(cell.outcome.ok) << cell.cell.spec.name;
+    EXPECT_GT(cell.outcome.attempt_ms, 0.0) << cell.cell.spec.name;
+    EXPECT_GE(cell.outcome.total_attempt_ms, cell.outcome.attempt_ms);
+    EXPECT_FALSE(cell.result.stage_stats.empty()) << cell.cell.spec.name;
+  }
+}
+
+// A constant-shape grid (no links axis) exercises the arena warm path: one
+// worker's slab goes cold exactly once, every later rebuild is a skip.
+TEST(SweepRunnerTest, ArenaWarmSkipsCountedOnConstantShapeGrid) {
+  SweepSpec spec = TinySweep();
+  spec.axes = {{"alpha", {2.5, 3.0}}, {"beta", {1.0, 1.5}}};
+  SweepConfig config;
+  config.threads = 1;
+  const SweepResult result = SweepRunner(config).Run(spec);
+  ASSERT_EQ(result.cells.size(), 4u);
+  EXPECT_EQ(result.arena_rebuilds, 4 * 2);
+  EXPECT_EQ(result.arena_warm_skips, 4 * 2 - 1);
+
+  SweepConfig no_arena = config;
+  no_arena.reuse_arena = false;
+  const SweepResult direct = SweepRunner(no_arena).Run(spec);
+  EXPECT_EQ(direct.arena_rebuilds, 0);
+  EXPECT_EQ(direct.arena_warm_skips, 0);
+  EXPECT_EQ(SweepSignature(direct), SweepSignature(result));
+}
+
+// Attempt timing is execution only: checkpoint writes and resume restores
+// are timed in their own buckets, and restored cells report zero.
+TEST(SweepRunnerTest, AttemptTimingExcludesCheckpointAndResume) {
+  const SweepSpec spec = TinySweep();
+  const std::string path = "SWEEP_TEST_OBS_CKPT.json";
+  std::remove(path.c_str());
+
+  SweepConfig first;
+  first.threads = 2;
+  first.checkpoint_path = path;
+  first.halt_after_cells = 2;
+  const SweepResult partial = SweepRunner(first).Run(spec);
+  EXPECT_GT(partial.checkpoint_write_ms, 0.0);
+  ASSERT_NE(partial.stage_stats.Find("checkpoint_write"), nullptr);
+  // Two per-cell saves plus the final save at the halt.
+  EXPECT_GE(partial.stage_stats.Find("checkpoint_write")->count, 2);
+  EXPECT_EQ(partial.resume_restore_ms, 0.0);
+
+  SweepConfig second = first;
+  second.halt_after_cells = 0;
+  second.resume = true;
+  const SweepResult resumed = SweepRunner(second).Run(spec);
+  EXPECT_EQ(std::remove(path.c_str()), 0);
+
+  EXPECT_EQ(resumed.cells_resumed, 2);
+  EXPECT_GT(resumed.resume_restore_ms, 0.0);
+  ASSERT_NE(resumed.stage_stats.Find("resume_restore"), nullptr);
+  int fresh = 0;
+  for (const SweepCellResult& cell : resumed.cells) {
+    ASSERT_TRUE(cell.outcome.ok) << cell.cell.spec.name;
+    if (cell.outcome.resumed) {
+      EXPECT_EQ(cell.outcome.attempt_ms, 0.0) << cell.cell.spec.name;
+      EXPECT_EQ(cell.outcome.total_attempt_ms, 0.0);
+    } else {
+      ++fresh;
+      EXPECT_GT(cell.outcome.attempt_ms, 0.0) << cell.cell.spec.name;
+    }
+  }
+  EXPECT_EQ(fresh, 2);
+  // The full run and the interrupted+resumed run agree bit-for-bit.
+  SweepConfig plain;
+  plain.threads = 2;
+  EXPECT_EQ(SweepSignature(resumed), SweepSignature(SweepRunner(plain).Run(spec)));
+}
+
+// A retried cell's final-attempt time excludes the failed attempt, which
+// still shows up in the all-attempts total.
+TEST(SweepRunnerTest, RetriedCellAccumulatesTotalAttemptTime) {
+  const SweepSpec spec = TinySweep();
+  SweepConfig config;
+  config.threads = 2;
+  config.fault.fail_cell = 1;
+  config.fault.fail_attempts = 1;
+  const SweepResult result = SweepRunner(config).Run(spec);
+  ASSERT_EQ(result.cells.size(), 4u);
+  EXPECT_EQ(result.cells_retried, 1);
+  const CellOutcome& outcome = result.cells[1].outcome;
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 2);
+  EXPECT_GT(outcome.attempt_ms, 0.0);
+  EXPECT_GT(outcome.total_attempt_ms, outcome.attempt_ms);
+  for (std::size_t c = 0; c < result.cells.size(); ++c) {
+    if (c == 1) continue;
+    const CellOutcome& other = result.cells[c].outcome;
+    EXPECT_EQ(other.attempts, 1);
+    EXPECT_DOUBLE_EQ(other.total_attempt_ms, other.attempt_ms);
+  }
+}
+
+// The acceptance bar for the timing breakdown: run serially, a cell's
+// summed stage times account for its attempt wall time (the untimed
+// remainder is queue handoff + aggregation, small at instances=6).
+TEST(SweepRunnerTest, StageBreakdownCoversCellWallTimeSerially) {
+  SweepSpec spec = TinySweep();
+  spec.base.instances = 6;
+  SweepConfig config;
+  config.threads = 1;
+  const SweepResult result = SweepRunner(config).Run(spec);
+  ASSERT_EQ(result.cells.size(), 4u);
+  for (const SweepCellResult& cell : result.cells) {
+    ASSERT_TRUE(cell.outcome.ok) << cell.cell.spec.name;
+    const double stage_ms = cell.result.stage_stats.TotalMs();
+    const double wall_ms = cell.outcome.attempt_ms;
+    EXPECT_GT(stage_ms, 0.0) << cell.cell.spec.name;
+    // Stages nest strictly inside the attempt; allow tiny clock skew up.
+    EXPECT_LE(stage_ms, wall_ms * 1.02 + 0.5) << cell.cell.spec.name;
+    // And they account for at least 90% of it (modulo an absolute floor
+    // for sub-millisecond cells).
+    EXPECT_GE(stage_ms, wall_ms * 0.9 - 0.5) << cell.cell.spec.name;
+  }
 }
 
 TEST(SweepReportTest, JsonReportWritesEngineCompatibleFile) {

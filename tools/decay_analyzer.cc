@@ -19,6 +19,7 @@
 #include "core/fading.h"
 #include "core/metricity.h"
 #include "io/csv.h"
+#include "tool_args.h"
 
 using namespace decaylib;
 
@@ -41,7 +42,11 @@ int main(int argc, char** argv) {
   bool exact_gamma = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--r") == 0 && i + 1 < argc) {
-      r = std::strtod(argv[++i], nullptr);
+      // Strict parse (tool_args.h): garbage or a non-positive separation is
+      // a usage error, not a silent fall-through to the default r.
+      if (!tools::ParseDoubleFlag("--r", argv[++i], 1e-300, 1e300, &r)) {
+        return Usage(argv[0]);
+      }
     } else if (std::strcmp(argv[i], "--exact-gamma") == 0) {
       exact_gamma = true;
     } else {

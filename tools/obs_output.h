@@ -1,0 +1,89 @@
+// Shared --trace / --metrics handling for the CLI tools (scenario_runner,
+// sweep_runner).
+//
+// Either flag opts the process into the observability layer
+// (obs::SetEnabled) before any work runs; at exit the tool writes the
+// Chrome-trace and/or metrics-snapshot artifacts and *re-parses each file
+// through io::Json* -- a truncated or malformed artifact fails the run with
+// a diagnostic instead of silently poisoning downstream tooling (Perfetto,
+// CI validators).  Without the flags nothing here runs, so plain
+// invocations keep the disabled near-zero-cost path.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/status.h"
+#include "io/json.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace decaylib::tools {
+
+// Arms metrics (and, with a trace path, event capture) before the measured
+// work starts.  No-op when both paths are empty.
+inline void EnableObservability(const std::string& trace_path,
+                                const std::string& metrics_path) {
+  if (trace_path.empty() && metrics_path.empty()) return;
+  obs::SetEnabled(true);
+  if (!trace_path.empty()) obs::TraceSink::Global().Start();
+}
+
+// Re-parses a just-written artifact with the strict JSON parser.
+inline bool ValidateJsonFile(const char* flag, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot re-open %s\n", flag, path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const core::StatusOr<io::Json> parsed = io::Json::Parse(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s is not valid JSON: %s\n", flag, path.c_str(),
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+// Writes the requested artifacts; false (after a stderr diagnostic) when a
+// file cannot be written or fails to re-parse.
+inline bool WriteObservabilityFiles(const std::string& trace_path,
+                                    const std::string& metrics_path) {
+  if (!trace_path.empty()) {
+    obs::TraceSink& sink = obs::TraceSink::Global();
+    sink.Stop();
+    if (const core::Status status = sink.WriteFile(trace_path);
+        !status.ok()) {
+      std::fprintf(stderr, "--trace: %s\n", status.ToString().c_str());
+      return false;
+    }
+    if (!ValidateJsonFile("--trace", trace_path)) return false;
+    std::printf("wrote %s (%zu trace events)\n", trace_path.c_str(),
+                sink.EventCount());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "--metrics: cannot write %s\n",
+                   metrics_path.c_str());
+      return false;
+    }
+    out << obs::Registry::Global().ToJson().Dump() << "\n";
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "--metrics: write to %s failed\n",
+                   metrics_path.c_str());
+      return false;
+    }
+    out.close();
+    if (!ValidateJsonFile("--metrics", metrics_path)) return false;
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
+  return true;
+}
+
+}  // namespace decaylib::tools

@@ -2,10 +2,11 @@
 // multi-instance engine.
 //
 //   $ scenario_runner --list
-//   $ scenario_runner --smoke [--json]
+//   $ scenario_runner --smoke [--json] [--trace F] [--metrics F]
 //   $ scenario_runner [--scenario NAME] [--links N] [--instances K]
 //                     [--alpha A] [--beta B] [--lambda L] [--scheduler S]
 //                     [--set FIELD=VALUE] [--threads T] [--seed S] [--json]
+//                     [--trace FILE] [--metrics FILE]
 //
 // --set writes any sweepable field (sweep::SweepableFields(): links,
 // instances, alpha, ..., lambda, regret_penalty) into the selected specs;
@@ -25,6 +26,13 @@
 // writes BENCH_SCENARIO.json in the working directory (the bench_util.h
 // record format plus a "scenarios" aggregate array; see docs/scenarios.md).
 //
+// --trace FILE captures stage spans (geometry / kernel / per-task, per
+// worker thread) and writes Chrome trace_event JSON viewable in Perfetto;
+// --metrics FILE dumps the obs::Registry snapshot.  Both accept --flag VALUE
+// and --flag=VALUE, both are re-parsed through io::Json before exit, and
+// either enables the otherwise-inert observability layer (results are
+// bit-identical on or off; docs/observability.md).
+//
 // --smoke is the CI entry point: it shrinks every builtin to a small size,
 // runs the batch once single-threaded and once multi-threaded, and fails
 // (exit 1) unless the two deterministic aggregate reports are bit-identical
@@ -41,6 +49,7 @@
 #include "engine/batch_runner.h"
 #include "engine/report.h"
 #include "engine/scenario.h"
+#include "obs_output.h"
 #include "sweep/sweep.h"
 #include "tool_args.h"
 
@@ -53,7 +62,8 @@ int Usage(const char* argv0) {
                "usage: %s [--list] [--smoke] [--scenario NAME] [--links N]\n"
                "          [--instances K] [--alpha A] [--beta B] [--lambda L]\n"
                "          [--scheduler lqf|greedy|random] [--set FIELD=VALUE]\n"
-               "          [--threads T] [--seed S] [--json]\n",
+               "          [--threads T] [--seed S] [--json]\n"
+               "          [--trace FILE] [--metrics FILE]\n",
                argv0);
   return 2;
 }
@@ -120,7 +130,10 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0;
   bool seed_set = false;
   std::vector<std::pair<std::string, double>> set_bindings;
+  std::string trace_path;
+  std::string metrics_path;
 
+  bool flag_ok = true;  // set false by MatchStringFlag on a missing value
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--list") == 0) {
@@ -129,8 +142,15 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strcmp(arg, "--json") == 0) {
       json = true;
-    } else if (std::strcmp(arg, "--scenario") == 0 && i + 1 < argc) {
-      scenario = argv[++i];
+    } else if (tools::MatchStringFlag("--scenario", argc, argv, &i, &scenario,
+                                      &flag_ok)) {
+      if (!flag_ok) return Usage(argv[0]);
+    } else if (tools::MatchStringFlag("--trace", argc, argv, &i, &trace_path,
+                                      &flag_ok)) {
+      if (!flag_ok) return Usage(argv[0]);
+    } else if (tools::MatchStringFlag("--metrics", argc, argv, &i,
+                                      &metrics_path, &flag_ok)) {
+      if (!flag_ok) return Usage(argv[0]);
     } else if (std::strcmp(arg, "--links") == 0 && i + 1 < argc) {
       if (!tools::ParseIntFlag("--links", argv[++i], 1, 1 << 20, &links)) {
         return Usage(argv[0]);
@@ -242,6 +262,7 @@ int main(int argc, char** argv) {
   // runs serial and the check vacuous).
   if (smoke && config.threads < 4) config.threads = 4;
   const engine::BatchRunner runner(config);
+  tools::EnableObservability(trace_path, metrics_path);
   std::vector<engine::ScenarioResult> results;
   try {
     results = runner.Run(specs);
@@ -275,5 +296,6 @@ int main(int argc, char** argv) {
   }
 
   if (json && !engine::WriteJsonReport("SCENARIO", results)) return 1;
+  if (!tools::WriteObservabilityFiles(trace_path, metrics_path)) return 1;
   return 0;
 }

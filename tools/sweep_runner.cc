@@ -2,13 +2,13 @@
 // shared kernel arenas.
 //
 //   $ sweep_runner --list
-//   $ sweep_runner --smoke [--json]
+//   $ sweep_runner --smoke [--json] [--trace F] [--metrics F]
 //   $ sweep_runner [--sweep NAME] [--instances K] [--alpha A] [--beta B]
 //                  [--lambda L] [--scheduler S] [--threads T] [--no-arena]
 //                  [--no-geometry-cache] [--axis FIELD=V1,V2,...]
 //                  [--checkpoint PATH] [--resume] [--retries K] [--strict]
 //                  [--halt-after N] [--fail-cell I] [--fail-attempts K]
-//                  [--csv] [--json]
+//                  [--csv] [--json] [--trace FILE] [--metrics FILE]
 //
 // Without --sweep, every builtin sweep runs.  --instances overrides the
 // per-cell batch size, --alpha / --beta the base spec's decay exponent
@@ -35,6 +35,14 @@
 //    drills); --fail-cell I / --fail-attempts K arm the deterministic
 //    fault-injection plan (K = -1 fails every attempt).
 //
+// Observability flags (docs/observability.md; both accept --flag VALUE and
+// --flag=VALUE): --trace FILE captures stage spans for the whole run and
+// writes Chrome trace_event JSON (load in Perfetto); --metrics FILE dumps
+// the obs::Registry snapshot.  Both artifacts are re-parsed through
+// io::Json before the tool exits -- a malformed file is a run failure.
+// Either flag enables the otherwise-inert observability layer; results are
+// bit-identical on or off (the --smoke gate below proves it every CI run).
+//
 // --smoke is the CI entry point, two fixed grids:
 //  * a tiny 2x2x2 capacity grid (links x alpha x beta; the trailing beta
 //    axis is non-geometric, so it exercises geometry reuse) runs pooled,
@@ -56,6 +64,9 @@
 #include "core/status.h"
 #include "dynamics/queue_system.h"
 #include "engine/report.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "obs_output.h"
 #include "sweep/checkpoint.h"
 #include "sweep/sweep.h"
 #include "sweep/sweep_report.h"
@@ -75,7 +86,8 @@ int Usage(const char* argv0) {
                "          [--axis FIELD=V1,V2,...] [--checkpoint PATH]\n"
                "          [--resume] [--retries K] [--strict]\n"
                "          [--halt-after N] [--fail-cell I]\n"
-               "          [--fail-attempts K] [--csv] [--json]\n",
+               "          [--fail-attempts K] [--csv] [--json]\n"
+               "          [--trace FILE] [--metrics FILE]\n",
                argv0);
   return 2;
 }
@@ -231,6 +243,12 @@ int RunDynamicsSmoke(const sweep::SweepConfig& pooled,
 int RunSmoke(int threads, bool json) {
   const sweep::SweepSpec spec = SmokeSweep();
 
+  // Baselines run with observability off even under --trace / --metrics,
+  // so the inertness gate below genuinely compares off vs on.  Restored on
+  // the success path; failures exit the process.
+  const bool obs_was_enabled = obs::Enabled();
+  obs::SetEnabled(false);
+
   // Pin the pooled side to >= 4 workers so the determinism gate compares
   // genuinely different interleavings even on single-core runners.
   sweep::SweepConfig pooled;
@@ -292,6 +310,38 @@ int RunSmoke(int threads, bool json) {
       "reuse, geometry cache on/off and pairing modes (%lld kernels through "
       "arenas, %lld geometries built / %lld reused)\n",
       a.arena_rebuilds, a.geometry_builds, a.geometry_reuses);
+
+  // Observability-inertness gate: with metrics and tracing live the grid
+  // must reproduce the obs-off signature bit-for-bit, pooled and serial --
+  // and must actually capture events (a dead layer would pass the equality
+  // vacuously).
+  {
+    obs::TraceSink& sink = obs::TraceSink::Global();
+    const bool sink_was_active = sink.active();
+    obs::SetEnabled(true);
+    if (!sink_was_active) sink.Start();
+    const sweep::SweepResult ta = sweep::SweepRunner(pooled).Run(spec);
+    const sweep::SweepResult tb = sweep::SweepRunner(serial).Run(spec);
+    const std::size_t events = sink.EventCount();
+    if (!sink_was_active) sink.Stop();
+    obs::SetEnabled(false);
+    if (sweep::SweepSignature(ta) != sig ||
+        sweep::SweepSignature(tb) != sig) {
+      std::fprintf(stderr,
+                   "FAIL: sweep signature differs with metrics/tracing "
+                   "enabled\n");
+      return 1;
+    }
+    if (events == 0) {
+      std::fprintf(stderr,
+                   "FAIL: observability gate captured no trace events\n");
+      return 1;
+    }
+    std::printf(
+        "smoke: metrics + tracing inert (signatures bit-identical with "
+        "observability on, %zu trace events captured)\n",
+        events);
+  }
 
   // Robustness gate 1 -- failure isolation: a cell that fails every
   // attempt is recorded failed while every other cell still matches the
@@ -412,6 +462,7 @@ int RunSmoke(int threads, bool json) {
   // dynamics (queue/regret) cells.
   const sweep::SweepResult results[] = {a, std::move(dynamics)};
   if (json && !sweep::WriteSweepJsonReport("SWEEP", results)) return 1;
+  obs::SetEnabled(obs_was_enabled);
   return 0;
 }
 
@@ -439,7 +490,10 @@ int main(int argc, char** argv) {
   int halt_after = 0;   // 0 = run the whole grid
   int fail_cell = -1;   // fault plan: < 0 = disarmed
   int fail_attempts = 1;
+  std::string trace_path;
+  std::string metrics_path;
 
+  bool flag_ok = true;  // set false by MatchStringFlag on a missing value
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--list") == 0) {
@@ -454,8 +508,15 @@ int main(int argc, char** argv) {
       no_arena = true;
     } else if (std::strcmp(arg, "--no-geometry-cache") == 0) {
       no_geometry_cache = true;
-    } else if (std::strcmp(arg, "--sweep") == 0 && i + 1 < argc) {
-      sweep_name = argv[++i];
+    } else if (tools::MatchStringFlag("--sweep", argc, argv, &i, &sweep_name,
+                                      &flag_ok)) {
+      if (!flag_ok) return Usage(argv[0]);
+    } else if (tools::MatchStringFlag("--trace", argc, argv, &i, &trace_path,
+                                      &flag_ok)) {
+      if (!flag_ok) return Usage(argv[0]);
+    } else if (tools::MatchStringFlag("--metrics", argc, argv, &i,
+                                      &metrics_path, &flag_ok)) {
+      if (!flag_ok) return Usage(argv[0]);
     } else if (std::strcmp(arg, "--instances") == 0 && i + 1 < argc) {
       if (!tools::ParseIntFlag("--instances", argv[++i], 1, 1 << 20,
                                &instances)) {
@@ -486,8 +547,9 @@ int main(int argc, char** argv) {
       sweep::SweepAxis axis;
       if (!ParseAxisFlag(argv[++i], &axis)) return Usage(argv[0]);
       extra_axes.push_back(std::move(axis));
-    } else if (std::strcmp(arg, "--checkpoint") == 0 && i + 1 < argc) {
-      checkpoint_path = argv[++i];
+    } else if (tools::MatchStringFlag("--checkpoint", argc, argv, &i,
+                                      &checkpoint_path, &flag_ok)) {
+      if (!flag_ok) return Usage(argv[0]);
     } else if (std::strcmp(arg, "--resume") == 0) {
       resume = true;
     } else if (std::strcmp(arg, "--strict") == 0) {
@@ -530,11 +592,14 @@ int main(int argc, char** argv) {
         !checkpoint_path.empty() || resume || strict || retries > 0 ||
         halt_after > 0 || fail_cell >= 0) {
       std::fprintf(stderr,
-                   "--smoke runs a fixed grid; it takes only --threads and "
-                   "--json\n");
+                   "--smoke runs a fixed grid; it takes only --threads, "
+                   "--json, --trace and --metrics\n");
       return 2;
     }
-    return RunSmoke(threads, json);
+    tools::EnableObservability(trace_path, metrics_path);
+    const int rc = RunSmoke(threads, json);
+    if (rc != 0) return rc;
+    return tools::WriteObservabilityFiles(trace_path, metrics_path) ? 0 : 1;
   }
 
   std::vector<sweep::SweepSpec> sweeps;
@@ -611,6 +676,7 @@ int main(int argc, char** argv) {
   config.fault.fail_cell = fail_cell;
   config.fault.fail_attempts = fail_attempts;
   const sweep::SweepRunner runner(config);
+  tools::EnableObservability(trace_path, metrics_path);
 
   std::vector<sweep::SweepResult> results;
   try {
@@ -640,6 +706,7 @@ int main(int argc, char** argv) {
     }
   }
   if (json && !sweep::WriteSweepJsonReport("SWEEP", results)) return 1;
+  if (!tools::WriteObservabilityFiles(trace_path, metrics_path)) return 1;
   if (failed_cells > 0) {
     std::fprintf(stderr, "%d cell%s failed (isolated; rest of the grid "
                          "completed)\n",

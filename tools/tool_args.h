@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <span>
+#include <string>
 
 namespace decaylib::tools {
 
@@ -91,6 +92,40 @@ inline bool ParseChoiceFlag(const char* flag, const char* text,
   for (const char* choice : choices) std::fprintf(stderr, " %s", choice);
   std::fprintf(stderr, ", got '%s'\n", text == nullptr ? "" : text);
   return false;
+}
+
+// Matches a string-valued flag at argv[*index] in either of its two
+// spellings: "--flag value" (value in the next argv slot; *index advances
+// past it) or "--flag=value".  Returns false when argv[*index] is not this
+// flag at all -- the caller's flag loop falls through to its next match.
+// Returns true when the flag matched; a missing or empty value prints a
+// diagnostic and clears *ok, so "--trace" at the end of the command line or
+// "--trace=" is a usage error, not a silent no-op.
+inline bool MatchStringFlag(const char* flag, int argc, char* const* argv,
+                            int* index, std::string* out, bool* ok) {
+  const char* arg = argv[*index];
+  const std::size_t flag_len = std::strlen(flag);
+  if (std::strncmp(arg, flag, flag_len) != 0) return false;
+  if (arg[flag_len] == '=') {
+    *out = arg + flag_len + 1;
+    if (out->empty()) {
+      std::fprintf(stderr, "%s: expected a non-empty value\n", flag);
+      *ok = false;
+    }
+    return true;
+  }
+  if (arg[flag_len] != '\0') return false;  // a longer flag, e.g. --tracer
+  if (*index + 1 >= argc) {
+    std::fprintf(stderr, "%s: expected a value\n", flag);
+    *ok = false;
+    return true;
+  }
+  *out = argv[++*index];
+  if (out->empty()) {
+    std::fprintf(stderr, "%s: expected a non-empty value\n", flag);
+    *ok = false;
+  }
+  return true;
 }
 
 // Non-negative 64-bit flag (seeds).
