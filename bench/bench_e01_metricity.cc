@@ -11,13 +11,15 @@
 #include "core/metricity.h"
 #include "env/propagation.h"
 #include "geom/samplers.h"
+#include "obs/bench_harness.h"
 #include "spaces/constructions.h"
 #include "spaces/samplers.h"
 
 using namespace decaylib;
 
 int main(int argc, char** argv) {
-  bench::JsonReport report("E01", argc, argv);
+  obs::BenchHarness report("E01", argc, argv);
+  if (!report.args_ok()) return 2;
   bench::Banner("E1", "Metricity of decay spaces",
                 "zeta = alpha for geometric decay; walls/shadowing push zeta "
                 "beyond alpha (Sec. 2.2 + sibling paper [24])");
@@ -91,5 +93,5 @@ int main(int argc, char** argv) {
       "\nExpected shape: (a) zeta(line) == alpha to solver precision and "
       "zeta(plane) <= alpha;\n(b,c) zeta rises monotonically with wall "
       "density / shadowing, exceeding alpha.\n");
-  return 0;
+  return report.Close();
 }

@@ -13,12 +13,14 @@
 #include "capacity/algorithm1.h"
 #include "capacity/baselines.h"
 #include "capacity/exact.h"
+#include "obs/bench_harness.h"
 #include "sinr/power.h"
 
 using namespace decaylib;
 
 int main(int argc, char** argv) {
-  bench::JsonReport report("E08", argc, argv);
+  obs::BenchHarness report("E08", argc, argv);
+  if (!report.args_ok()) return 2;
   bench::Banner("E8", "Algorithm 1 capacity approximation (Theorem 5)",
                 "zeta^{O(1)} approximation; O(alpha^4) on the plane, "
                 "sub-exponential in alpha");
@@ -92,5 +94,5 @@ int main(int argc, char** argv) {
       "exponential 3^alpha reference that general-\nmetric analyses "
       "predict; the separation test costs little vs the half-affectance "
       "variant.\n");
-  return 0;
+  return report.Close();
 }

@@ -13,7 +13,8 @@
 // any timing is reported.
 //
 // Flags: --n <links> (default 512), --metricity-n <nodes> (default 512),
-//        --json (write BENCH_E18.json timing records).
+//        plus the obs::BenchHarness flags --json (write BENCH_E18.json,
+//        schema v2), --reps/--warmup/--min-time-ms (sampling control).
 //
 // Run in a Release build (-DCMAKE_BUILD_TYPE=Release): the Assert build's
 // DL_CHECK instrumentation slows the naive path far beyond its honest cost.
@@ -25,6 +26,7 @@
 #include "bench_util.h"
 #include "capacity/algorithm1.h"
 #include "core/metricity.h"
+#include "obs/bench_harness.h"
 #include "scheduling/scheduler.h"
 #include "sinr/kernel.h"
 #include "sinr/power.h"
@@ -50,14 +52,14 @@ int main(int argc, char** argv) {
       n_metricity = std::atoi(argv[i + 1]);
     }
   }
-  if (n_links < 2 || n_metricity < 3) {
+  obs::BenchHarness report("E18", argc, argv);
+  if (n_links < 2 || n_metricity < 3 || !report.args_ok()) {
     std::fprintf(stderr,
                  "usage: %s [--n <links >= 2>] [--metricity-n <nodes >= 3>] "
-                 "[--json]\n",
+                 "[--json] [--reps N] [--warmup N] [--min-time-ms T]\n",
                  argv[0]);
     return 2;
   }
-  bench::JsonReport report("E18", argc, argv);
 
   bench::Banner("E18", "Cached SINR kernel layer",
                 "precomputed affectance/distance kernels + incremental "
@@ -75,18 +77,21 @@ int main(int argc, char** argv) {
     const sinr::LinkSystem system(space, dep.links, {1.0, 0.0});
     const double zeta = 3.0;
 
-    bench::WallTimer timer;
-    const auto naive = capacity::RunAlgorithm1Naive(system, zeta);
-    const double naive_ms = timer.ElapsedMs();
+    capacity::Algorithm1Result naive;
+    const auto& naive_stats = report.Time("alg1_naive", n_links, [&] {
+      naive = capacity::RunAlgorithm1Naive(system, zeta);
+    });
 
-    timer.Reset();
-    const auto cached = capacity::RunAlgorithm1(system, zeta);
-    const double cold_ms = timer.ElapsedMs();
+    capacity::Algorithm1Result cached;
+    const auto& cold_stats = report.Time("alg1_cached_cold", n_links, [&] {
+      cached = capacity::RunAlgorithm1(system, zeta);
+    });
 
     const sinr::KernelCache kernel(system, sinr::UniformPower(system));
-    timer.Reset();
-    const auto warm = capacity::RunAlgorithm1(kernel, zeta);
-    const double warm_ms = timer.ElapsedMs();
+    capacity::Algorithm1Result warm;
+    const auto& warm_stats = report.Time("alg1_cached_warm", n_links, [&] {
+      warm = capacity::RunAlgorithm1(kernel, zeta);
+    });
 
     if (!SameResult(naive, cached) || !SameResult(naive, warm)) {
       std::printf("ERROR: cached Algorithm 1 diverged from the naive path\n");
@@ -94,17 +99,16 @@ int main(int argc, char** argv) {
     }
 
     bench::Table table({"path", "wall ms", "speedup", "|X|", "|S|"});
-    table.AddRow({"naive", bench::Fmt(naive_ms, 2), "1.00",
+    table.AddRow({"naive", bench::Fmt(naive_stats.min_ms, 2), "1.00",
                   bench::FmtInt(static_cast<long long>(naive.admitted.size())),
                   bench::FmtInt(static_cast<long long>(naive.selected.size()))});
-    table.AddRow({"cached (cold)", bench::Fmt(cold_ms, 2),
-                  bench::Fmt(naive_ms / cold_ms, 2), "", ""});
-    table.AddRow({"cached (warm kernel)", bench::Fmt(warm_ms, 2),
-                  bench::Fmt(naive_ms / warm_ms, 2), "", ""});
+    table.AddRow({"cached (cold)", bench::Fmt(cold_stats.min_ms, 2),
+                  bench::Fmt(naive_stats.min_ms / cold_stats.min_ms, 2), "",
+                  ""});
+    table.AddRow({"cached (warm kernel)", bench::Fmt(warm_stats.min_ms, 2),
+                  bench::Fmt(naive_stats.min_ms / warm_stats.min_ms, 2), "",
+                  ""});
     table.Print();
-    report.Record("alg1_naive", n_links, naive_ms);
-    report.Record("alg1_cached_cold", n_links, cold_ms);
-    report.Record("alg1_cached_warm", n_links, warm_ms);
   }
 
   {
@@ -117,13 +121,13 @@ int main(int argc, char** argv) {
     const core::DecaySpace space = core::DecaySpace::Geometric(dep.points, 3.0);
     const sinr::LinkSystem system(space, dep.links, {1.0, 0.0});
 
-    bench::WallTimer timer;
-    const auto schedule = scheduling::ScheduleLinks(
-        system, 3.0, scheduling::Extractor::kAlgorithm1);
-    const double sched_ms = timer.ElapsedMs();
+    scheduling::Schedule schedule;
+    const auto& sched_stats = report.Time("schedule_alg1", n_sched, [&] {
+      schedule = scheduling::ScheduleLinks(system, 3.0,
+                                           scheduling::Extractor::kAlgorithm1);
+    });
     std::printf("%zu slots in %s ms\n", schedule.slots.size(),
-                bench::Fmt(sched_ms, 2).c_str());
-    report.Record("schedule_alg1", n_sched, sched_ms);
+                bench::Fmt(sched_stats.min_ms, 2).c_str());
   }
 
   {
@@ -132,21 +136,25 @@ int main(int argc, char** argv) {
     const core::DecaySpace space =
         spaces::RandomGeometric(n_metricity, 20.0, 20.0, 3.0, rng);
 
-    bench::WallTimer timer;
-    const core::MetricityResult naive = core::ComputeMetricityNaive(space);
-    const double naive_ms = timer.ElapsedMs();
+    core::MetricityResult naive;
+    const auto& naive_stats = report.Time("metricity_naive", n_metricity, [&] {
+      naive = core::ComputeMetricityNaive(space);
+    });
 
-    timer.Reset();
-    const core::MetricityResult pruned = core::ComputeMetricity(space);
-    const double pruned_ms = timer.ElapsedMs();
+    core::MetricityResult pruned;
+    const auto& pruned_stats = report.Time(
+        "metricity_pruned", n_metricity,
+        [&] { pruned = core::ComputeMetricity(space); });
 
-    timer.Reset();
-    const core::PhiResult naive_phi = core::ComputePhiNaive(space);
-    const double naive_phi_ms = timer.ElapsedMs();
+    core::PhiResult naive_phi;
+    const auto& naive_phi_stats = report.Time(
+        "phi_naive", n_metricity,
+        [&] { naive_phi = core::ComputePhiNaive(space); });
 
-    timer.Reset();
-    const core::PhiResult fast_phi = core::ComputePhi(space);
-    const double fast_phi_ms = timer.ElapsedMs();
+    core::PhiResult fast_phi;
+    const auto& fast_phi_stats = report.Time(
+        "phi_optimised", n_metricity,
+        [&] { fast_phi = core::ComputePhi(space); });
 
     if (pruned.zeta != naive.zeta ||
         fast_phi.phi_factor != naive_phi.phi_factor) {
@@ -155,25 +163,22 @@ int main(int argc, char** argv) {
     }
 
     bench::Table table({"kernel", "naive ms", "optimised ms", "speedup"});
-    table.AddRow({"ComputeMetricity", bench::Fmt(naive_ms, 1),
-                  bench::Fmt(pruned_ms, 1),
-                  bench::Fmt(naive_ms / pruned_ms, 1)});
-    table.AddRow({"ComputePhi", bench::Fmt(naive_phi_ms, 1),
-                  bench::Fmt(fast_phi_ms, 1),
-                  bench::Fmt(naive_phi_ms / fast_phi_ms, 1)});
+    table.AddRow({"ComputeMetricity", bench::Fmt(naive_stats.min_ms, 1),
+                  bench::Fmt(pruned_stats.min_ms, 1),
+                  bench::Fmt(naive_stats.min_ms / pruned_stats.min_ms, 1)});
+    table.AddRow({"ComputePhi", bench::Fmt(naive_phi_stats.min_ms, 1),
+                  bench::Fmt(fast_phi_stats.min_ms, 1),
+                  bench::Fmt(naive_phi_stats.min_ms / fast_phi_stats.min_ms,
+                             1)});
     table.Print();
     std::printf("zeta = %s (witness %d,%d,%d), phi = %s\n",
                 bench::Fmt(pruned.zeta).c_str(), pruned.arg_x, pruned.arg_y,
                 pruned.arg_z, bench::Fmt(fast_phi.phi).c_str());
-    report.Record("metricity_naive", n_metricity, naive_ms);
-    report.Record("metricity_pruned", n_metricity, pruned_ms);
-    report.Record("phi_naive", n_metricity, naive_phi_ms);
-    report.Record("phi_optimised", n_metricity, fast_phi_ms);
   }
 
   std::printf(
       "\nExpected shape: >= 10x for Algorithm 1 and ComputeMetricity at "
       "n ~ 512; the warm-kernel\nrow shows the amortised cost the scheduler "
       "actually pays per extraction.\n");
-  return 0;
+  return report.Close();
 }

@@ -12,9 +12,10 @@
 // runs before any number is quoted (exit 1 on divergence).
 //
 // Flags: --links <n per instance> (default 96), --instances <per scenario>
-//        (default 6), --threads <pool size> (default hardware), --json
-//        (write BENCH_E19.json: bench_util.h-format phases + per-scenario
-//        aggregates).
+//        (default 6), --threads <pool size> (default hardware), plus the
+//        obs::BenchHarness flags --json (write BENCH_E19.json, schema v2:
+//        per-scenario batch/kernel_build/tasks phases, pooled/serial walls,
+//        and a "scenarios" aggregate block), --reps/--warmup/--min-time-ms.
 //
 // Run in a Release build; the Assert build's DL_CHECK instrumentation
 // dominates the kernel builds.
@@ -28,6 +29,7 @@
 #include "engine/batch_runner.h"
 #include "engine/report.h"
 #include "engine/scenario.h"
+#include "obs/bench_harness.h"
 
 using namespace decaylib;
 
@@ -35,25 +37,27 @@ int main(int argc, char** argv) {
   int links = 96;
   int instances = 6;
   int threads = 0;
-  bool json = false;
   for (int i = 1; i < argc; ++i) {
+    bool harness_flag_value = false;
     if (std::strcmp(argv[i], "--links") == 0 && i + 1 < argc) {
       links = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--instances") == 0 && i + 1 < argc) {
       instances = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
+    } else if (obs::BenchHarness::IsHarnessFlag(argv[i],
+                                                &harness_flag_value)) {
+      if (harness_flag_value) ++i;  // the harness validates the value
     } else {
       std::fprintf(stderr,
                    "usage: %s [--links N] [--instances K] [--threads T] "
-                   "[--json]\n",
+                   "[--json] [--reps N] [--warmup N] [--min-time-ms T]\n",
                    argv[0]);
       return 2;
     }
   }
-  if (links < 2 || instances < 1) {
+  obs::BenchHarness report("E19", argc, argv);
+  if (links < 2 || instances < 1 || !report.args_ok()) {
     std::fprintf(stderr, "need --links >= 2 and --instances >= 1\n");
     return 2;
   }
@@ -91,17 +95,23 @@ int main(int argc, char** argv) {
     pooled.threads = static_cast<int>(hc > 4 ? hc : 4);
   }
   std::printf("pooled run: %d worker threads\n", pooled.threads);
-  bench::WallTimer timer;
-  const std::vector<engine::ScenarioResult> results =
-      engine::BatchRunner(pooled).Run(specs);
-  const double pooled_ms = timer.ElapsedMs();
+  std::vector<engine::ScenarioResult> results;
+  const double pooled_ms =
+      report
+          .Time("pooled_wall",
+                static_cast<long long>(specs.size()) * instances,
+                [&] { results = engine::BatchRunner(pooled).Run(specs); })
+          .min_ms;
 
   engine::BatchConfig serial = pooled;
   serial.threads = 1;
-  timer.Reset();
-  const std::vector<engine::ScenarioResult> reference =
-      engine::BatchRunner(serial).Run(specs);
-  const double serial_ms = timer.ElapsedMs();
+  std::vector<engine::ScenarioResult> reference;
+  const double serial_ms =
+      report
+          .Time("serial_wall",
+                static_cast<long long>(specs.size()) * instances,
+                [&] { reference = engine::BatchRunner(serial).Run(specs); })
+          .min_ms;
 
   const bool gate_meaningful = pooled.threads > 1;
   if (gate_meaningful && engine::AggregateSignature(results) !=
@@ -130,6 +140,15 @@ int main(int argc, char** argv) {
         "determinism check skipped: --threads 1 makes both runs serial\n");
   }
 
-  if (json && !engine::WriteJsonReport("E19", results)) return 1;
-  return 0;
+  // One phase per scenario (batch wall / kernel build / task time, the
+  // longitudinal throughput record), plus the deterministic aggregates as
+  // the "scenarios" extra member.
+  for (const engine::ScenarioResult& r : results) {
+    report.Record(r.spec.name + ".batch", r.spec.links, r.batch_wall_ms);
+    report.Record(r.spec.name + ".kernel_build", r.spec.links,
+                  r.build_ms_total);
+    report.Record(r.spec.name + ".tasks", r.spec.links, r.task_ms_total);
+  }
+  report.SetExtra("scenarios", engine::ScenariosJson(results));
+  return report.Close();
 }

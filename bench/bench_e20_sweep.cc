@@ -28,8 +28,11 @@
 // Flags: --instances <per cell> (default 6), --threads <pool size>
 //        (default hardware), --repeat <timing passes, best-of> (default 3),
 //        --gen-links <instance-generation A/B size> (default 512, i.e.
-//        n = 1024 nodes), --json (write BENCH_E20.json: arena/malloc and
-//        instance-generation wall-clock phases).
+//        n = 1024 nodes), plus the obs::BenchHarness flags --json (write
+//        BENCH_E20.json, schema v2: arena/malloc and instance-generation
+//        phases with dispersion stats and obs counter deltas),
+//        --reps/--warmup/--min-time-ms (sampling for the Time()d phases;
+//        the grid A/B's samples come from its own --repeat loop).
 //
 // Run in a Release build; the Assert build's DL_CHECK instrumentation
 // dominates the kernel builds.
@@ -41,6 +44,7 @@
 
 #include "bench_util.h"
 #include "engine/scenario.h"
+#include "obs/bench_harness.h"
 #include "sinr/kernel.h"
 #include "sweep/sweep.h"
 #include "sweep/sweep_report.h"
@@ -92,6 +96,7 @@ int main(int argc, char** argv) {
   int gen_links = 512;  // instance-gen A/B size: n = 2 * gen_links nodes
   bool parse_ok = true;
   for (int i = 1; i < argc && parse_ok; ++i) {
+    bool harness_flag_value = false;
     if (std::strcmp(argv[i], "--instances") == 0 && i + 1 < argc) {
       parse_ok = tools::ParseIntFlag("--instances", argv[++i], 1, 1 << 20,
                                      &instances);
@@ -103,20 +108,22 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--gen-links") == 0 && i + 1 < argc) {
       parse_ok = tools::ParseIntFlag("--gen-links", argv[++i], 2, 1 << 16,
                                      &gen_links);
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      // handled by bench::JsonReport
+    } else if (obs::BenchHarness::IsHarnessFlag(argv[i],
+                                                &harness_flag_value)) {
+      if (harness_flag_value) ++i;  // the harness validates the value
     } else {
       parse_ok = false;
     }
   }
-  if (!parse_ok) {
+  obs::BenchHarness report("E20", argc, argv);
+  if (!parse_ok || !report.args_ok()) {
     std::fprintf(stderr,
                  "usage: %s [--instances K] [--threads T] [--repeat R] "
-                 "[--gen-links L] [--json]\n",
+                 "[--gen-links L] [--json] [--reps N] [--warmup N] "
+                 "[--min-time-ms T]\n",
                  argv[0]);
     return 2;
   }
-  bench::JsonReport report("E20", argc, argv);
 
   bench::Banner("E20", "Sweep engine: grid throughput over kernel arenas",
                 "one parameter grid, kernels rebuilt into warm per-worker "
@@ -141,17 +148,37 @@ int main(int argc, char** argv) {
       sweep::SweepSignature(sweep::SweepRunner(malloc_config).Run(spec));
 
   // Best-of-R timing, alternating modes so neither systematically runs on
-  // a warmer machine than the other.
+  // a warmer machine than the other.  Each mode's per-pass wall times feed
+  // the harness as one multi-sample phase, with the obs counter deltas
+  // (arena_rebuilds, geometry_reuses, ...) accumulated per mode.
+  const auto merge = [](std::map<std::string, long long>& into,
+                        std::map<std::string, long long> delta) {
+    for (const auto& [name, value] : delta) into[name] += value;
+  };
   sweep::SweepResult arena_result;
-  double arena_ms = -1.0;
-  double malloc_ms = -1.0;
+  std::vector<double> arena_samples;
+  std::vector<double> malloc_samples;
+  std::map<std::string, long long> arena_counters;
+  std::map<std::string, long long> malloc_counters;
   for (int r = 0; r < repeat; ++r) {
-    sweep::SweepResult a = sweep::SweepRunner(arena_config).Run(spec);
-    arena_ms = arena_ms < 0.0 ? a.wall_ms : std::min(arena_ms, a.wall_ms);
-    if (r == 0) arena_result = std::move(a);
-    const sweep::SweepResult m = sweep::SweepRunner(malloc_config).Run(spec);
-    malloc_ms = malloc_ms < 0.0 ? m.wall_ms : std::min(malloc_ms, m.wall_ms);
+    {
+      obs::ScopedCounterCapture capture;
+      sweep::SweepResult a = sweep::SweepRunner(arena_config).Run(spec);
+      merge(arena_counters, capture.Take());
+      arena_samples.push_back(a.wall_ms);
+      if (r == 0) arena_result = std::move(a);
+    }
+    {
+      obs::ScopedCounterCapture capture;
+      const sweep::SweepResult m = sweep::SweepRunner(malloc_config).Run(spec);
+      merge(malloc_counters, capture.Take());
+      malloc_samples.push_back(m.wall_ms);
+    }
   }
+  const double arena_ms =
+      *std::min_element(arena_samples.begin(), arena_samples.end());
+  const double malloc_ms =
+      *std::min_element(malloc_samples.begin(), malloc_samples.end());
 
   if (sweep::SweepSignature(arena_result) != malloc_signature) {
     std::printf(
@@ -176,8 +203,10 @@ int main(int argc, char** argv) {
   std::printf("reuse speedup: %sx (results bit-identical)\n",
               bench::Fmt(malloc_ms / arena_ms, 3).c_str());
 
-  report.Record("sweep_arena", static_cast<long long>(cells), arena_ms);
-  report.Record("sweep_malloc", static_cast<long long>(cells), malloc_ms);
+  report.AddSamples("sweep_arena", static_cast<long long>(cells),
+                    arena_samples, std::move(arena_counters));
+  report.AddSamples("sweep_malloc", static_cast<long long>(cells),
+                    malloc_samples, std::move(malloc_counters));
 
   // Isolated kernel-rebuild A/B at the largest cell shape: the cost of
   // exactly what the arena replaces, free of instance generation and task
@@ -196,26 +225,30 @@ int main(int argc, char** argv) {
       (void)sink;
     }
 
-    bench::WallTimer timer;
-    for (int r = 0; r < reps; ++r) {
-      const sinr::KernelCache kernel(inst.system(), inst.power());
-      volatile double sink = kernel.LinkDecay(0);
-      (void)sink;
-    }
-    const double fresh_ms = timer.ElapsedMs();
+    const auto& fresh_stats =
+        report.Time("kernel_rebuild_fresh", shape.links, [&] {
+          for (int r = 0; r < reps; ++r) {
+            const sinr::KernelCache kernel(inst.system(), inst.power());
+            volatile double sink = kernel.LinkDecay(0);
+            (void)sink;
+          }
+        });
+    const double fresh_ms = fresh_stats.min_ms;
 
     sinr::KernelArena arena;
     // The first Rebuild pays the slab allocations; keep it out of the
     // timing, matching the fresh path's untimed warm-up.
     arena.Rebuild(inst.system(), inst.power());
-    timer.Reset();
-    for (int r = 0; r < reps; ++r) {
-      const sinr::KernelCache& kernel =
-          arena.Rebuild(inst.system(), inst.power());
-      volatile double sink = kernel.LinkDecay(0);
-      (void)sink;
-    }
-    const double arena_rebuild_ms = timer.ElapsedMs();
+    const auto& arena_stats =
+        report.Time("kernel_rebuild_arena", shape.links, [&] {
+          for (int r = 0; r < reps; ++r) {
+            const sinr::KernelCache& kernel =
+                arena.Rebuild(inst.system(), inst.power());
+            volatile double sink = kernel.LinkDecay(0);
+            (void)sink;
+          }
+        });
+    const double arena_rebuild_ms = arena_stats.min_ms;
 
     std::printf(
         "\nkernel rebuild at n=%d: %s/s through arena vs %s/s fresh "
@@ -223,8 +256,6 @@ int main(int argc, char** argv) {
         shape.links, bench::Fmt(1000.0 * reps / arena_rebuild_ms, 1).c_str(),
         bench::Fmt(1000.0 * reps / fresh_ms, 1).c_str(),
         bench::Fmt(fresh_ms / arena_rebuild_ms, 3).c_str());
-    report.Record("kernel_rebuild_arena", shape.links, arena_rebuild_ms);
-    report.Record("kernel_rebuild_fresh", shape.links, fresh_ms);
   }
 
   // Instance-generation A/B on a power/beta-only grid: the cost of getting
@@ -261,9 +292,21 @@ int main(int argc, char** argv) {
     generation_pass(false, engine::PairingMode::kSortGreedy);
 
     const double sort_ms =
-        generation_pass(false, engine::PairingMode::kSortGreedy);
-    const double grid_ms = generation_pass(false, engine::PairingMode::kAuto);
-    const double cached_ms = generation_pass(true, engine::PairingMode::kAuto);
+        report
+            .Time("instance_gen_sort", gen_links,
+                  [&] { generation_pass(false,
+                                        engine::PairingMode::kSortGreedy); })
+            .min_ms;
+    const double grid_ms =
+        report
+            .Time("instance_gen_grid_pairing", gen_links,
+                  [&] { generation_pass(false, engine::PairingMode::kAuto); })
+            .min_ms;
+    const double cached_ms =
+        report
+            .Time("instance_gen_geometry_cache", gen_links,
+                  [&] { generation_pass(true, engine::PairingMode::kAuto); })
+            .min_ms;
 
     std::printf(
         "\ninstance generation at n=%d nodes, %zu-cell power/beta grid x %d "
@@ -277,9 +320,6 @@ int main(int argc, char** argv) {
         bench::Fmt(sort_ms / grid_ms, 2).c_str(),
         bench::Fmt(cached_ms / cell_count, 2).c_str(),
         bench::Fmt(sort_ms / cached_ms, 2).c_str());
-    report.Record("instance_gen_sort", gen_links, sort_ms);
-    report.Record("instance_gen_grid_pairing", gen_links, grid_ms);
-    report.Record("instance_gen_geometry_cache", gen_links, cached_ms);
 
     // Bit-transparency gate for the whole new path: the grid through the
     // sweep runner with geometry cache + grid pairing must reproduce the
@@ -302,5 +342,5 @@ int main(int argc, char** argv) {
         "built / %lld reused)\n",
         new_run.geometry_builds, new_run.geometry_reuses);
   }
-  return 0;
+  return report.Close();
 }

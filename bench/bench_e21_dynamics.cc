@@ -21,8 +21,10 @@
 // Flags: --links <n> (default 512), --slots <queue slots> (default 200),
 //        --lambda <arrival rate> (default 0.2, overloads the default n so
 //        the admission loops actually work), --rounds <regret rounds>
-//        (default 300), --repeat <best-of> (default 3), --json (write
-//        BENCH_E21.json).
+//        (default 300), --repeat <best-of> (default 3; becomes the
+//        harness's default sample count), plus the obs::BenchHarness flags
+//        --json (write BENCH_E21.json, schema v2), --reps/--warmup/
+//        --min-time-ms (override --repeat's sampling).
 //
 // Run in a Release build; the Assert build's DL_CHECK instrumentation
 // dominates the naive inner loops.
@@ -32,6 +34,7 @@
 #include "bench_util.h"
 #include "distributed/regret_game.h"
 #include "dynamics/queue_system.h"
+#include "obs/bench_harness.h"
 #include "sinr/kernel.h"
 #include "sinr/power.h"
 #include "tool_args.h"
@@ -64,20 +67,28 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--lambda") == 0 && i + 1 < argc) {
       parse_ok = tools::ParseDoubleFlag("--lambda", argv[++i], 0.0, 1.0,
                                         &lambda);
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      // handled by bench::JsonReport
     } else {
-      parse_ok = false;
+      bool harness_flag_value = false;
+      if (obs::BenchHarness::IsHarnessFlag(argv[i], &harness_flag_value)) {
+        if (harness_flag_value) ++i;  // the harness validates the value
+      } else {
+        parse_ok = false;
+      }
     }
   }
-  if (!parse_ok) {
+  // --repeat becomes the harness's default sample count, so "best of R"
+  // turns into R timed samples per phase (min_ms is the quoted number;
+  // --reps overrides).
+  obs::BenchHarness report("E21", argc, argv,
+                           obs::BenchHarness::Options{.reps = repeat});
+  if (!parse_ok || !report.args_ok()) {
     std::fprintf(stderr,
                  "usage: %s [--links N] [--slots S] [--lambda L] [--rounds R] "
-                 "[--repeat K] [--json]\n",
+                 "[--repeat K] [--json] [--reps N] [--warmup N] "
+                 "[--min-time-ms T]\n",
                  argv[0]);
     return 2;
   }
-  bench::JsonReport report("E21", argc, argv);
 
   bench::Banner("E21", "Dynamics over cached kernels: queue + regret A/B",
                 "per-slot feasibility/SINR via one warm kernel per instance; "
@@ -92,22 +103,16 @@ int main(int argc, char** argv) {
 
   std::printf("\nn = %d links, %d queue slots at lambda = %g, %d regret "
               "rounds, best of %d\n\n",
-              links, slots, lambda, rounds, repeat);
+              links, slots, lambda, rounds, report.options().reps);
 
   bench::Table table(
       {"workload", "naive ms", "cached ms", "warm ms", "speedup"});
 
-  // Best-of-R timing of one simulation path; every run restarts the rng
-  // from the fixed seed, so repeats are bit-identical re-executions.
-  const auto best_of = [&](auto&& run) {
-    double best = -1.0;
-    for (int r = 0; r < repeat; ++r) {
-      bench::WallTimer timer;
-      run();
-      const double ms = timer.ElapsedMs();
-      best = best < 0.0 ? ms : std::min(best, ms);
-    }
-    return best;
+  // Best-of-R timing of one simulation path: R harness samples (every run
+  // restarts the rng from the fixed seed, so repeats are bit-identical
+  // re-executions) with min_ms as the quoted number.
+  const auto best_of = [&](const std::string& phase, auto&& run) {
+    return report.Time(phase, links, run).min_ms;
   };
 
   double lqf_naive_ms = 0.0;
@@ -143,14 +148,16 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    const double naive_ms = best_of([&] {
+    const std::string phase_prefix =
+        std::string("queue_") + dynamics::SchedulerName(qc.scheduler);
+    const double naive_ms = best_of(phase_prefix + "_naive", [&] {
       geom::Rng rng(kSeed + 7);
       volatile double sink =
           dynamics::RunQueueSimulationNaive(system, config, rng).throughput;
       (void)sink;
     });
     // Standalone per-instance cost: the kernel build is inside the timer.
-    const double cached_ms = best_of([&] {
+    const double cached_ms = best_of(phase_prefix + "_cached", [&] {
       geom::Rng rng(kSeed + 7);
       const sinr::KernelCache kernel(system, sinr::UniformPower(system));
       volatile double sink =
@@ -160,7 +167,7 @@ int main(int argc, char** argv) {
     // Warm-kernel view: the kernel prebuilt outside the timer, as a batch
     // worker sees it (the instance kernel already exists for every task).
     const sinr::KernelCache warm_kernel(system, sinr::UniformPower(system));
-    const double warm_ms = best_of([&] {
+    const double warm_ms = best_of(phase_prefix + "_warm", [&] {
       geom::Rng rng(kSeed + 7);
       volatile double sink =
           dynamics::RunQueueSimulation(warm_kernel, config, rng).throughput;
@@ -173,15 +180,6 @@ int main(int argc, char** argv) {
     table.AddRow({qc.label, bench::Fmt(naive_ms, 1), bench::Fmt(cached_ms, 1),
                   bench::Fmt(warm_ms, 1),
                   bench::Fmt(naive_ms / cached_ms, 2) + "x"});
-    report.Record(std::string("queue_") +
-                      dynamics::SchedulerName(qc.scheduler) + "_naive",
-                  links, naive_ms);
-    report.Record(std::string("queue_") +
-                      dynamics::SchedulerName(qc.scheduler) + "_cached",
-                  links, cached_ms);
-    report.Record(std::string("queue_") +
-                      dynamics::SchedulerName(qc.scheduler) + "_warm",
-                  links, warm_ms);
   }
 
   {
@@ -205,14 +203,14 @@ int main(int argc, char** argv) {
       return 1;
     }
 
-    const double naive_ms = best_of([&] {
+    const double naive_ms = best_of("regret_naive", [&] {
       geom::Rng rng(kSeed + 13);
       volatile double sink =
           distributed::RunRegretGameNaive(system, config, rng)
               .average_successes;
       (void)sink;
     });
-    const double cached_ms = best_of([&] {
+    const double cached_ms = best_of("regret_cached", [&] {
       geom::Rng rng(kSeed + 13);
       const sinr::KernelCache kernel(system, sinr::UniformPower(system));
       volatile double sink =
@@ -220,7 +218,7 @@ int main(int argc, char** argv) {
       (void)sink;
     });
     const sinr::KernelCache warm_kernel(system, sinr::UniformPower(system));
-    const double warm_ms = best_of([&] {
+    const double warm_ms = best_of("regret_warm", [&] {
       geom::Rng rng(kSeed + 13);
       volatile double sink =
           distributed::RunRegretGame(warm_kernel, config, rng)
@@ -230,9 +228,6 @@ int main(int argc, char** argv) {
     table.AddRow({"regret game", bench::Fmt(naive_ms, 1),
                   bench::Fmt(cached_ms, 1), bench::Fmt(warm_ms, 1),
                   bench::Fmt(naive_ms / cached_ms, 2) + "x"});
-    report.Record("regret_naive", links, naive_ms);
-    report.Record("regret_cached", links, cached_ms);
-    report.Record("regret_warm", links, warm_ms);
 
     // The LinkSystem entry point's size dispatch (kRegretKernelCrossover):
     // below the crossover it must route to the naive path, so a standalone
@@ -250,7 +245,7 @@ int main(int argc, char** argv) {
                   "reference\n");
       return 1;
     }
-    const double auto_ms = best_of([&] {
+    const double auto_ms = best_of("regret_auto", [&] {
       geom::Rng rng(kSeed + 13);
       volatile double sink =
           distributed::RunRegretGame(system, config, rng).average_successes;
@@ -258,7 +253,6 @@ int main(int argc, char** argv) {
     });
     table.AddRow({"regret auto", bench::Fmt(auto_ms, 1), "-", "-",
                   bench::Fmt(naive_ms / auto_ms, 2) + "x"});
-    report.Record("regret_auto", links, auto_ms);
     if (links < distributed::kRegretKernelCrossover &&
         auto_ms > naive_ms * 1.3 + 0.2) {
       std::printf("ERROR: regret auto dispatch slower than naive below the "
@@ -274,5 +268,5 @@ int main(int argc, char** argv) {
       "(cached timings include the per-run kernel build)\n");
   std::printf("LQF per-instance speedup: %sx\n",
               bench::Fmt(lqf_naive_ms / lqf_cached_ms, 2).c_str());
-  return 0;
+  return report.Close();
 }

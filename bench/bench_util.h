@@ -1,6 +1,6 @@
 // Shared helpers for the experiment benches: markdown table printing, common
-// instance builders, wall-clock timing, and the machine-readable --json
-// reporting mode.
+// instance builders, and wall-clock timing.  The machine-readable --json
+// reporting mode lives in obs/bench_harness.h (BENCH schema v2).
 #pragma once
 
 #include <chrono>
@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/check.h"
 #include "core/decay_space.h"
 #include "geom/rng.h"
 #include "sinr/link_system.h"
@@ -25,7 +26,11 @@ class Table {
   explicit Table(std::vector<std::string> headers)
       : headers_(std::move(headers)) {}
 
-  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+  void AddRow(std::vector<std::string> cells) {
+    DL_CHECK(cells.size() == headers_.size(),
+             "table row arity must match the header");
+    rows_.push_back(std::move(cells));
+  }
 
   void Print() const {
     std::vector<std::size_t> width(headers_.size());
@@ -96,65 +101,6 @@ class WallTimer {
 
  private:
   std::chrono::steady_clock::time_point start_;
-};
-
-// Machine-readable timing records.  Construct with the bench id and the
-// program arguments; when --json is among them, the destructor writes
-// BENCH_<id>.json in the working directory:
-//   {"bench": "E18", "phases": [
-//     {"name": "alg1_naive", "n": 512, "wall_ms": 1234.5}, ...]}
-// Record() is cheap and safe to call unconditionally; without --json the
-// report is simply dropped, so benches pay nothing for instrumenting every
-// phase.  This gives the perf trajectory of the repo a stable, parseable
-// artifact from every bench run.
-class JsonReport {
- public:
-  JsonReport(std::string id, int argc, char** argv) : id_(std::move(id)) {
-    for (int i = 1; i < argc; ++i) {
-      if (std::strcmp(argv[i], "--json") == 0) enabled_ = true;
-    }
-  }
-
-  JsonReport(const JsonReport&) = delete;
-  JsonReport& operator=(const JsonReport&) = delete;
-
-  bool enabled() const { return enabled_; }
-
-  // One timing record: a named phase over an instance of size n.
-  void Record(const std::string& phase, long long n, double wall_ms) {
-    if (enabled_) phases_.push_back({phase, n, wall_ms});
-  }
-
-  ~JsonReport() {
-    if (!enabled_) return;
-    const std::string path = "BENCH_" + id_ + ".json";
-    std::FILE* out = std::fopen(path.c_str(), "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
-      return;
-    }
-    std::fprintf(out, "{\"bench\": \"%s\", \"phases\": [", id_.c_str());
-    for (std::size_t i = 0; i < phases_.size(); ++i) {
-      std::fprintf(out,
-                   "%s\n  {\"name\": \"%s\", \"n\": %lld, \"wall_ms\": %.6g}",
-                   i == 0 ? "" : ",", phases_[i].name.c_str(), phases_[i].n,
-                   phases_[i].wall_ms);
-    }
-    std::fprintf(out, "\n]}\n");
-    std::fclose(out);
-    std::printf("wrote %s (%zu phases)\n", path.c_str(), phases_.size());
-  }
-
- private:
-  struct Phase {
-    std::string name;
-    long long n;
-    double wall_ms;
-  };
-
-  std::string id_;
-  bool enabled_ = false;
-  std::vector<Phase> phases_;
 };
 
 // A random planar link deployment: link i occupies nodes 2i (sender) and

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/bench_harness.h"
+
 namespace decaylib::engine {
 
 std::string FmtFixed(double v, int digits) {
@@ -48,26 +50,6 @@ void PrintMarkdownTable(const std::vector<std::string>& headers,
 }
 
 namespace {
-
-// Scenario names are free-form user data; escape them before interpolating
-// into JSON string literals.
-std::string EscapeJson(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  return out;
-}
 
 std::string MeanOf(const ScenarioResult& r, const std::string& name,
                    int digits = 1) {
@@ -127,68 +109,56 @@ long long ViolationCount(std::span<const ScenarioResult> results) {
   return violations;
 }
 
-bool WriteJsonReport(const std::string& id,
-                     std::span<const ScenarioResult> results) {
-  const std::string path = "BENCH_" + id + ".json";
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "WriteJsonReport: cannot write %s\n", path.c_str());
-    return false;
-  }
-
-  std::fprintf(out, "{\"bench\": \"%s\", \"phases\": [",
-               EscapeJson(id).c_str());
-  bool first = true;
+io::Json ScenariosJson(std::span<const ScenarioResult> results) {
+  io::Json scenarios = io::Json::Array();
   for (const ScenarioResult& r : results) {
-    const auto phase = [&](const char* suffix, double wall_ms) {
-      std::fprintf(out,
-                   "%s\n  {\"name\": \"%s.%s\", \"n\": %d, \"wall_ms\": %.6g}",
-                   first ? "" : ",", EscapeJson(r.spec.name).c_str(), suffix,
-                   r.spec.links, wall_ms);
-      first = false;
-    };
-    phase("batch", r.batch_wall_ms);
-    phase("kernel_build", r.build_ms_total);
-    phase("tasks", r.task_ms_total);
-  }
-  std::fprintf(out, "\n],\n\"scenarios\": [");
-
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const ScenarioResult& r = results[i];
-    std::fprintf(out,
-                 "%s\n  {\"name\": \"%s\", \"topology\": \"%s\", "
-                 "\"links\": %d, \"instances\": %zu, "
-                 "\"throughput_per_s\": %.6g, \"metrics\": {",
-                 i == 0 ? "" : ",", EscapeJson(r.spec.name).c_str(),
-                 EscapeJson(r.spec.topology).c_str(), r.spec.links,
-                 r.instances.size(), r.Throughput());
-    bool first_metric = true;
+    io::Json entry = io::Json::Object();
+    entry.Set("name", io::Json::String(r.spec.name));
+    entry.Set("topology", io::Json::String(r.spec.topology));
+    entry.Set("links", io::Json::Number(r.spec.links));
+    entry.Set("instances",
+              io::Json::Number(static_cast<double>(r.instances.size())));
+    entry.Set("throughput_per_s", io::Json::Number(r.Throughput()));
+    io::Json metrics = io::Json::Object();
     for (const auto& [name, m] : r.aggregate) {
-      if (m.count == 0) continue;
-      std::fprintf(out,
-                   "%s\n    \"%s\": {\"sum\": %.17g, \"mean\": %.17g, "
-                   "\"min\": %.17g, \"max\": %.17g, \"count\": %lld}",
-                   first_metric ? "" : ",", name.c_str(), m.sum, m.Mean(),
-                   m.min, m.max, m.count);
-      first_metric = false;
+      if (m.count == 0) continue;  // keep inf sentinels out of the file
+      io::Json summary = io::Json::Object();
+      summary.Set("sum", io::Json::Number(m.sum));
+      summary.Set("mean", io::Json::Number(m.Mean()));
+      summary.Set("min", io::Json::Number(m.min));
+      summary.Set("max", io::Json::Number(m.max));
+      summary.Set("count", io::Json::Number(static_cast<double>(m.count)));
+      metrics.Set(name, std::move(summary));
     }
-    std::fprintf(out, "\n  }, \"stages\": {");
-    bool first_stage = true;
+    entry.Set("metrics", std::move(metrics));
+    io::Json stages = io::Json::Object();
     for (const obs::StageStats::Stage& s : r.stage_stats.stages) {
       if (s.count <= 0) continue;  // keep inf sentinels out of the file
-      std::fprintf(out,
-                   "%s\n    \"%s\": {\"count\": %lld, \"total_ms\": %.6g, "
-                   "\"min_ms\": %.6g, \"max_ms\": %.6g}",
-                   first_stage ? "" : ",", EscapeJson(s.name).c_str(), s.count,
-                   s.total_ms, s.min_ms, s.max_ms);
-      first_stage = false;
+      io::Json stage = io::Json::Object();
+      stage.Set("count", io::Json::Number(static_cast<double>(s.count)));
+      stage.Set("total_ms", io::Json::Number(s.total_ms));
+      stage.Set("min_ms", io::Json::Number(s.min_ms));
+      stage.Set("max_ms", io::Json::Number(s.max_ms));
+      stages.Set(s.name, std::move(stage));
     }
-    std::fprintf(out, "\n  }}");
+    entry.Set("stages", std::move(stages));
+    scenarios.Append(std::move(entry));
   }
-  std::fprintf(out, "\n]}\n");
-  std::fclose(out);
-  std::printf("wrote %s (%zu scenarios)\n", path.c_str(), results.size());
-  return true;
+  return scenarios;
+}
+
+bool WriteJsonReport(const std::string& id,
+                     std::span<const ScenarioResult> results) {
+  obs::BenchHarness harness(
+      id, obs::BenchHarness::Options{.write_json = true});
+  for (const ScenarioResult& r : results) {
+    harness.Record(r.spec.name + ".batch", r.spec.links, r.batch_wall_ms);
+    harness.Record(r.spec.name + ".kernel_build", r.spec.links,
+                   r.build_ms_total);
+    harness.Record(r.spec.name + ".tasks", r.spec.links, r.task_ms_total);
+  }
+  harness.SetExtra("scenarios", ScenariosJson(results));
+  return harness.Close() == 0;
 }
 
 }  // namespace decaylib::engine

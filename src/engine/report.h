@@ -1,12 +1,12 @@
 // Report sinks for batched scenario runs: human-readable markdown tables
-// and a machine-readable JSON file compatible with the BENCH_<id>.json
-// timing-record format of bench/bench_util.h.
+// and a machine-readable BENCH_<id>.json record in the schema-v2 format of
+// obs/bench_harness.h.
 //
-// The JSON keeps the exact `{"bench": id, "phases": [{"name", "n",
-// "wall_ms"}...]}` shape existing tooling parses (one phase per scenario
-// for batch wall / kernel build / task time), and adds a `"scenarios"`
-// array carrying the deterministic aggregates -- extra keys old parsers
-// simply ignore.
+// The record carries one phase per scenario for batch wall / kernel build /
+// task time (each phase keeps the v1 "name"/"n"/"wall_ms" keys old parsers
+// read), a provenance block, and a "scenarios" extra member with the
+// deterministic aggregates -- an extra key schema-v2 parsers ignore, the
+// same way v1 parsers ignore the v2 keys.
 #pragma once
 
 #include <span>
@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "engine/batch_runner.h"
+#include "io/json.h"
 
 namespace decaylib::engine {
 
@@ -38,8 +39,15 @@ void PrintReport(std::span<const ScenarioResult> results);
 // means an algorithm produced an infeasible set or an invalid schedule.
 long long ViolationCount(std::span<const ScenarioResult> results);
 
-// Writes BENCH_<id>.json in the working directory.  Returns false (and
-// prints to stderr) when the file cannot be written.
+// The per-scenario deterministic aggregates as a JSON array: name,
+// topology, links, instances, throughput, non-empty metric summaries and
+// stage wall-time totals per scenario.  Attached to the BENCH record as the
+// "scenarios" member; also usable standalone.
+io::Json ScenariosJson(std::span<const ScenarioResult> results);
+
+// Writes BENCH_<id>.json (schema v2, re-parse-validated through io::Json)
+// in the working directory.  Returns false (and prints to stderr) when the
+// file cannot be written or fails validation.
 bool WriteJsonReport(const std::string& id,
                      std::span<const ScenarioResult> results);
 

@@ -1,0 +1,176 @@
+#include "obs/bench_compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace decaylib::obs {
+
+namespace {
+
+std::string FmtMs(double ms) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", ms);
+  return buffer;
+}
+
+std::string FmtPct(double rel) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%+.1f%%", rel * 100.0);
+  return buffer;
+}
+
+// Counters whose deltas changed between the two runs: the behavioural
+// explanation for a timing shift, when there is one.
+std::string CounterNote(const BenchPhaseRecord& base,
+                        const BenchPhaseRecord& current) {
+  std::set<std::string> names;
+  for (const auto& [name, value] : base.counters) names.insert(name);
+  for (const auto& [name, value] : current.counters) names.insert(name);
+  std::string note;
+  int listed = 0;
+  for (const std::string& name : names) {
+    const auto b = base.counters.find(name);
+    const auto c = current.counters.find(name);
+    const long long base_value = b == base.counters.end() ? 0 : b->second;
+    const long long cur_value = c == current.counters.end() ? 0 : c->second;
+    if (base_value == cur_value) continue;
+    if (listed == 3) {
+      note += ", ...";
+      break;
+    }
+    if (!note.empty()) note += ", ";
+    note += name + " " + std::to_string(base_value) + "->" +
+            std::to_string(cur_value);
+    ++listed;
+  }
+  return note;
+}
+
+void CompareProvenance(const Provenance& base, const Provenance& current,
+                       std::vector<std::string>* warnings) {
+  const auto warn = [warnings](const std::string& what, const std::string& a,
+                               const std::string& b) {
+    warnings->push_back(what + " differs: base '" + a + "' vs current '" + b +
+                        "'");
+  };
+  if (base.hostname != current.hostname) {
+    warn("host", base.hostname, current.hostname);
+  }
+  if (base.build_type != current.build_type) {
+    warn("build type", base.build_type, current.build_type);
+  }
+  if (base.ndebug != current.ndebug) {
+    warn("NDEBUG", base.ndebug ? "on" : "off", current.ndebug ? "on" : "off");
+  }
+  if (base.sanitizers != current.sanitizers) {
+    warn("sanitizers", base.sanitizers, current.sanitizers);
+  }
+  if (base.compiler != current.compiler) {
+    warn("compiler", base.compiler, current.compiler);
+  }
+}
+
+}  // namespace
+
+const char* DeltaVerdictName(DeltaVerdict verdict) {
+  switch (verdict) {
+    case DeltaVerdict::kWithinNoise:
+      return "within noise";
+    case DeltaVerdict::kRegression:
+      return "REGRESSION";
+    case DeltaVerdict::kImprovement:
+      return "improvement";
+    case DeltaVerdict::kMissingPhase:
+      return "MISSING";
+    case DeltaVerdict::kNewPhase:
+      return "new phase";
+  }
+  return "unknown";
+}
+
+CompareResult CompareBenchReports(const BenchReportData& base,
+                                  const BenchReportData& current,
+                                  const CompareOptions& options) {
+  CompareResult result;
+  CompareProvenance(base.provenance, current.provenance,
+                    &result.provenance_warnings);
+  for (const BenchPhaseRecord& base_phase : base.phases) {
+    PhaseDelta delta;
+    delta.name = base_phase.name;
+    delta.base_ms = base_phase.stats.min_ms;
+    const BenchPhaseRecord* cur_phase = current.Find(base_phase.name);
+    if (cur_phase == nullptr) {
+      delta.verdict = DeltaVerdict::kMissingPhase;
+      if (!options.allow_missing) ++result.regressions;
+      result.deltas.push_back(std::move(delta));
+      continue;
+    }
+    delta.cur_ms = cur_phase->stats.min_ms;
+    delta.delta_ms = delta.cur_ms - delta.base_ms;
+    delta.rel = delta.base_ms > 0.0 ? delta.delta_ms / delta.base_ms : 0.0;
+    delta.noise_ms =
+        options.k_sigma *
+        std::max(base_phase.stats.stddev_ms, cur_phase->stats.stddev_ms);
+    const double magnitude = std::abs(delta.delta_ms);
+    const bool significant = std::abs(delta.rel) > options.rel_threshold &&
+                             magnitude > delta.noise_ms &&
+                             magnitude > options.min_abs_ms;
+    if (significant) {
+      delta.verdict = delta.delta_ms > 0.0 ? DeltaVerdict::kRegression
+                                           : DeltaVerdict::kImprovement;
+      if (delta.verdict == DeltaVerdict::kRegression) {
+        ++result.regressions;
+      } else {
+        ++result.improvements;
+      }
+      delta.note = CounterNote(base_phase, *cur_phase);
+    }
+    result.deltas.push_back(std::move(delta));
+  }
+  for (const BenchPhaseRecord& cur_phase : current.phases) {
+    if (base.Find(cur_phase.name) != nullptr) continue;
+    PhaseDelta delta;
+    delta.name = cur_phase.name;
+    delta.verdict = DeltaVerdict::kNewPhase;
+    delta.cur_ms = cur_phase.stats.min_ms;
+    result.deltas.push_back(std::move(delta));
+  }
+  return result;
+}
+
+std::string CompareMarkdownTable(const CompareResult& result,
+                                 const std::string& bench) {
+  std::ostringstream out;
+  out << "### " << bench << "\n\n";
+  for (const std::string& warning : result.provenance_warnings) {
+    out << "> warning: " << warning << "\n";
+  }
+  if (!result.provenance_warnings.empty()) out << "\n";
+  out << "| phase | base min (ms) | current min (ms) | delta | rel | noise "
+         "(ms) | verdict |\n";
+  out << "|---|---:|---:|---:|---:|---:|---|\n";
+  for (const PhaseDelta& delta : result.deltas) {
+    out << "| " << delta.name << " | ";
+    if (delta.verdict == DeltaVerdict::kNewPhase) {
+      out << "- | " << FmtMs(delta.cur_ms) << " | - | - | - | ";
+    } else if (delta.verdict == DeltaVerdict::kMissingPhase) {
+      out << FmtMs(delta.base_ms) << " | - | - | - | - | ";
+    } else {
+      out << FmtMs(delta.base_ms) << " | " << FmtMs(delta.cur_ms) << " | "
+          << FmtMs(delta.delta_ms) << " | " << FmtPct(delta.rel) << " | "
+          << FmtMs(delta.noise_ms) << " | ";
+    }
+    out << DeltaVerdictName(delta.verdict);
+    if (!delta.note.empty()) out << " (" << delta.note << ")";
+    out << " |\n";
+  }
+  out << "\n" << result.regressions << " regression(s), "
+      << result.improvements << " improvement(s), " << result.deltas.size()
+      << " phase(s) compared\n";
+  return out.str();
+}
+
+}  // namespace decaylib::obs

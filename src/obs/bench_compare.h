@@ -1,0 +1,78 @@
+// Noise-aware comparison of two BENCH v2 records (obs/bench_harness.h).
+//
+// A single wall-clock delta between two bench runs is meaningless on a
+// shared machine: the question is whether the delta clears the run's own
+// measured dispersion.  CompareBenchReports matches phases by name and
+// flags a delta only when it exceeds *all three* guards at once --
+// a relative bound (rel_threshold), a dispersion bound (k_sigma times the
+// larger of the two runs' stddevs), and an absolute floor (min_abs_ms,
+// which keeps microsecond phases from tripping percentage thresholds on
+// scheduler jitter).  Everything else is reported as within noise.
+//
+// The headline metric is min_ms: the minimum over samples is the standard
+// low-noise estimator for "how fast can this code go" (one-sided noise --
+// interference only ever adds time).  The dispersion guard still uses the
+// full-sample stddev.
+//
+// Provenance is compared too: a host/build-type/NDEBUG mismatch between the
+// two records does not fail the comparison, but it is surfaced in the
+// result so a CI gate against baselines from different hardware can say
+// why its thresholds are loose (tools/bench_compare prints the warning).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/bench_harness.h"
+
+namespace decaylib::obs {
+
+struct CompareOptions {
+  double rel_threshold = 0.25;  // flag only |delta| / base beyond this
+  double k_sigma = 3.0;         // ... and |delta| > k * max(stddevs)
+  double min_abs_ms = 0.5;      // ... and |delta| above this floor
+  bool allow_missing = false;   // base phase absent from current: note vs fail
+};
+
+enum class DeltaVerdict {
+  kWithinNoise,
+  kRegression,    // current slower, beyond every guard
+  kImprovement,   // current faster, beyond every guard
+  kMissingPhase,  // in base, absent from current (regression unless allowed)
+  kNewPhase,      // in current only; informational
+};
+
+const char* DeltaVerdictName(DeltaVerdict verdict);
+
+// One matched (or unmatched) phase pair.
+struct PhaseDelta {
+  std::string name;
+  DeltaVerdict verdict = DeltaVerdict::kWithinNoise;
+  double base_ms = 0.0;   // base min_ms (0 for kNewPhase)
+  double cur_ms = 0.0;    // current min_ms (0 for kMissingPhase)
+  double delta_ms = 0.0;  // cur - base
+  double rel = 0.0;       // delta_ms / base_ms (0 when base is 0)
+  double noise_ms = 0.0;  // k_sigma * max(base stddev, current stddev)
+  std::string note;       // counter-delta attribution, when any
+};
+
+struct CompareResult {
+  std::vector<PhaseDelta> deltas;  // base order, then new phases
+  int regressions = 0;
+  int improvements = 0;
+  // Provenance mismatches worth a warning next to any verdict.
+  std::vector<std::string> provenance_warnings;
+
+  bool ok() const { return regressions == 0; }
+};
+
+CompareResult CompareBenchReports(const BenchReportData& base,
+                                  const BenchReportData& current,
+                                  const CompareOptions& options);
+
+// GitHub-flavoured markdown delta table plus provenance warnings and a
+// one-line summary; what tools/bench_compare prints per matched pair.
+std::string CompareMarkdownTable(const CompareResult& result,
+                                 const std::string& bench);
+
+}  // namespace decaylib::obs

@@ -1,0 +1,193 @@
+// Statistics-aware bench harness: the BENCH v2 timing-record layer.
+//
+// bench::JsonReport (PR 1) emitted one unrepeated wall_ms per phase with no
+// run provenance and no dispersion, so no two BENCH files were comparable:
+// a silent regression was indistinguishable from a noisy run or a different
+// build type.  BenchHarness replaces it with the same memoize-and-compare
+// discipline the kernel layer applies to results -- stamp each measurement
+// with everything needed to compare it later, then let bench_compare
+// (obs/bench_compare.h, tools/bench_compare) diff two records with
+// noise-aware thresholds.
+//
+// Per phase the harness records:
+//   * dispersion statistics over warmup + repeated timed samples
+//     (min/mean/median/p90/stddev; --reps and --min-time-ms control the
+//     sample count, defaulting to one sample so existing CI invocations
+//     keep their cost), via the same QuantileFromSorted helper the metrics
+//     histograms use;
+//   * an obs::Registry counter delta (nonzero counters only): the timed
+//     section runs with obs::Enabled() on -- inert by the library-wide
+//     contract, so results are bit-identical and the small uniform counter
+//     cost cancels out of any comparison between two harness runs -- so a
+//     timing shift can be attributed to a behavioural change
+//     (arena_rebuilds, geometry_reuses, admission_checks, ...) instead of
+//     just observed.
+//
+// The record carries a Provenance block (git sha + dirty flag, build type,
+// compiler, NDEBUG/sanitizers, thread count, hostname, UTC timestamp) and
+// is written through io::Json, then re-read and re-parse-validated: a
+// write or validation failure is a non-zero exit (Close()), so CI cannot
+// silently lose a record the way JsonReport's fopen-failure-then-exit-0
+// could.
+//
+// Schema v2 ({"bench", "schema": 2, "provenance", "phases": [...]}) keeps
+// the v1 keys ("name", "n", "wall_ms" = the min sample) inside each phase,
+// so v1 consumers keep parsing the files they already understand.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "io/json.h"
+#include "obs/provenance.h"
+
+namespace decaylib::obs {
+
+// Dispersion statistics over a phase's timed samples.  stddev is the
+// population standard deviation (0 for a single sample); median/p90 use
+// the shared QuantileFromSorted linear-interpolation rule (obs/registry.h).
+struct SampleStats {
+  int reps = 0;
+  double total_ms = 0.0;
+  double min_ms = 0.0;
+  double mean_ms = 0.0;
+  double median_ms = 0.0;
+  double p90_ms = 0.0;
+  double stddev_ms = 0.0;
+
+  static SampleStats FromSamples(std::span<const double> samples_ms);
+};
+
+// One parsed BENCH v2 phase record (also the in-memory shape bench_compare
+// diffs).
+struct BenchPhaseRecord {
+  std::string name;
+  long long n = 0;
+  SampleStats stats;
+  std::vector<double> samples_ms;
+  std::map<std::string, long long> counters;  // nonzero obs counter deltas
+};
+
+// One parsed BENCH v2 document.
+struct BenchReportData {
+  std::string bench;
+  int schema = 0;
+  Provenance provenance;
+  std::vector<BenchPhaseRecord> phases;
+
+  const BenchPhaseRecord* Find(const std::string& name) const;
+};
+
+// Strict schema-v2 validation/parse of a BENCH document; kInvalidArgument
+// names the first offending field.  LoadBenchReport adds the file read and
+// io::Json::Parse in front (kIoError on read/parse failures).
+core::StatusOr<BenchReportData> ParseBenchReport(const io::Json& doc);
+core::StatusOr<BenchReportData> LoadBenchReport(const std::string& path);
+
+class BenchHarness {
+ public:
+  struct Options {
+    int reps = 1;             // timed samples per phase (>= 1)
+    int warmup = 0;           // untimed runs per Time() phase
+    double min_time_ms = 0.0;  // keep sampling past reps until this total
+    bool write_json = false;   // write BENCH_<id>.json on Close()
+  };
+
+  // Monotonic clock in milliseconds; injectable so tests can drive the
+  // sample statistics deterministically.
+  using Clock = std::function<double()>;
+
+  // CLI constructor: scans argv for the harness flags --json, --reps N,
+  // --warmup N, --min-time-ms T, which override `defaults` (a bench's own
+  // flags, e.g. e21's --repeat, arrive through `defaults`).  A malformed
+  // harness flag prints a diagnostic and clears args_ok(); benches exit 2
+  // on that, same as for their own flags.
+  BenchHarness(std::string id, int argc, char** argv, Options defaults);
+  BenchHarness(std::string id, int argc, char** argv);
+
+  // Direct constructor (tests, report writers): no argv scan; `clock`
+  // defaults to the steady clock, tests inject their own.
+  BenchHarness(std::string id, Options options, Clock clock = nullptr);
+
+  BenchHarness(const BenchHarness&) = delete;
+  BenchHarness& operator=(const BenchHarness&) = delete;
+
+  // True when `arg` is one of the harness's own CLI flags, so strict bench
+  // parsers can skip it (and its value slot when *takes_value is set).
+  static bool IsHarnessFlag(const char* arg, bool* takes_value);
+
+  bool args_ok() const { return args_ok_; }
+  bool enabled() const { return options_.write_json; }
+  const Options& options() const { return options_; }
+
+  // Runs `fn` warmup times untimed, then samples it until both the rep
+  // count and min_time_ms are satisfied (capped at kMaxSamplesPerPhase).
+  // The whole phase runs with obs enabled; the returned stats come from
+  // the timed samples and the recorded counter delta spans them all.
+  const SampleStats& Time(const std::string& name, long long n,
+                          const std::function<void()>& fn);
+
+  // Records caller-timed samples (benches that interleave A/B modes or
+  // share warmup across phases time themselves).  Pass the counter delta
+  // from a ScopedCounterCapture when attribution is wanted.
+  const SampleStats& AddSamples(
+      const std::string& name, long long n, std::vector<double> samples_ms,
+      std::map<std::string, long long> counters = {});
+
+  // Single caller-timed sample -- JsonReport::Record's shape, for phases
+  // that are inherently one-shot.
+  void Record(const std::string& name, long long n, double wall_ms);
+
+  // Attaches an extra top-level member to the written document (e.g. the
+  // scenario aggregates of bench_e19); unknown keys are ignored by
+  // ParseBenchReport, mirroring how v1 consumers treat v2 keys.
+  void SetExtra(const std::string& key, io::Json value);
+
+  std::size_t PhaseCount() const { return phases_.size(); }
+
+  // The complete BENCH v2 document.
+  io::Json ToJson() const;
+
+  // Writes BENCH_<id>.json in the working directory, re-reads it, and
+  // validates the round trip through ParseBenchReport.
+  core::Status Write() const;
+
+  // Exit-code helper for bench main()s: 0 when --json was not requested or
+  // Write() succeeded; 1 (after a stderr diagnostic) otherwise.
+  int Close() const;
+
+  static constexpr int kMaxSamplesPerPhase = 1000;
+
+ private:
+  void ParseArgs(int argc, char** argv, const Options& defaults);
+
+  std::string id_;
+  Options options_;
+  Clock clock_;
+  bool args_ok_ = true;
+  std::vector<BenchPhaseRecord> phases_;
+  std::vector<std::pair<std::string, io::Json>> extras_;
+};
+
+// RAII counter-delta capture for caller-timed phases: construction
+// snapshots the registry counters and turns obs on; Take() restores the
+// previous enabled state and returns the nonzero deltas.  Inert on
+// results by the obs contract.
+class ScopedCounterCapture {
+ public:
+  ScopedCounterCapture();
+  ~ScopedCounterCapture();
+
+  std::map<std::string, long long> Take();
+
+ private:
+  std::map<std::string, long long> before_;
+  bool was_enabled_ = false;
+  bool taken_ = false;
+};
+
+}  // namespace decaylib::obs

@@ -1,0 +1,200 @@
+#include "obs/provenance.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <thread>
+
+namespace decaylib::obs {
+
+namespace {
+
+// First line of a shell command's stdout, trailing whitespace stripped;
+// empty when the command cannot run or prints nothing.
+std::string CommandLine(const char* command) {
+  std::FILE* pipe = ::popen(command, "r");
+  if (pipe == nullptr) return "";
+  char buffer[256];
+  std::string out;
+  if (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) out = buffer;
+  ::pclose(pipe);
+  while (!out.empty() &&
+         (out.back() == '\n' || out.back() == '\r' || out.back() == ' ')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+std::string CompilerId() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+// Sanitizers the compiler exposes to the preprocessor.  UBSan defines no
+// feature macro on either major compiler, so it cannot appear here; the
+// address/thread/memory instrumentations (the ones that dominate timings)
+// do.
+std::string SanitizerList() {
+#if defined(__has_feature)
+#define DECAYLIB_HAS_FEATURE(x) __has_feature(x)
+#else
+#define DECAYLIB_HAS_FEATURE(x) 0
+#endif
+  std::string out;
+  [[maybe_unused]] const auto add = [&out](const char* name) {
+    if (!out.empty()) out += ",";
+    out += name;
+  };
+#if defined(__SANITIZE_ADDRESS__)
+  add("address");
+#elif DECAYLIB_HAS_FEATURE(address_sanitizer)
+  add("address");
+#endif
+#if defined(__SANITIZE_THREAD__)
+  add("thread");
+#elif DECAYLIB_HAS_FEATURE(thread_sanitizer)
+  add("thread");
+#endif
+#if DECAYLIB_HAS_FEATURE(memory_sanitizer)
+  add("memory");
+#endif
+#undef DECAYLIB_HAS_FEATURE
+  return out.empty() ? "none" : out;
+}
+
+// Requires kind `want` under `key`; writes the member pointer or an error.
+core::Status Require(const io::Json& json, const char* key,
+                     io::Json::Kind want, const io::Json** out) {
+  const io::Json* member = json.Find(key);
+  if (member == nullptr) {
+    return core::Status::InvalidArgument(
+        std::string("provenance: missing field '") + key + "'");
+  }
+  if (member->kind() != want) {
+    return core::Status::InvalidArgument(
+        std::string("provenance: field '") + key + "' has the wrong kind");
+  }
+  *out = member;
+  return core::Status::Ok();
+}
+
+}  // namespace
+
+Provenance Provenance::Collect() {
+  Provenance p;
+  const std::string sha = CommandLine("git rev-parse HEAD 2>/dev/null");
+  if (!sha.empty()) {
+    p.git_sha = sha;
+    p.git_dirty =
+        !CommandLine("git status --porcelain 2>/dev/null | head -1").empty();
+  }
+#ifdef DECAYLIB_BUILD_TYPE
+  p.build_type = DECAYLIB_BUILD_TYPE;
+#endif
+  p.compiler = CompilerId();
+#ifdef NDEBUG
+  p.ndebug = true;
+#endif
+  p.sanitizers = SanitizerList();
+  p.hardware_threads = static_cast<int>(std::thread::hardware_concurrency());
+  char host[256] = {};
+  if (::gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+    p.hostname = host;
+  }
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm utc{};
+  if (gmtime_r(&now, &utc) != nullptr) {
+    char stamp[32];
+    if (std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc) > 0) {
+      p.timestamp_utc = stamp;
+    }
+  }
+  return p;
+}
+
+io::Json Provenance::ToJson() const {
+  io::Json out = io::Json::Object();
+  out.Set("git_sha", io::Json::String(git_sha));
+  out.Set("git_dirty", io::Json::Bool(git_dirty));
+  out.Set("build_type", io::Json::String(build_type));
+  out.Set("compiler", io::Json::String(compiler));
+  out.Set("ndebug", io::Json::Bool(ndebug));
+  out.Set("sanitizers", io::Json::String(sanitizers));
+  out.Set("hardware_threads",
+          io::Json::Number(static_cast<double>(hardware_threads)));
+  out.Set("hostname", io::Json::String(hostname));
+  out.Set("timestamp_utc", io::Json::String(timestamp_utc));
+  return out;
+}
+
+core::StatusOr<Provenance> Provenance::FromJson(const io::Json& json) {
+  if (!json.is_object()) {
+    return core::Status::InvalidArgument("provenance: expected an object");
+  }
+  Provenance p;
+  const io::Json* field = nullptr;
+  if (core::Status s = Require(json, "git_sha", io::Json::Kind::kString,
+                               &field);
+      !s.ok()) {
+    return s;
+  }
+  p.git_sha = field->AsString();
+  if (core::Status s = Require(json, "git_dirty", io::Json::Kind::kBool,
+                               &field);
+      !s.ok()) {
+    return s;
+  }
+  p.git_dirty = field->AsBool();
+  if (core::Status s = Require(json, "build_type", io::Json::Kind::kString,
+                               &field);
+      !s.ok()) {
+    return s;
+  }
+  p.build_type = field->AsString();
+  if (core::Status s = Require(json, "compiler", io::Json::Kind::kString,
+                               &field);
+      !s.ok()) {
+    return s;
+  }
+  p.compiler = field->AsString();
+  if (core::Status s = Require(json, "ndebug", io::Json::Kind::kBool, &field);
+      !s.ok()) {
+    return s;
+  }
+  p.ndebug = field->AsBool();
+  if (core::Status s = Require(json, "sanitizers", io::Json::Kind::kString,
+                               &field);
+      !s.ok()) {
+    return s;
+  }
+  p.sanitizers = field->AsString();
+  if (core::Status s = Require(json, "hardware_threads",
+                               io::Json::Kind::kNumber, &field);
+      !s.ok()) {
+    return s;
+  }
+  p.hardware_threads = static_cast<int>(field->AsNumber());
+  if (core::Status s = Require(json, "hostname", io::Json::Kind::kString,
+                               &field);
+      !s.ok()) {
+    return s;
+  }
+  p.hostname = field->AsString();
+  if (core::Status s = Require(json, "timestamp_utc", io::Json::Kind::kString,
+                               &field);
+      !s.ok()) {
+    return s;
+  }
+  p.timestamp_utc = field->AsString();
+  return p;
+}
+
+}  // namespace decaylib::obs

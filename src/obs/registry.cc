@@ -42,6 +42,21 @@ void AtomicMax(std::atomic<double>& target, double v) {
 
 }  // namespace
 
+double QuantileRank(double q, long long count) {
+  if (count <= 1) return 0.0;
+  const double rank = q * static_cast<double>(count - 1);
+  return std::min(std::max(rank, 0.0), static_cast<double>(count - 1));
+}
+
+double QuantileFromSorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = QuantileRank(q, static_cast<long long>(sorted.size()));
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   DL_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()),
            "histogram bucket bounds must ascend");
@@ -68,6 +83,33 @@ std::vector<long long> Histogram::BucketCounts() const {
     counts.push_back(b.load(std::memory_order_relaxed));
   }
   return counts;
+}
+
+double Histogram::QuantileEstimate(double q) const {
+  const long long total = count();
+  if (total <= 0) return 0.0;
+  const double lo_clamp = min();
+  const double hi_clamp = max();
+  const double rank = QuantileRank(q, total);
+  const std::vector<long long> counts = BucketCounts();
+  long long below = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    // Samples in bucket i occupy order-statistic indices
+    // [below, below + counts[i] - 1].
+    if (rank <= static_cast<double>(below + counts[i] - 1) ||
+        below + counts[i] >= total) {
+      const double lo = i == 0 ? std::min(0.0, lo_clamp) : bounds_[i - 1];
+      const double hi = i < bounds_.size() ? bounds_[i] : hi_clamp;
+      const double frac = (rank - static_cast<double>(below) + 0.5) /
+                          static_cast<double>(counts[i]);
+      const double estimate =
+          lo + std::min(std::max(frac, 0.0), 1.0) * (hi - lo);
+      return std::min(std::max(estimate, lo_clamp), hi_clamp);
+    }
+    below += counts[i];
+  }
+  return hi_clamp;  // unreachable: the loop always lands in some bucket
 }
 
 void Histogram::Reset() {
@@ -129,6 +171,13 @@ Histogram& Registry::GetHistogram(const std::string& name,
   return *slot;
 }
 
+std::map<std::string, long long> Registry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, long long> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  return out;
+}
+
 void Registry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
@@ -156,6 +205,9 @@ io::Json Registry::ToJson() const {
     if (count > 0) {  // inf sentinels are not JSON numbers
       h.Set("min", io::Json::Number(histogram->min()));
       h.Set("max", io::Json::Number(histogram->max()));
+      h.Set("p50", io::Json::Number(histogram->QuantileEstimate(0.50)));
+      h.Set("p90", io::Json::Number(histogram->QuantileEstimate(0.90)));
+      h.Set("p99", io::Json::Number(histogram->QuantileEstimate(0.99)));
     }
     io::Json buckets = io::Json::Array();
     const std::vector<long long> counts = histogram->BucketCounts();

@@ -75,6 +75,15 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+// The linear-interpolation quantile rule shared by the histogram estimates
+// below and the bench-harness sample statistics (obs/bench_harness.h):
+// QuantileRank maps q in [0, 1] to the fractional 0-based order-statistic
+// index q * (count - 1), clamped to [0, count - 1]; QuantileFromSorted
+// evaluates it exactly over sorted samples by interpolating between the
+// two adjacent order statistics.
+double QuantileRank(double q, long long count);
+double QuantileFromSorted(std::span<const double> sorted, double q);
+
 // Fixed-bucket histogram: ascending finite upper bounds plus an implicit
 // +inf overflow bucket.  Observe is wait-free per bucket (relaxed
 // fetch_add) with CAS loops only for the double-valued sum/min/max; the
@@ -93,6 +102,13 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   // bounds().size() + 1 entries; the last is the overflow bucket.
   std::vector<long long> BucketCounts() const;
+  // Estimated quantile (q in [0, 1]) from the bucket counts: the
+  // QuantileRank order statistic is located in its bucket, interpolated
+  // linearly at the midpoint-adjusted fraction (rank - below + 0.5) /
+  // bucket_count between the bucket's lower and upper bounds (the overflow
+  // bucket's upper bound is the observed max), and clamped to the exact
+  // observed [min, max].  0 when the histogram is empty.
+  double QuantileEstimate(double q) const;
   void Reset();
 
  private:
@@ -128,12 +144,19 @@ class Registry {
   // --metrics dump covers exactly one run.
   void ResetAll();
 
+  // Snapshot of every registered counter's current value, in name order.
+  // The bench harness diffs two of these around a phase to attribute a
+  // timing shift to a behavioural change (obs/bench_harness.h).
+  std::map<std::string, long long> CounterValues() const;
+
   // Snapshot as a JSON document:
   //   {"counters": {name: n, ...}, "gauges": {name: v, ...},
   //    "histograms": {name: {"count": n, "sum": s, "min": m, "max": M,
+  //                          "p50": ..., "p90": ..., "p99": ...,
   //                          "buckets": [{"le": b, "count": c}, ...]}, ...}}
   // Maps iterate in name order, so two snapshots of the same state dump
-  // byte-identically.  min/max are omitted when count == 0 (inf sentinels).
+  // byte-identically.  min/max and the QuantileEstimate percentiles are
+  // omitted when count == 0 (inf sentinels).
   io::Json ToJson() const;
 
  private:

@@ -28,7 +28,7 @@ bool WriteSweepCsvFile(const SweepResult& result, const std::string& path);
 
 // Writes BENCH_<id>.json over the flattened cell results (one phase triple
 // per cell, plus the "scenarios" aggregate array), exactly the
-// engine::WriteJsonReport format old parsers already read.
+// engine::WriteJsonReport schema-v2 format (obs/bench_harness.h).
 bool WriteSweepJsonReport(const std::string& id,
                           std::span<const SweepResult> results);
 

@@ -11,6 +11,7 @@
 #include "core/status.h"
 #include "engine/report.h"
 #include "engine/scenario.h"
+#include "obs/bench_harness.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -487,12 +488,17 @@ TEST(ReportTest, JsonReportRoundTrips) {
   const ScenarioSpec spec = Small(BuiltinScenarios().front(), 8, 1);
   const std::vector<ScenarioResult> results = {BatchRunner(config).RunOne(spec)};
   ASSERT_TRUE(WriteJsonReport("ENGINE_TEST", results));
-  std::FILE* in = std::fopen("BENCH_ENGINE_TEST.json", "r");
-  ASSERT_NE(in, nullptr);
-  char buf[64] = {};
-  ASSERT_GT(std::fread(buf, 1, sizeof(buf) - 1, in), 0u);
-  std::fclose(in);
-  EXPECT_EQ(std::string(buf).rfind("{\"bench\": \"ENGINE_TEST\"", 0), 0u);
+  // The file is a valid BENCH v2 record: strict re-parse, provenance, one
+  // batch/kernel_build/tasks phase triple for the scenario.
+  const core::StatusOr<obs::BenchReportData> parsed =
+      obs::LoadBenchReport("BENCH_ENGINE_TEST.json");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->bench, "ENGINE_TEST");
+  EXPECT_EQ(parsed->schema, 2);
+  EXPECT_EQ(parsed->phases.size(), 3u);
+  EXPECT_NE(parsed->provenance.git_sha, "");
+  ASSERT_NE(parsed->Find(spec.name + ".batch"), nullptr);
+  EXPECT_EQ(parsed->Find(spec.name + ".batch")->n, spec.links);
   EXPECT_EQ(std::remove("BENCH_ENGINE_TEST.json"), 0);
 }
 

@@ -158,6 +158,82 @@ TEST_F(ObsTest, MetricsJsonRoundTripsThroughStrictParser) {
   EXPECT_EQ(buckets->Items().back().Find("le")->AsString(), "+inf");
 }
 
+TEST_F(ObsTest, QuantileFromSortedInterpolatesOrderStatistics) {
+  const std::vector<double> sorted = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(QuantileFromSorted(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(QuantileFromSorted(sorted, 0.5), 30.0);
+  // rank 0.9 * 4 = 3.6: interpolate between the 4th and 5th statistics.
+  EXPECT_DOUBLE_EQ(QuantileFromSorted(sorted, 0.9), 46.0);
+  EXPECT_DOUBLE_EQ(QuantileFromSorted(sorted, 1.0), 50.0);
+
+  const std::vector<double> one = {4.0};
+  EXPECT_DOUBLE_EQ(QuantileFromSorted(one, 0.5), 4.0);
+  EXPECT_DOUBLE_EQ(QuantileFromSorted({}, 0.5), 0.0);
+
+  EXPECT_DOUBLE_EQ(QuantileRank(0.5, 1), 0.0);
+  EXPECT_DOUBLE_EQ(QuantileRank(0.5, 11), 5.0);
+}
+
+TEST_F(ObsTest, HistogramQuantileEstimateInterpolatesWithinBucket) {
+  SetEnabled(true);
+  const std::vector<double> single_bound = {10.0};
+  Histogram& clamped =
+      Registry::Global().GetHistogram("test.quantile_clamped", single_bound);
+  clamped.Reset();
+  clamped.Observe(4.0);
+  // One sample: the in-bucket midpoint (5.0) clamps to the observed value.
+  EXPECT_DOUBLE_EQ(clamped.QuantileEstimate(0.5), 4.0);
+
+  const std::vector<double> bounds = {10.0, 20.0};
+  Histogram& uniform =
+      Registry::Global().GetHistogram("test.quantile_uniform", bounds);
+  uniform.Reset();
+  EXPECT_DOUBLE_EQ(uniform.QuantileEstimate(0.5), 0.0);  // empty
+  // 0.5, 1.5, ..., 9.5: ten samples, all strictly inside the [0, 10)
+  // bucket, so rank r maps to (r + 0.5) / 10 of the bucket width.
+  for (int v = 0; v < 10; ++v) uniform.Observe(v + 0.5);
+  EXPECT_DOUBLE_EQ(uniform.QuantileEstimate(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(uniform.QuantileEstimate(0.9), 8.6);
+  EXPECT_DOUBLE_EQ(uniform.QuantileEstimate(0.99), 9.41);
+}
+
+TEST_F(ObsTest, MetricsJsonEmitsPercentilesForNonEmptyHistograms) {
+  SetEnabled(true);
+  Histogram& histogram =
+      Registry::Global().GetHistogram("test.json_percentiles");
+  histogram.Reset();
+  histogram.Observe(1.0);
+  histogram.Observe(2.0);
+  const io::Json doc = Registry::Global().ToJson();
+  const io::Json* entry =
+      doc.Find("histograms")->Find("test.json_percentiles");
+  ASSERT_NE(entry, nullptr);
+  for (const char* key : {"p50", "p90", "p99"}) {
+    const io::Json* p = entry->Find(key);
+    ASSERT_NE(p, nullptr) << key;
+    EXPECT_GE(p->AsNumber(), 1.0);
+    EXPECT_LE(p->AsNumber(), 2.0);
+  }
+  histogram.Reset();
+  const io::Json empty_doc = Registry::Global().ToJson();
+  const io::Json* empty_entry =
+      empty_doc.Find("histograms")->Find("test.json_percentiles");
+  ASSERT_NE(empty_entry, nullptr);
+  EXPECT_EQ(empty_entry->Find("p50"), nullptr);  // inf sentinels stay out
+}
+
+TEST_F(ObsTest, CounterValuesSnapshotsInNameOrder) {
+  SetEnabled(true);
+  Registry::Global().GetCounter("test.values_a").Reset();
+  Registry::Global().GetCounter("test.values_b").Reset();
+  Registry::Global().GetCounter("test.values_a").Add(2);
+  Registry::Global().GetCounter("test.values_b").Add(9);
+  const std::map<std::string, long long> values =
+      Registry::Global().CounterValues();
+  EXPECT_EQ(values.at("test.values_a"), 2);
+  EXPECT_EQ(values.at("test.values_b"), 9);
+}
+
 TEST_F(ObsTest, SpanNestingProducesContainedWellFormedEvents) {
   SetEnabled(true);
   TraceSink& sink = TraceSink::Global();

@@ -15,6 +15,7 @@
 
 #include "engine/report.h"
 #include "engine/scenario.h"
+#include "obs/bench_harness.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "sweep/sweep_report.h"
@@ -492,12 +493,13 @@ TEST(SweepReportTest, JsonReportWritesEngineCompatibleFile) {
   config.threads = 1;
   const SweepResult result = SweepRunner(config).Run(spec);
   ASSERT_TRUE(WriteSweepJsonReport("SWEEP_TEST", {&result, 1}));
-  std::FILE* in = std::fopen("BENCH_SWEEP_TEST.json", "r");
-  ASSERT_NE(in, nullptr);
-  char buf[64] = {};
-  ASSERT_GT(std::fread(buf, 1, sizeof(buf) - 1, in), 0u);
-  std::fclose(in);
-  EXPECT_EQ(std::string(buf).rfind("{\"bench\": \"SWEEP_TEST\"", 0), 0u);
+  const core::StatusOr<obs::BenchReportData> parsed =
+      obs::LoadBenchReport("BENCH_SWEEP_TEST.json");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->bench, "SWEEP_TEST");
+  EXPECT_EQ(parsed->schema, 2);
+  // One batch/kernel_build/tasks phase triple per ok cell.
+  EXPECT_EQ(parsed->phases.size(), 3 * result.cells.size());
   EXPECT_EQ(std::remove("BENCH_SWEEP_TEST.json"), 0);
 }
 

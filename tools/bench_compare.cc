@@ -1,0 +1,157 @@
+// bench_compare: the perf-regression gate over BENCH v2 records.
+//
+// Usage:
+//   bench_compare [options] <base> <current>
+//
+// <base> and <current> are each either a single BENCH v2 JSON file or a
+// directory of them (BENCH_*.json, matched pairwise by filename).  Phases
+// are matched by name and diffed with the noise-aware thresholds of
+// obs/bench_compare.h; the output is one markdown delta table per matched
+// file.  Exit codes: 0 all phases within noise (improvements included),
+// 1 at least one regression (or a missing phase/file without
+// --allow-missing), 2 usage or input error.
+//
+// Options:
+//   --rel X            relative threshold (default 0.25 = 25%)
+//   --k-sigma X        dispersion multiplier (default 3.0)
+//   --min-abs-ms X     absolute floor in ms (default 0.5)
+//   --allow-missing    phases/files present in base but absent from current
+//                      are notes, not regressions (for partial reruns)
+//
+// A regression is flagged only when the delta clears *all three* bounds, so
+// the thresholds compose: --rel guards against real-but-tiny ratios,
+// --k-sigma against wide-variance phases, --min-abs-ms against microsecond
+// phases whose ratio is all scheduler jitter.  CI runs this cross-machine
+// (committed baselines vs fresh runner timings), so the workflow passes
+// deliberately loose values; local runs on one machine can tighten them.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/bench_compare.h"
+#include "obs/bench_harness.h"
+#include "tool_args.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using decaylib::obs::BenchReportData;
+using decaylib::obs::CompareBenchReports;
+using decaylib::obs::CompareMarkdownTable;
+using decaylib::obs::CompareOptions;
+using decaylib::obs::CompareResult;
+using decaylib::obs::LoadBenchReport;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_compare [--rel X] [--k-sigma X] [--min-abs-ms X]\n"
+      "                     [--allow-missing] <base> <current>\n"
+      "  <base>/<current>: a BENCH v2 JSON file or a directory of\n"
+      "  BENCH_*.json files (matched pairwise by filename)\n");
+  return 2;
+}
+
+// BENCH_*.json files directly inside `dir`, sorted by filename.
+std::vector<fs::path> BenchFiles(const fs::path& dir) {
+  std::vector<fs::path> files;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.substr(name.size() - 5) == ".json") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CompareOptions options;
+  std::vector<std::string> positional;
+  bool args_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--rel") == 0 && i + 1 < argc) {
+      args_ok &= decaylib::tools::ParseDoubleFlag(arg, argv[++i], 0.0, 1e6,
+                                                  &options.rel_threshold);
+    } else if (std::strcmp(arg, "--k-sigma") == 0 && i + 1 < argc) {
+      args_ok &= decaylib::tools::ParseDoubleFlag(arg, argv[++i], 0.0, 1e6,
+                                                  &options.k_sigma);
+    } else if (std::strcmp(arg, "--min-abs-ms") == 0 && i + 1 < argc) {
+      args_ok &= decaylib::tools::ParseDoubleFlag(arg, argv[++i], 0.0, 1e9,
+                                                  &options.min_abs_ms);
+    } else if (std::strcmp(arg, "--allow-missing") == 0) {
+      options.allow_missing = true;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (!args_ok || positional.size() != 2) return Usage();
+
+  const fs::path base_path = positional[0];
+  const fs::path current_path = positional[1];
+  std::vector<std::pair<fs::path, fs::path>> pairs;
+  int missing_files = 0;
+  if (fs::is_directory(base_path)) {
+    if (!fs::is_directory(current_path)) {
+      std::fprintf(stderr, "'%s' is a directory but '%s' is not\n",
+                   base_path.c_str(), current_path.c_str());
+      return 2;
+    }
+    const std::vector<fs::path> base_files = BenchFiles(base_path);
+    if (base_files.empty()) {
+      std::fprintf(stderr, "no BENCH_*.json files under '%s'\n",
+                   base_path.c_str());
+      return 2;
+    }
+    for (const fs::path& base_file : base_files) {
+      const fs::path current_file = current_path / base_file.filename();
+      if (!fs::exists(current_file)) {
+        std::fprintf(stderr, "%s: no counterpart under '%s'%s\n",
+                     base_file.filename().c_str(), current_path.c_str(),
+                     options.allow_missing ? " (allowed)" : "");
+        if (!options.allow_missing) ++missing_files;
+        continue;
+      }
+      pairs.emplace_back(base_file, current_file);
+    }
+  } else {
+    pairs.emplace_back(base_path, current_path);
+  }
+
+  int regressions = missing_files;
+  bool input_error = false;
+  for (const auto& [base_file, current_file] : pairs) {
+    const auto base = LoadBenchReport(base_file.string());
+    const auto current = LoadBenchReport(current_file.string());
+    if (!base.ok() || !current.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   (!base.ok() ? base.status() : current.status())
+                       .ToString()
+                       .c_str());
+      input_error = true;
+      continue;
+    }
+    const CompareResult result = CompareBenchReports(*base, *current, options);
+    std::fputs(CompareMarkdownTable(result, base->bench).c_str(), stdout);
+    std::fputs("\n", stdout);
+    regressions += result.regressions;
+  }
+  if (input_error) return 2;
+  if (regressions > 0) {
+    std::fprintf(stderr, "bench_compare: %d regression(s)\n", regressions);
+    return 1;
+  }
+  return 0;
+}
