@@ -78,20 +78,20 @@ int main(int argc, char** argv) {
     const double zeta = 3.0;
 
     capacity::Algorithm1Result naive;
-    const auto& naive_stats = report.Time("alg1_naive", n_links, [&] {
-      naive = capacity::RunAlgorithm1Naive(system, zeta);
-    });
+    const obs::SampleStats naive_stats = report.Time(
+        "alg1_naive", n_links,
+        [&] { naive = capacity::RunAlgorithm1Naive(system, zeta); });
 
     capacity::Algorithm1Result cached;
-    const auto& cold_stats = report.Time("alg1_cached_cold", n_links, [&] {
-      cached = capacity::RunAlgorithm1(system, zeta);
-    });
+    const obs::SampleStats cold_stats = report.Time(
+        "alg1_cached_cold", n_links,
+        [&] { cached = capacity::RunAlgorithm1(system, zeta); });
 
     const sinr::KernelCache kernel(system, sinr::UniformPower(system));
     capacity::Algorithm1Result warm;
-    const auto& warm_stats = report.Time("alg1_cached_warm", n_links, [&] {
-      warm = capacity::RunAlgorithm1(kernel, zeta);
-    });
+    const obs::SampleStats warm_stats = report.Time(
+        "alg1_cached_warm", n_links,
+        [&] { warm = capacity::RunAlgorithm1(kernel, zeta); });
 
     if (!SameResult(naive, cached) || !SameResult(naive, warm)) {
       std::printf("ERROR: cached Algorithm 1 diverged from the naive path\n");
@@ -122,10 +122,11 @@ int main(int argc, char** argv) {
     const sinr::LinkSystem system(space, dep.links, {1.0, 0.0});
 
     scheduling::Schedule schedule;
-    const auto& sched_stats = report.Time("schedule_alg1", n_sched, [&] {
-      schedule = scheduling::ScheduleLinks(system, 3.0,
-                                           scheduling::Extractor::kAlgorithm1);
-    });
+    const obs::SampleStats sched_stats = report.Time(
+        "schedule_alg1", n_sched, [&] {
+          schedule = scheduling::ScheduleLinks(
+              system, 3.0, scheduling::Extractor::kAlgorithm1);
+        });
     std::printf("%zu slots in %s ms\n", schedule.slots.size(),
                 bench::Fmt(sched_stats.min_ms, 2).c_str());
   }
@@ -137,22 +138,22 @@ int main(int argc, char** argv) {
         spaces::RandomGeometric(n_metricity, 20.0, 20.0, 3.0, rng);
 
     core::MetricityResult naive;
-    const auto& naive_stats = report.Time("metricity_naive", n_metricity, [&] {
-      naive = core::ComputeMetricityNaive(space);
-    });
+    const obs::SampleStats naive_stats = report.Time(
+        "metricity_naive", n_metricity,
+        [&] { naive = core::ComputeMetricityNaive(space); });
 
     core::MetricityResult pruned;
-    const auto& pruned_stats = report.Time(
+    const obs::SampleStats pruned_stats = report.Time(
         "metricity_pruned", n_metricity,
         [&] { pruned = core::ComputeMetricity(space); });
 
     core::PhiResult naive_phi;
-    const auto& naive_phi_stats = report.Time(
+    const obs::SampleStats naive_phi_stats = report.Time(
         "phi_naive", n_metricity,
         [&] { naive_phi = core::ComputePhiNaive(space); });
 
     core::PhiResult fast_phi;
-    const auto& fast_phi_stats = report.Time(
+    const obs::SampleStats fast_phi_stats = report.Time(
         "phi_optimised", n_metricity,
         [&] { fast_phi = core::ComputePhi(space); });
 

@@ -225,7 +225,7 @@ int main(int argc, char** argv) {
       (void)sink;
     }
 
-    const auto& fresh_stats =
+    const obs::SampleStats fresh_stats =
         report.Time("kernel_rebuild_fresh", shape.links, [&] {
           for (int r = 0; r < reps; ++r) {
             const sinr::KernelCache kernel(inst.system(), inst.power());
@@ -239,7 +239,7 @@ int main(int argc, char** argv) {
     // The first Rebuild pays the slab allocations; keep it out of the
     // timing, matching the fresh path's untimed warm-up.
     arena.Rebuild(inst.system(), inst.power());
-    const auto& arena_stats =
+    const obs::SampleStats arena_stats =
         report.Time("kernel_rebuild_arena", shape.links, [&] {
           for (int r = 0; r < reps; ++r) {
             const sinr::KernelCache& kernel =

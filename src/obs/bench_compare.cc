@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -17,6 +18,7 @@ std::string FmtMs(double ms) {
 }
 
 std::string FmtPct(double rel) {
+  if (std::isinf(rel)) return rel > 0.0 ? "+inf%" : "-inf%";
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%+.1f%%", rel * 100.0);
   return buffer;
@@ -110,7 +112,17 @@ CompareResult CompareBenchReports(const BenchReportData& base,
     }
     delta.cur_ms = cur_phase->stats.min_ms;
     delta.delta_ms = delta.cur_ms - delta.base_ms;
-    delta.rel = delta.base_ms > 0.0 ? delta.delta_ms / delta.base_ms : 0.0;
+    // A zero baseline (phase faster than the timer resolution) makes any
+    // slowdown an infinite relative change: rel = +inf so the relative
+    // guard always passes and the k-sigma / absolute guards decide alone,
+    // instead of rel = 0 masking the regression as within noise.
+    if (delta.base_ms > 0.0) {
+      delta.rel = delta.delta_ms / delta.base_ms;
+    } else {
+      delta.rel = delta.delta_ms > 0.0
+                      ? std::numeric_limits<double>::infinity()
+                      : 0.0;
+    }
     delta.noise_ms =
         options.k_sigma *
         std::max(base_phase.stats.stddev_ms, cur_phase->stats.stddev_ms);

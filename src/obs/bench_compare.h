@@ -51,7 +51,8 @@ struct PhaseDelta {
   double base_ms = 0.0;   // base min_ms (0 for kNewPhase)
   double cur_ms = 0.0;    // current min_ms (0 for kMissingPhase)
   double delta_ms = 0.0;  // cur - base
-  double rel = 0.0;       // delta_ms / base_ms (0 when base is 0)
+  double rel = 0.0;       // delta_ms / base_ms (+inf when base is 0 and
+                          // current is slower; 0 when both are 0)
   double noise_ms = 0.0;  // k_sigma * max(base stddev, current stddev)
   std::string note;       // counter-delta attribution, when any
 };

@@ -53,6 +53,16 @@ core::Status SchemaError(const std::string& context, const char* what) {
   return core::Status::InvalidArgument("BENCH v2: " + context + ": " + what);
 }
 
+// Stored stats vs a recomputation from samples_ms: harness-written records
+// round-trip doubles exactly (io::Json dumps %.17g and FromSamples sums in
+// sorted order both times), so the tolerance only absorbs records whose
+// numbers were legitimately rounded by an external tool.
+bool StatMatches(double stored, double recomputed) {
+  const double tolerance =
+      1e-9 * std::max({1.0, std::abs(stored), std::abs(recomputed)});
+  return std::abs(stored - recomputed) <= tolerance;
+}
+
 const io::Json* RequireKind(const io::Json& obj, const char* key,
                             io::Json::Kind want) {
   const io::Json* member = obj.Find(key);
@@ -173,6 +183,34 @@ core::StatusOr<BenchReportData> ParseBenchReport(const io::Json& doc) {
     if (phase.samples_ms.empty()) {
       return SchemaError(context, "'samples_ms' must be non-empty");
     }
+    // Consistency gate: the stored stats must be derivable from samples_ms,
+    // or bench_compare would trust dispersion numbers the samples do not
+    // support (a hand-edited min_ms, a truncated sample list, ...).
+    if (phase.stats.reps != static_cast<int>(phase.samples_ms.size())) {
+      return SchemaError(context,
+                         "'reps' does not match the samples_ms count");
+    }
+    const SampleStats recomputed = SampleStats::FromSamples(phase.samples_ms);
+    const struct {
+      const char* key;
+      double stored;
+      double recomputed;
+    } consistency[] = {
+        {"total_ms", phase.stats.total_ms, recomputed.total_ms},
+        {"min_ms", phase.stats.min_ms, recomputed.min_ms},
+        {"mean_ms", phase.stats.mean_ms, recomputed.mean_ms},
+        {"median_ms", phase.stats.median_ms, recomputed.median_ms},
+        {"p90_ms", phase.stats.p90_ms, recomputed.p90_ms},
+        {"stddev_ms", phase.stats.stddev_ms, recomputed.stddev_ms},
+    };
+    for (const auto& check : consistency) {
+      if (!StatMatches(check.stored, check.recomputed)) {
+        return SchemaError(context,
+                           (std::string("'") + check.key +
+                            "' is inconsistent with samples_ms")
+                               .c_str());
+      }
+    }
     const io::Json* counters =
         RequireKind(entry, "counters", io::Json::Kind::kObject);
     if (counters == nullptr) {
@@ -273,8 +311,8 @@ void BenchHarness::ParseArgs(int argc, char** argv, const Options& defaults) {
   }
 }
 
-const SampleStats& BenchHarness::Time(const std::string& name, long long n,
-                                      const std::function<void()>& fn) {
+SampleStats BenchHarness::Time(const std::string& name, long long n,
+                               const std::function<void()>& fn) {
   for (int w = 0; w < options_.warmup; ++w) fn();
   ScopedCounterCapture capture;
   std::vector<double> samples;
@@ -292,7 +330,7 @@ const SampleStats& BenchHarness::Time(const std::string& name, long long n,
   return AddSamples(name, n, std::move(samples), capture.Take());
 }
 
-const SampleStats& BenchHarness::AddSamples(
+SampleStats BenchHarness::AddSamples(
     const std::string& name, long long n, std::vector<double> samples_ms,
     std::map<std::string, long long> counters) {
   DL_CHECK(!samples_ms.empty(), "a bench phase needs at least one sample");

@@ -83,7 +83,11 @@ struct BenchReportData {
 };
 
 // Strict schema-v2 validation/parse of a BENCH document; kInvalidArgument
-// names the first offending field.  LoadBenchReport adds the file read and
+// names the first offending field.  Beyond shape checks, the stored stats
+// are cross-checked against samples_ms (reps must equal the sample count
+// and min/mean/median/p90/stddev/total must match a recomputation), so a
+// hand-edited or inconsistent record cannot pass validation and silently
+// skew a bench_compare run.  LoadBenchReport adds the file read and
 // io::Json::Parse in front (kIoError on read/parse failures).
 core::StatusOr<BenchReportData> ParseBenchReport(const io::Json& doc);
 core::StatusOr<BenchReportData> LoadBenchReport(const std::string& path);
@@ -128,13 +132,18 @@ class BenchHarness {
   // count and min_time_ms are satisfied (capped at kMaxSamplesPerPhase).
   // The whole phase runs with obs enabled; the returned stats come from
   // the timed samples and the recorded counter delta spans them all.
-  const SampleStats& Time(const std::string& name, long long n,
-                          const std::function<void()>& fn);
+  //
+  // Returns by value (SampleStats is a handful of doubles): phases_ grows
+  // with every phase, so a reference into it would dangle as soon as the
+  // next Time()/AddSamples() call reallocated the vector.
+  SampleStats Time(const std::string& name, long long n,
+                   const std::function<void()>& fn);
 
   // Records caller-timed samples (benches that interleave A/B modes or
   // share warmup across phases time themselves).  Pass the counter delta
-  // from a ScopedCounterCapture when attribution is wanted.
-  const SampleStats& AddSamples(
+  // from a ScopedCounterCapture when attribution is wanted.  Returns by
+  // value, same rationale as Time().
+  SampleStats AddSamples(
       const std::string& name, long long n, std::vector<double> samples_ms,
       std::map<std::string, long long> counters = {});
 

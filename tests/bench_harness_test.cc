@@ -90,7 +90,7 @@ TEST_F(BenchHarnessTest, TimeUsesInjectedClockPerSample) {
       "CLOCKED", BenchHarness::Options{.reps = 3, .warmup = 1},
       FakeClock({0.0, 10.0, 10.0, 30.0, 30.0, 60.0}));
   int calls = 0;
-  const SampleStats& stats = harness.Time("phase", 42, [&] { ++calls; });
+  const SampleStats stats = harness.Time("phase", 42, [&] { ++calls; });
   EXPECT_EQ(calls, 4);  // 1 warmup + 3 timed
   EXPECT_EQ(stats.reps, 3);
   EXPECT_DOUBLE_EQ(stats.min_ms, 10.0);
@@ -106,7 +106,7 @@ TEST_F(BenchHarnessTest, MinTimeMsExtendsSampling) {
   BenchHarness harness(
       "MINTIME", BenchHarness::Options{.reps = 1, .min_time_ms = 25.0},
       FakeClock({0.0, 10.0, 10.0, 20.0, 20.0, 30.0}));
-  const SampleStats& stats = harness.Time("phase", 1, [] {});
+  const SampleStats stats = harness.Time("phase", 1, [] {});
   EXPECT_EQ(stats.reps, 3);
   EXPECT_DOUBLE_EQ(stats.total_ms, 30.0);
 }
@@ -232,6 +232,64 @@ TEST_F(BenchHarnessTest, ParseBenchReportRejectsMalformedDocuments) {
   EXPECT_FALSE(ParseBenchReport(empty_samples).ok());
 }
 
+TEST_F(BenchHarnessTest, ReturnedStatsSurviveLaterPhases) {
+  // Time()/AddSamples() return by value: stats taken from an early phase
+  // must stay valid after enough later phases to force phases_ to
+  // reallocate (the dangling-reference regression this guards against).
+  BenchHarness harness("STABLE", BenchHarness::Options{});
+  const SampleStats first = harness.AddSamples("first", 1, {5.0});
+  for (int i = 0; i < 64; ++i) {
+    harness.AddSamples("later_" + std::to_string(i), 1, {1.0});
+  }
+  EXPECT_DOUBLE_EQ(first.min_ms, 5.0);
+  EXPECT_EQ(first.reps, 1);
+}
+
+TEST_F(BenchHarnessTest, ParseBenchReportRejectsInconsistentStats) {
+  BenchHarness harness("CONSISTENT", BenchHarness::Options{});
+  harness.AddSamples("phase", 8, {2.0, 1.0, 3.0});
+  const io::Json good = harness.ToJson();
+  ASSERT_TRUE(ParseBenchReport(good).ok());
+
+  const auto with_phase_member = [&good](const std::string& key,
+                                         io::Json value) {
+    io::Json phases = io::Json::Array();
+    phases.Append(WithMember(good.Find("phases")->Items()[0], key,
+                             std::move(value)));
+    return WithMember(good, "phases", std::move(phases));
+  };
+
+  // reps disagrees with the samples_ms count.
+  const auto bad_reps =
+      ParseBenchReport(with_phase_member("reps", io::Json::Number(2)));
+  ASSERT_FALSE(bad_reps.ok());
+  EXPECT_NE(bad_reps.status().message().find("reps"), std::string::npos);
+
+  // A hand-edited min_ms the samples do not support.
+  const auto bad_min =
+      ParseBenchReport(with_phase_member("min_ms", io::Json::Number(0.5)));
+  ASSERT_FALSE(bad_min.ok());
+  EXPECT_NE(bad_min.status().message().find("min_ms"), std::string::npos);
+
+  // A truncated sample list (stats still describe three samples).
+  io::Json one_sample = io::Json::Array();
+  one_sample.Append(io::Json::Number(1.0));
+  EXPECT_FALSE(
+      ParseBenchReport(with_phase_member("samples_ms", std::move(one_sample)))
+          .ok());
+
+  // stddev inconsistent with the (zero-spread) samples.
+  BenchHarness flat("FLAT", BenchHarness::Options{});
+  flat.AddSamples("phase", 8, {2.0, 2.0});
+  io::Json flat_phases = io::Json::Array();
+  flat_phases.Append(WithMember(flat.ToJson().Find("phases")->Items()[0],
+                                "stddev_ms", io::Json::Number(1.0)));
+  EXPECT_FALSE(
+      ParseBenchReport(WithMember(flat.ToJson(), "phases",
+                                  std::move(flat_phases)))
+          .ok());
+}
+
 TEST_F(BenchHarnessTest, ScopedCounterCaptureReturnsNonzeroDeltas) {
   SetEnabled(false);
   Registry::Global().GetCounter("bench_test.captured").Reset();
@@ -310,6 +368,24 @@ TEST_F(BenchHarnessTest, CompareTreatsSubThresholdDeltasAsNoise) {
   const BenchReportData noisy_base = MakeReport({{"sigma_guard", 10.0, 8.0}});
   const BenchReportData noisy_cur = MakeReport({{"sigma_guard", 30.0, 8.0}});
   EXPECT_EQ(CompareBenchReports(noisy_base, noisy_cur, {}).deltas[0].verdict,
+            DeltaVerdict::kWithinNoise);
+}
+
+TEST_F(BenchHarnessTest, CompareFlagsRegressionFromZeroBaseline) {
+  // A sub-timer-resolution baseline (min_ms == 0) must not mask an
+  // arbitrarily large slowdown: rel becomes +inf so the relative guard
+  // passes and the sigma/absolute guards decide.
+  const BenchReportData base = MakeReport({{"tiny", 0.0, 0.0}});
+  const BenchReportData cur = MakeReport({{"tiny", 5.0, 0.1}});
+  const CompareResult result = CompareBenchReports(base, cur, {});
+  EXPECT_FALSE(result.ok());
+  ASSERT_EQ(result.deltas.size(), 1u);
+  EXPECT_EQ(result.deltas[0].verdict, DeltaVerdict::kRegression);
+  EXPECT_TRUE(std::isinf(result.deltas[0].rel));
+
+  // Identical zero-baseline runs stay within noise.
+  const BenchReportData same = MakeReport({{"tiny", 0.0, 0.0}});
+  EXPECT_EQ(CompareBenchReports(base, same, {}).deltas[0].verdict,
             DeltaVerdict::kWithinNoise);
 }
 
