@@ -84,14 +84,78 @@ std::vector<int> DetermineWinners(const sinr::KernelCache& kernel,
   return winners;
 }
 
-double CriticalBid(const sinr::KernelCache& kernel,
-                   std::span<const double> bids, int link, double tol) {
+double CriticalBidRescan(const sinr::KernelCache& kernel,
+                         std::span<const double> bids, int link, double tol) {
   DL_CHECK(link >= 0 && link < kernel.NumLinks(), "link out of range");
   std::vector<double> trial(bids.begin(), bids.end());
   return BisectCriticalBid(bids, tol, [&](double bid) {
     trial[static_cast<std::size_t>(link)] = bid;
     const auto winners = DetermineWinners(kernel, trial);
     return std::binary_search(winners.begin(), winners.end(), link);
+  });
+}
+
+double CriticalBid(const sinr::KernelCache& kernel,
+                   std::span<const double> bids, int link, double tol) {
+  DL_CHECK(link >= 0 && link < kernel.NumLinks(), "link out of range");
+  // The others' relative order is fixed across probes: stable_sort keeps it
+  // whatever the link bids, so the trial order is always `others` with the
+  // link spliced in at position p(bid) = #others preceding it.  An other o
+  // precedes the link at bid b iff bids[o] > b, or bids[o] == b and o has
+  // the smaller id (stable tie-break on original index).  That predicate is
+  // monotone along `others` (sorted by bid desc, ties by id asc), so p(bid)
+  // is a partition point.
+  std::vector<int> others = BidOrder(bids);
+  others.erase(std::find(others.begin(), others.end(), link));
+  const int m = static_cast<int>(others.size());
+
+  // Forward-only admission snapshot over the first base_pos others.  A
+  // winning probe at position p tells us every later probe sits at a
+  // position >= p (the bisection only lowers the bid after a win), so the
+  // snapshot can safely advance to p; a losing probe leaves it in place.
+  sinr::AffectanceAccumulator base(kernel);
+  sinr::AffectanceAccumulator probe(kernel);
+  int base_pos = 0;
+  int known_win = -1;    // largest position with a winning verdict
+  int known_lose = m + 1;  // smallest position with a losing verdict
+
+  // Replays DetermineWinners' loop body over others[from, to).
+  const auto advance = [&](sinr::AffectanceAccumulator& acc, int from, int to) {
+    for (int i = from; i < to; ++i) {
+      const int o = others[static_cast<std::size_t>(i)];
+      if (bids[static_cast<std::size_t>(o)] <= 0.0) continue;
+      if (!kernel.CanOvercomeNoise(o)) continue;
+      if (acc.CanAddFeasibly(o)) acc.Add(o);
+    }
+  };
+
+  return BisectCriticalBid(bids, tol, [&](double bid) {
+    // Same per-link skips DetermineWinners applies when it reaches the link.
+    if (bid <= 0.0) return false;
+    if (!kernel.CanOvercomeNoise(link)) return false;
+    const int p = static_cast<int>(
+        std::partition_point(others.begin(), others.end(),
+                             [&](int o) {
+                               const double ob =
+                                   bids[static_cast<std::size_t>(o)];
+                               return ob > bid || (ob == bid && o < link);
+                             }) -
+        others.begin());
+    // The verdict is monotone in p: a later position only adds members, and
+    // affectance sums only grow, so admission can only flip win -> lose.
+    if (p <= known_win) return true;
+    if (p >= known_lose) return false;
+    probe = base;
+    advance(probe, base_pos, p);
+    const bool win = probe.CanAddFeasibly(link);
+    if (win) {
+      known_win = p;
+      std::swap(base, probe);
+      base_pos = p;
+    } else {
+      known_lose = p;
+    }
+    return win;
   });
 }
 

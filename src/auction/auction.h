@@ -58,8 +58,25 @@ AuctionResult RunAuction(const sinr::KernelCache& kernel,
 // The critical bid for one link (infimum winning bid against fixed others);
 // 0 if the link wins even with an arbitrarily small bid, and +infinity-like
 // (max bid * 2) if it cannot win at all.
+//
+// Probing the link at bid b only moves the link's *position* in the bid
+// order -- the other links keep their fixed relative order, and whether the
+// link wins is decided the moment the greedy rule reaches it (winners are
+// never evicted).  CriticalBid exploits that: each bisection probe maps to
+// the link's insertion position, the admission state over the preceding
+// others is resumed from a forward-only snapshot instead of replayed from
+// scratch, and the win/lose verdict is memoised per position (the verdict
+// is monotone in the position, which is the same monotonicity that makes
+// the mechanism truthful).  The probe sequence and every admission decision
+// are identical to CriticalBidRescan's, so the payment is the same double.
 double CriticalBid(const sinr::KernelCache& kernel,
                    std::span<const double> bids, int link, double tol = 1e-6);
+
+// Reference implementation: re-runs full winner determination per bisection
+// probe.  Kept as the bit-exactness oracle for CriticalBid.
+double CriticalBidRescan(const sinr::KernelCache& kernel,
+                         std::span<const double> bids, int link,
+                         double tol = 1e-6);
 
 // Historical entry points (uniform power): build one uniform-power kernel
 // for `system` and delegate to the cached overloads above.  Bit-identical

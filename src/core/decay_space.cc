@@ -42,10 +42,11 @@ DecaySpace DecaySpace::Geometric(std::span<const geom::Vec2> points,
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < n; ++j) {
       if (i == j) continue;
-      const double d = geom::Distance(points[static_cast<std::size_t>(i)],
-                                      points[static_cast<std::size_t>(j)]);
-      DL_CHECK(d > 0.0, "coincident points make an invalid decay space");
-      space.Set(i, j, std::pow(d, alpha));
+      const geom::Vec2 pi = points[static_cast<std::size_t>(i)];
+      const geom::Vec2 pj = points[static_cast<std::size_t>(j)];
+      DL_CHECK(geom::Distance(pi, pj) > 0.0,
+               "coincident points make an invalid decay space");
+      space.Set(i, j, geom::GeometricDecay(pi, pj, alpha));
     }
   }
   return space;

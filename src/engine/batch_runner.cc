@@ -19,6 +19,7 @@
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "scheduling/scheduler.h"
+#include "sinr/farfield.h"
 #include "sinr/kernel.h"
 #include "sinr/power_control.h"
 
@@ -36,6 +37,7 @@ struct EngineInstruments {
   obs::Counter& geometry_reuses;
   obs::Histogram& geometry_ms;
   obs::Histogram& kernel_build_ms;
+  obs::Histogram& farfield_build_ms;
   obs::Histogram& instance_task_ms;
   obs::Gauge& threads;
 
@@ -48,6 +50,7 @@ struct EngineInstruments {
           registry.GetCounter("engine.geometry_reuses"),
           registry.GetHistogram("engine.geometry_ms"),
           registry.GetHistogram("engine.kernel_build_ms"),
+          registry.GetHistogram("engine.farfield_build_ms"),
           registry.GetHistogram("engine.instance_task_ms"),
           registry.GetGauge("engine.threads"),
       };
@@ -140,35 +143,66 @@ InstanceRecord RunInstance(const ScenarioSpec& spec, int index,
   // trace events + registry histograms, inert and near-free when disabled.
   obs::Span instance_span("instance");
   const auto build_start = std::chrono::steady_clock::now();
+  // The geometry is kept alive alongside the configured instance: the
+  // far-field kernel is built from its planar points (matrix-free), which
+  // ConfigureInstance does not carry over.
+  std::optional<ScenarioGeometry> local_geom;
+  const ScenarioGeometry* geom_ptr = nullptr;
   std::optional<ScenarioInstance> built;
   {
     obs::Span span("geometry", &EngineInstruments::Get().geometry_ms);
     if (geometry != nullptr) {
       bool sampled = true;
-      const ScenarioGeometry& shared =
-          geometry->Acquire(spec, index, pairing, &sampled);
+      geom_ptr = &geometry->Acquire(spec, index, pairing, &sampled);
       rec.geometry_reused = !sampled;
-      built.emplace(ConfigureInstance(spec, shared));
     } else {
-      built.emplace(BuildInstance(spec, index, pairing));
+      // Exactly BuildInstance's route, with the geometry retained.
+      local_geom.emplace(BuildGeometry(spec, index, pairing));
+      if (spec.zeta < 0.0) EnsureMeasuredZeta(*local_geom);
+      geom_ptr = &*local_geom;
     }
+    built.emplace(ConfigureInstance(spec, *geom_ptr));
     rec.geometry_ms = ElapsedMs(build_start);
   }
   const ScenarioInstance& instance = *built;
+
+  // The dense kernel: built eagerly under kDense (the historical layout --
+  // build_ms covers it), lazily under kFarField (only a task without a
+  // far-field path pays the O(n^2) slabs; its wall time then lands in that
+  // task's bucket).
   std::optional<sinr::KernelCache> local;
   const sinr::KernelCache* kernel_ptr = nullptr;
-  {
-    obs::Span span("kernel_build", &EngineInstruments::Get().kernel_build_ms);
-    const auto kernel_start = std::chrono::steady_clock::now();
-    if (arena != nullptr) {
-      kernel_ptr = &arena->Rebuild(instance.system(), instance.power());
-    } else {
-      local.emplace(instance.system(), instance.power());
-      kernel_ptr = &*local;
+  const auto ensure_kernel = [&]() -> const sinr::KernelCache& {
+    if (kernel_ptr == nullptr) {
+      obs::Span span("kernel_build", &EngineInstruments::Get().kernel_build_ms);
+      const auto kernel_start = std::chrono::steady_clock::now();
+      if (arena != nullptr) {
+        kernel_ptr = &arena->Rebuild(instance.system(), instance.power());
+      } else {
+        local.emplace(instance.system(), instance.power());
+        kernel_ptr = &*local;
+      }
+      rec.kernel_ms = ElapsedMs(kernel_start);
+      rec.kernel_built = true;
     }
-    rec.kernel_ms = ElapsedMs(kernel_start);
+    return *kernel_ptr;
+  };
+
+  std::optional<sinr::FarFieldKernel> farfield;
+  if (spec.kernel_mode == KernelMode::kFarField) {
+    DL_CHECK(!geom_ptr->points.empty(),
+             "kernel_mode=farfield needs a coordinate-backed topology");
+    obs::Span span("farfield_build",
+                   &EngineInstruments::Get().farfield_build_ms);
+    const auto ff_start = std::chrono::steady_clock::now();
+    sinr::FarFieldConfig fc;
+    fc.epsilon = spec.farfield_epsilon;
+    farfield.emplace(geom_ptr->points, instance.system().links(), spec.alpha,
+                     instance.system().config(), instance.power(), fc);
+    rec.farfield_ms = ElapsedMs(ff_start);
+  } else {
+    ensure_kernel();
   }
-  const sinr::KernelCache& kernel = *kernel_ptr;
   rec.build_ms = ElapsedMs(build_start);
   rec.links = instance.NumLinks();
   rec.zeta = instance.zeta();
@@ -181,7 +215,7 @@ InstanceRecord RunInstance(const ScenarioSpec& spec, int index,
   // once per instance.
   std::optional<capacity::Algorithm1Result> alg1;
   const auto ensure_alg1 = [&] {
-    if (!alg1) alg1 = capacity::RunAlgorithm1(kernel, zeta);
+    if (!alg1) alg1 = capacity::RunAlgorithm1(ensure_kernel(), zeta);
   };
 
   for (const TaskKind task : tasks) {
@@ -191,23 +225,33 @@ InstanceRecord RunInstance(const ScenarioSpec& spec, int index,
     const auto kind_start = std::chrono::steady_clock::now();
     switch (task) {
       case TaskKind::kAlgorithm1: {
-        ensure_alg1();
-        rec.alg1_size = static_cast<int>(alg1->selected.size());
-        rec.alg1_admitted = static_cast<int>(alg1->admitted.size());
-        rec.alg1_feasible =
-            alg1->selected.size() <= 1 || kernel.IsFeasible(alg1->selected);
+        if (farfield) {
+          const sinr::FarFieldAlg1Result res =
+              sinr::FarFieldRunAlgorithm1(*farfield, zeta);
+          rec.alg1_size = static_cast<int>(res.selected.size());
+          rec.alg1_admitted = static_cast<int>(res.admitted.size());
+          rec.alg1_feasible = res.selected.size() <= 1 ||
+                              farfield->IsFeasibleCertified(res.selected);
+        } else {
+          ensure_alg1();
+          rec.alg1_size = static_cast<int>(alg1->selected.size());
+          rec.alg1_admitted = static_cast<int>(alg1->admitted.size());
+          rec.alg1_feasible = alg1->selected.size() <= 1 ||
+                              ensure_kernel().IsFeasible(alg1->selected);
+        }
         break;
       }
       case TaskKind::kGreedyBaseline: {
-        rec.greedy_size =
-            static_cast<int>(capacity::GreedyFeasible(kernel, all).size());
+        rec.greedy_size = static_cast<int>(
+            farfield ? sinr::FarFieldGreedyFeasible(*farfield).size()
+                     : capacity::GreedyFeasible(ensure_kernel(), all).size());
         break;
       }
       case TaskKind::kWeighted: {
         const std::vector<double> weights =
             InstanceWeights(spec, index, rec.links);
         const capacity::WeightedResult res =
-            capacity::WeightedAlgorithm1(kernel, weights, zeta);
+            capacity::WeightedAlgorithm1(ensure_kernel(), weights, zeta);
         rec.weighted_value = res.weight;
         rec.weighted_size = static_cast<int>(res.selected.size());
         break;
@@ -215,17 +259,29 @@ InstanceRecord RunInstance(const ScenarioSpec& spec, int index,
       case TaskKind::kPartitions: {
         ensure_alg1();
         rec.partition_classes = static_cast<int>(
-            capacity::Lemma41Partition(kernel, alg1->selected, zeta).size());
+            capacity::Lemma41Partition(ensure_kernel(), alg1->selected, zeta)
+                .size());
         break;
       }
       case TaskKind::kSchedule: {
-        const scheduling::Schedule schedule = scheduling::ScheduleLinks(
-            kernel, zeta, scheduling::Extractor::kAlgorithm1, all);
-        rec.schedule_slots = schedule.Length();
-        rec.schedule_valid = scheduling::ValidateSchedule(kernel, schedule, all);
+        if (farfield) {
+          const sinr::FarFieldSchedule schedule =
+              sinr::FarFieldScheduleLinks(*farfield, zeta);
+          rec.schedule_slots = static_cast<int>(schedule.slots.size());
+          rec.schedule_valid =
+              sinr::FarFieldValidateSchedule(*farfield, schedule, all);
+        } else {
+          const sinr::KernelCache& kernel = ensure_kernel();
+          const scheduling::Schedule schedule = scheduling::ScheduleLinks(
+              kernel, zeta, scheduling::Extractor::kAlgorithm1, all);
+          rec.schedule_slots = schedule.Length();
+          rec.schedule_valid =
+              scheduling::ValidateSchedule(kernel, schedule, all);
+        }
         break;
       }
       case TaskKind::kPowerControl: {
+        const sinr::KernelCache& kernel = ensure_kernel();
         rec.pc_greedy_size =
             static_cast<int>(GreedyPowerControlFeasible(kernel).size());
         rec.pc_all_feasible =
@@ -246,7 +302,7 @@ InstanceRecord RunInstance(const ScenarioSpec& spec, int index,
         qc.warmup = spec.dynamics.queue_slots / 10;
         geom::Rng rng = TaskRng(spec, kQueueStreamSalt, index);
         const dynamics::QueueStats stats =
-            dynamics::RunQueueSimulation(kernel, qc, rng);
+            dynamics::RunQueueSimulation(ensure_kernel(), qc, rng);
         rec.queue_throughput = stats.throughput;
         rec.queue_mean_queue = stats.mean_queue;
         rec.queue_backlog_growth = stats.backlog_growth;
@@ -269,7 +325,7 @@ InstanceRecord RunInstance(const ScenarioSpec& spec, int index,
         rc.measure_tail = std::max(1, spec.dynamics.regret_rounds / 4);
         geom::Rng rng = TaskRng(spec, kRegretStreamSalt, index);
         const distributed::RegretResult res =
-            distributed::RunRegretGame(kernel, rc, rng);
+            distributed::RunRegretGame(ensure_kernel(), rc, rng);
         rec.regret_successes = res.average_successes;
         rec.regret_transmit_rate = res.transmit_rate;
         break;
@@ -298,7 +354,12 @@ void AggregateStages(ScenarioResult& result) {
       result.stage_stats.Record("geometry_build", rec.geometry_ms);
       ins.geometry_builds.Add();
     }
-    result.stage_stats.Record("kernel_build", rec.kernel_ms);
+    if (rec.kernel_built) {
+      result.stage_stats.Record("kernel_build", rec.kernel_ms);
+    }
+    if (rec.farfield_ms >= 0.0) {
+      result.stage_stats.Record("farfield_build", rec.farfield_ms);
+    }
     for (int k = 0; k < kNumTaskKinds; ++k) {
       const double ms = rec.task_kind_ms[static_cast<std::size_t>(k)];
       if (ms < 0.0) continue;

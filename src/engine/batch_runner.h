@@ -137,12 +137,17 @@ struct InstanceRecord {
   // Wall clock, non-deterministic: instance + kernel build, then all tasks.
   double build_ms = 0.0;
   double task_ms = 0.0;
-  // Stage-resolved wall clock (build_ms = geometry_ms + kernel_ms up to
-  // clock overhead; task_kind_ms entries sum to task_ms).  -1 marks a task
-  // kind that was not in the batch's task set.  The sequential reduction
-  // folds these into ScenarioResult::stage_stats.
+  // Stage-resolved wall clock (build_ms = geometry_ms + kernel_ms [+
+  // farfield_ms] up to clock overhead; task_kind_ms entries sum to
+  // task_ms).  -1 marks a task kind that was not in the batch's task set.
+  // The sequential reduction folds these into ScenarioResult::stage_stats.
+  // Under KernelMode::kFarField the dense kernel is built lazily, only when
+  // a task without a far-field path runs: kernel_built records whether it
+  // was, and kernel_ms then lands inside the triggering task's wall time.
   double geometry_ms = 0.0;  // sampling / cache acquire + ConfigureInstance
   double kernel_ms = 0.0;    // KernelCache build or arena rebuild
+  double farfield_ms = -1.0;  // FarFieldKernel build; -1 under kDense
+  bool kernel_built = false;  // dense kernel was built for this instance
   bool geometry_reused = false;  // served from a warm GeometryCache slot
   std::array<double, kNumTaskKinds> task_kind_ms = [] {
     std::array<double, kNumTaskKinds> ms{};

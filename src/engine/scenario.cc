@@ -12,12 +12,27 @@
 #include "geom/grid.h"
 #include "geom/rng.h"
 #include "geom/samplers.h"
+#include "obs/registry.h"
 #include "sinr/power.h"
 #include "spaces/samplers.h"
 
 namespace decaylib::engine {
 
 namespace {
+
+// Registry handles of the geometry cache's LRU layer, resolved once.
+// Metric name catalogue: docs/observability.md.
+obs::Counter& GenerationHitCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("engine.geometry_generation_hits");
+  return counter;
+}
+
+obs::Counter& GenerationEvictionCounter() {
+  static obs::Counter& counter =
+      obs::Registry::Global().GetCounter("engine.geometry_evictions");
+  return counter;
+}
 
 // Seed policy: one independent, reproducible stream per (family, instance).
 std::uint64_t InstanceSeed(std::uint64_t base, int index) {
@@ -142,6 +157,20 @@ bool IsRegisteredTopology(const std::string& topology) {
   return FindTopology(topology) != nullptr;
 }
 
+const char* KernelModeName(KernelMode mode) {
+  switch (mode) {
+    case KernelMode::kDense: return "dense";
+    case KernelMode::kFarField: return "farfield";
+  }
+  return "unknown";
+}
+
+std::optional<KernelMode> ParseKernelMode(const std::string& name) {
+  if (name == "dense") return KernelMode::kDense;
+  if (name == "farfield") return KernelMode::kFarField;
+  return std::nullopt;
+}
+
 core::Status ValidateScenarioSpec(const ScenarioSpec& spec) {
   using core::Status;
   if (!IsRegisteredTopology(spec.topology)) {
@@ -186,6 +215,24 @@ core::Status ValidateScenarioSpec(const ScenarioSpec& spec) {
   if (!(std::isfinite(spec.corridor_width) && spec.corridor_width > 0.0)) {
     return Status::InvalidArgument(
         "corridor_width must be positive and finite");
+  }
+  if (!(std::isfinite(spec.farfield_epsilon) && spec.farfield_epsilon >= 0.0)) {
+    return Status::InvalidArgument(
+        "farfield_epsilon must be a non-negative finite relative error bound");
+  }
+  // The far-field kernel pools geometric decay contributions per cell; the
+  // certificate needs decays that are a pure function of distance (no
+  // shadowing) and a uniform base power (the pooled factor c_v * f_vv must
+  // not depend on the interferer).
+  if (spec.kernel_mode == KernelMode::kFarField) {
+    if (spec.sigma_db != 0.0) {
+      return Status::InvalidArgument(
+          "kernel_mode=farfield requires sigma_db == 0 (distance-pure decay)");
+    }
+    if (spec.power_tau != 0.0) {
+      return Status::InvalidArgument(
+          "kernel_mode=farfield requires uniform power (power_tau == 0)");
+    }
   }
   // Dynamics knobs are validated unconditionally -- a spec is either valid
   // or it is not, independent of which tasks a given batch happens to run.
@@ -407,27 +454,54 @@ ScenarioInstance BuildInstance(const ScenarioSpec& spec, int index,
   return ConfigureInstance(spec, geometry);
 }
 
+void GeometryCache::SetGenerations(int generations) {
+  DL_CHECK(generations >= 1, "geometry cache needs at least one generation");
+  capacity_ = generations;
+  EvictOverCapacity();
+}
+
+void GeometryCache::EvictOverCapacity() {
+  while (static_cast<int>(generations_.size()) > capacity_) {
+    generations_.pop_back();
+    ++evictions_;
+    GenerationEvictionCounter().Add();
+  }
+}
+
 void GeometryCache::Prepare(const ScenarioSpec& spec) {
   DL_CHECK(spec.instances >= 1, "geometry cache needs at least one instance");
   GeometryKey key = GeometryKeyOf(spec);
-  if (!has_key_ || !(key == key_)) {
-    for (Slot& slot : slots_) slot.valid = false;
-    key_ = std::move(key);
-    has_key_ = true;
+  auto it = std::find_if(
+      generations_.begin(), generations_.end(),
+      [&](const Generation& g) { return g.key == key; });
+  if (it != generations_.end()) {
+    // A generation's slots always match its key, so nothing invalidates:
+    // splice the node to the front (no slot moves, warm references survive).
+    if (it != generations_.begin()) {
+      generations_.splice(generations_.begin(), generations_, it);
+    }
+    ++generation_hits_;
+    GenerationHitCounter().Add();
+  } else {
+    generations_.emplace_front(Generation{std::move(key), {}});
+    EvictOverCapacity();
   }
-  if (static_cast<int>(slots_.size()) < spec.instances) {
-    slots_.resize(static_cast<std::size_t>(spec.instances));
+  std::deque<Slot>& slots = generations_.front().slots;
+  if (static_cast<int>(slots.size()) < spec.instances) {
+    slots.resize(static_cast<std::size_t>(spec.instances));
   }
 }
 
 const ScenarioGeometry& GeometryCache::Acquire(const ScenarioSpec& spec,
                                                int index, PairingMode pairing,
                                                bool* built) {
-  DL_CHECK(has_key_ && GeometryKeyOf(spec) == key_,
+  DL_CHECK(!generations_.empty() &&
+               GeometryKeyOf(spec) == generations_.front().key,
            "Acquire needs a Prepare with a key-equal spec first");
-  DL_CHECK(index >= 0 && index < static_cast<int>(slots_.size()),
+  std::deque<Slot>& slots = generations_.front().slots;
+  DL_CHECK(index >= 0 && index < static_cast<int>(slots.size()),
            "instance index outside the prepared slot range");
-  Slot& slot = slots_[static_cast<std::size_t>(index)];
+  Slot& slot = slots[static_cast<std::size_t>(index)];
   if (built != nullptr) *built = !slot.valid;
   if (!slot.valid) {
     slot.geometry = BuildGeometry(spec, index, pairing);

@@ -46,6 +46,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <list>
 #include <memory>
 #include <optional>
 #include <string>
@@ -78,6 +79,24 @@ struct DynamicsSpec {
   friend bool operator==(const DynamicsSpec&, const DynamicsSpec&) = default;
 };
 
+// Which affectance kernel the batch runner builds per instance.
+//   * kDense: the O(n^2) sinr::KernelCache (the default; exact, and the
+//     bit-exactness reference every other mode is gated against).
+//   * kFarField: the matrix-free sinr::FarFieldKernel for the tasks that
+//     support it (algorithm1, greedy, schedule) -- O(n) memory, pooled
+//     distant-cell affectance with certified relative error
+//     farfield_epsilon; at epsilon == 0 every query is exact and results
+//     are bit-identical to dense.  Requires a coordinate-backed,
+//     shadowing-free spec with uniform base power (sigma_db == 0,
+//     power_tau == 0; ValidateScenarioSpec rejects the rest).  Tasks
+//     without a far-field path still build the dense kernel lazily.
+enum class KernelMode { kDense, kFarField };
+
+// Stable name of a kernel mode ("dense" / "farfield"), and its inverse for
+// CLI / sweep-axis input (nullopt on an unknown name).
+const char* KernelModeName(KernelMode mode);
+std::optional<KernelMode> ParseKernelMode(const std::string& name);
+
 // Pure-data description of a deployment family.  Every field has a sane
 // default so specs can be written as designated initialisers.
 struct ScenarioSpec {
@@ -105,6 +124,13 @@ struct ScenarioSpec {
   // Mix64(seed + golden * (i + 1)) (InstanceSeed in scenario.cc), so
   // instances are independent and reproducible.
   std::uint64_t seed = 1;
+
+  // Kernel path (non-geometric: two specs differing only here share a
+  // GeometryKey).  farfield_epsilon is the certified relative error bound
+  // of pooled far-field affectance queries; 0 forces every query exact
+  // (dense-bit-identical results).  Ignored under kDense.
+  KernelMode kernel_mode = KernelMode::kDense;
+  double farfield_epsilon = 1e-3;
 
   // Topology shape knobs (ignored by topologies that do not use them).
   int hotspots = 5;             // clustered: number of hotspot centers
@@ -245,31 +271,41 @@ std::vector<sinr::Link> PairLinksByDecayGrid(const core::DecaySpace& space,
                                              std::span<const geom::Vec2> points,
                                              double alpha);
 
-// One grid cell's worth of warm geometries: slot i holds the geometry of
-// instance i for the cache's current GeometryKey.  Prepare(spec) -- called
-// between batches, single-threaded -- keeps the slots when the spec's key
-// matches and invalidates them all when it does not; Acquire(spec, i) then
-// returns slot i, building it (and measuring metricity, when the spec's
-// zeta policy needs it) on first touch.  Thread contract: concurrent
+// Warm geometries, kept per GeometryKey *generation*: within a generation,
+// slot i holds the geometry of instance i.  Prepare(spec) -- called between
+// batches, single-threaded -- moves the spec's generation to the front of
+// an LRU list, creating it when absent and evicting the least recently
+// used generation beyond the capacity (default 1: exactly the historical
+// single-generation behaviour and memory bound); Acquire(spec, i) then
+// returns slot i of the front generation, building it (and measuring
+// metricity, when the spec's zeta policy needs it) on first touch.  More
+// generations pay memory for reuse across *interleaved* keys -- the access
+// pattern of a sweep whose geometric axis is not the slowest, where a
+// single generation thrashes (docs/sweeps.md).  Thread contract: concurrent
 // Acquire calls must use distinct instance indices (the batch runner's
-// work-stealing pool claims each index exactly once), and Prepare must not
-// race with Acquire; the runners' pool joins give the needed ordering.
-// Holding one generation bounds memory at one cell's geometries and is
-// exactly the reuse a row-major sweep needs when its non-geometric axes
-// vary fastest (docs/sweeps.md).
+// work-stealing pool claims each index exactly once), and Prepare /
+// SetGenerations must not race with Acquire; the runners' pool joins give
+// the needed ordering.
 class GeometryCache {
  public:
-  // Adopts the spec's key, invalidating every slot on a key change, and
-  // ensures at least spec.instances slots exist.
+  // LRU capacity in generations (>= 1).  Shrinking evicts the excess least
+  // recently used generations immediately.
+  void SetGenerations(int generations);
+  int generations() const noexcept { return capacity_; }
+
+  // Adopts the spec's key: splices its generation to the front when cached
+  // (a generation hit), creates a fresh front generation otherwise
+  // (evicting beyond capacity), and ensures at least spec.instances slots
+  // exist in it.
   void Prepare(const ScenarioSpec& spec);
 
   // The geometry of instance `index` under the prepared key; builds into
-  // the slot when cold.  The reference stays valid until the next Prepare
-  // with a different key (slots live in a deque, so a same-key Prepare
-  // that merely grows the instance count leaves existing slots in place).
-  // `built` (optional) reports whether this call sampled the slot fresh
-  // (true) or served it warm (false) -- the per-instance cache-hit fact
-  // the batch runner's stage breakdown and the obs registry record.
+  // the slot when cold.  The reference stays valid until the slot's
+  // generation is evicted (generations are list nodes and slots live in
+  // deques, so neither splices nor growth move warm slots).  `built`
+  // (optional) reports whether this call sampled the slot fresh (true) or
+  // served it warm (false) -- the per-instance cache-hit fact the batch
+  // runner's stage breakdown and the obs registry record.
   const ScenarioGeometry& Acquire(const ScenarioSpec& spec, int index,
                                   PairingMode pairing = PairingMode::kAuto,
                                   bool* built = nullptr);
@@ -277,18 +313,30 @@ class GeometryCache {
   // Accounting (deterministic in the sequence of Prepare/Acquire calls).
   long long builds() const noexcept { return builds_.load(); }
   long long reuses() const noexcept { return reuses_.load(); }
+  // Prepares served by an already-cached generation / generations dropped
+  // by LRU pressure.  Mirrored into the obs registry as
+  // engine.geometry_generation_hits / engine.geometry_evictions.
+  long long generation_hits() const noexcept { return generation_hits_; }
+  long long evictions() const noexcept { return evictions_; }
 
  private:
   struct Slot {
     ScenarioGeometry geometry;
     bool valid = false;
   };
+  struct Generation {
+    GeometryKey key;
+    std::deque<Slot> slots;  // deque: growth never moves warm slots
+  };
 
-  GeometryKey key_;
-  bool has_key_ = false;
-  std::deque<Slot> slots_;  // deque: growth never moves warm slots
+  void EvictOverCapacity();
+
+  std::list<Generation> generations_;  // front = most recently used
+  int capacity_ = 1;
   std::atomic<long long> builds_{0};
   std::atomic<long long> reuses_{0};
+  long long generation_hits_ = 0;  // mutated only in Prepare (single-threaded)
+  long long evictions_ = 0;
 };
 
 // The named scenario presets shared by the batch runner, the CLI and the

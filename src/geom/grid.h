@@ -36,6 +36,25 @@ class UniformGrid {
   // Side length of a cell.
   double CellSize() const noexcept { return cell_; }
 
+  int Cols() const noexcept { return cols_; }
+  int Rows() const noexcept { return rows_; }
+  int NumCells() const noexcept { return cols_ * rows_; }
+
+  // Row-major index of the cell containing p.  Points outside the bounding
+  // box clamp to the border cells, the same way every ring query addresses
+  // them.
+  int CellIndex(Vec2 p) const noexcept {
+    return CellY(p.y) * cols_ + CellX(p.x);
+  }
+
+  // Ids stored in row-major cell `cell` (empty span for an empty cell).
+  // Lets callers enumerate occupied cells once and build per-cell
+  // aggregates, instead of going through ring traversal.
+  std::span<const int> CellContents(int cell) const {
+    const std::size_t c = static_cast<std::size_t>(cell);
+    return {bucket_ids_.data() + starts_[c], starts_[c + 1] - starts_[c]};
+  }
+
   // Number of Chebyshev rings that can intersect the grid from the cell
   // containing p; rings beyond this are empty for every query point inside
   // the grid's bounding box.

@@ -35,6 +35,14 @@ constexpr Vec2 operator*(double s, Vec2 v) noexcept { return v * s; }
 
 double Distance(Vec2 a, Vec2 b) noexcept;
 
+// Geometric decay f(p, q) = |p - q|^alpha.  This is the ONE expression both
+// core::DecaySpace::Geometric and the matrix-free far-field kernel
+// (sinr/farfield.h) evaluate; sharing it pins the rounding, which is what
+// makes the far-field exact path bit-identical to the dense cached one.
+inline double GeometricDecay(Vec2 p, Vec2 q, double alpha) noexcept {
+  return std::pow(Distance(p, q), alpha);
+}
+
 // 3-D vector / point (used by antenna orientation in 3-D scenes and tests of
 // higher-dimensional packings).
 struct Vec3 {

@@ -46,13 +46,14 @@ obs::Counter& AdmissionCheckCounter() {
 
 }  // namespace
 
-KernelCache::KernelCache(const LinkSystem& system, PowerAssignment power) {
+KernelCache::KernelCache(const LinkSystem& system, PowerAssignment power,
+                         KernelBuildPath path) {
   std::vector<double> scratch;
-  Build(system, std::move(power), scratch);
+  Build(system, std::move(power), scratch, path);
 }
 
 void KernelCache::Build(const LinkSystem& system, PowerAssignment power,
-                        std::vector<double>& scratch) {
+                        std::vector<double>& scratch, KernelBuildPath path) {
   KernelBuildCounter().Add();
   system_ = &system;
   power_ = std::move(power);
@@ -101,22 +102,30 @@ void KernelCache::Build(const LinkSystem& system, PowerAssignment power,
     rcv[static_cast<std::size_t>(v)] = system.link(v).receiver;
   }
 
-  // cross_decay_[w*n + v] = f(s_w, r_v) = CrossDecay(w, v), then its
+  // cross_decay_[w*n + v] = f(s_w, r_v) = CrossDecay(w, v), plus its
   // transpose into the arena scratch.  The cross matrix is kept as a member:
   // it backs the CrossDecay query and the power-control kernels below.
+  //
+  // Both build paths write the same entries from the same expressions in the
+  // same order within each entry, so the resulting matrices are
+  // bit-identical; the paths differ only in how many sweeps over the n x n
+  // slabs they take.  Entries are bit-identical to LinkSystem::AffectanceRaw
+  // -- same expression, with c_v and f_vv hoisted.  Under uniform power the
+  // P_w / P_v factor equals exactly 1.0 (IEEE x / x == 1.0), so the two
+  // extra ops can be skipped without changing the rounded result.  Every
+  // n x n matrix writes its zero entries explicitly instead of pre-clearing
+  // with assign: on a warm arena slab the resize is then a no-op, saving one
+  // full memset pass per matrix per rebuild (a fresh vector still
+  // zero-initialises, so the cold path is unchanged).
   cross_decay_.resize(n * n);
-  double* cross = cross_decay_.data();
-  for (int w = 0; w < n_; ++w) {
-    double* out = cross + static_cast<std::size_t>(w) * n;
-    const double* row_sw =
-        fd + static_cast<std::size_t>(snd[static_cast<std::size_t>(w)]) * sm;
-    for (int v = 0; v < n_; ++v) {
-      out[v] = row_sw[static_cast<std::size_t>(rcv[static_cast<std::size_t>(v)])];
-    }
-  }
+  aff_raw_.resize(n * n);
+  aff_raw_t_.resize(n * n);
+  min_pair_decay_.resize(n * n);
   scratch.resize(n * n);
+  double* cross = cross_decay_.data();
   double* cross_t = scratch.data();
-  {
+
+  const auto transpose_cross = [&] {
     constexpr std::size_t kTile = 32;
     for (std::size_t wb = 0; wb < n; wb += kTile) {
       for (std::size_t vb = 0; vb < n; vb += kTile) {
@@ -129,89 +138,158 @@ void KernelCache::Build(const LinkSystem& system, PowerAssignment power,
         }
       }
     }
+  };
+
+  if (path == KernelBuildPath::kScalar) {
+    // Reference structure: one matrix per sweep.  Kept as the bit-identity
+    // oracle the fused path is tested against (tests/kernel_test.cc).
+    for (int w = 0; w < n_; ++w) {
+      double* out = cross + static_cast<std::size_t>(w) * n;
+      const double* row_sw =
+          fd + static_cast<std::size_t>(snd[static_cast<std::size_t>(w)]) * sm;
+      for (int v = 0; v < n_; ++v) {
+        out[v] =
+            row_sw[static_cast<std::size_t>(rcv[static_cast<std::size_t>(v)])];
+      }
+    }
+    transpose_cross();
+
+    // Raw affectance matrices: aff_raw_ row w = a_w(.), filled w-major (the
+    // factors depending on the *target* v are O(n) arrays); the transpose
+    // row v = a_.(v), filled v-major from cross_t.
+    for (int w = 0; w < n_; ++w) {
+      const std::size_t sw = static_cast<std::size_t>(w);
+      double* out = aff_raw_.data() + sw * n;
+      const double* cross_w = cross + sw * n;
+      const double pw = power_[sw];
+      for (int v = 0; v < n_; ++v) {
+        const std::size_t sv = static_cast<std::size_t>(v);
+        if (v == w || !can_overcome_[sv]) {
+          out[sv] = 0.0;
+        } else if (uniform_power_) {
+          out[sv] = noise_factor_[sv] * (link_decay_[sv] / cross_w[sv]);
+        } else {
+          out[sv] = noise_factor_[sv] *
+                    (pw / power_[sv] * link_decay_[sv] / cross_w[sv]);
+        }
+      }
+    }
+    for (int v = 0; v < n_; ++v) {
+      const std::size_t sv = static_cast<std::size_t>(v);
+      double* out = aff_raw_t_.data() + sv * n;
+      if (!can_overcome_[sv]) {
+        std::fill(out, out + n, 0.0);
+        continue;
+      }
+      const double* cross_v = cross_t + sv * n;
+      const double cv = noise_factor_[sv];
+      const double fvv = link_decay_[sv];
+      const double pv = power_[sv];
+      for (int w = 0; w < n_; ++w) {
+        const std::size_t sw = static_cast<std::size_t>(w);
+        if (w == v) {
+          out[sw] = 0.0;
+        } else if (uniform_power_) {
+          out[sw] = cv * (fvv / cross_v[sw]);
+        } else {
+          out[sw] = cv * (power_[sw] / pv * fvv / cross_v[sw]);
+        }
+      }
+    }
+
+    // Min-endpoint-decay matrix (zeta-independent part of the link
+    // quasi-distance).  The decay matrix stores 0 on the diagonal, which is
+    // exactly the naive d(p, p) = 0 special case, so no branch is needed.
+    // The matrix is stored for ordered (v, w): in an asymmetric space the
+    // sender-sender and receiver-receiver legs are ordered pairs, so
+    // d(l_v, l_w) need not equal d(l_w, l_v).
+    for (int v = 0; v < n_; ++v) {
+      const std::size_t sv = static_cast<std::size_t>(v);
+      double* out = min_pair_decay_.data() + sv * n;
+      const double* row_sv = fd + static_cast<std::size_t>(snd[sv]) * sm;
+      const double* row_rv = fd + static_cast<std::size_t>(rcv[sv]) * sm;
+      const double* cross_v = cross_t + sv * n;  // f(s_w, r_v) over w
+      for (int w = 0; w < n_; ++w) {
+        if (w == v) {
+          out[static_cast<std::size_t>(w)] = 0.0;
+          continue;
+        }
+        const std::size_t w_snd =
+            static_cast<std::size_t>(snd[static_cast<std::size_t>(w)]);
+        const std::size_t w_rcv =
+            static_cast<std::size_t>(rcv[static_cast<std::size_t>(w)]);
+        const double sv_rw = row_sv[w_rcv];                        // f(s_v, r_w)
+        const double sw_rv = cross_v[static_cast<std::size_t>(w)];  // f(s_w, r_v)
+        const double sv_sw = row_sv[w_snd];                        // f(s_v, s_w)
+        const double rv_rw = row_rv[w_rcv];                        // f(r_v, r_w)
+        out[static_cast<std::size_t>(w)] =
+            std::min(std::min(sv_rw, sw_rv), std::min(sv_sw, rv_rw));
+      }
+    }
+    return;
   }
 
-  // Raw affectance matrices: aff_raw_ row w = a_w(.), filled w-major (the
-  // factors depending on the *target* v are O(n) arrays); the transpose
-  // row v = a_.(v), filled v-major from cross_t.  Entries are bit-identical
-  // to LinkSystem::AffectanceRaw -- same expression, with c_v and f_vv
-  // hoisted.  Under uniform power the P_w / P_v factor equals exactly 1.0
-  // (IEEE x / x == 1.0), so the two extra ops can be skipped without
-  // changing the rounded result.  Every n x n matrix from here on writes
-  // its zero entries explicitly instead of pre-clearing with assign: on a
-  // warm arena slab the resize is then a no-op, saving one full memset pass
-  // per matrix per rebuild (a fresh vector still zero-initialises, so the
-  // cold path is unchanged).
-  aff_raw_.resize(n * n);
+  // Fused tiled path (default).  Pass 1 (w-major) derives the aff_raw row
+  // from the cross row while the freshly written cross values are still in
+  // registers/L1 -- at n = 16k each n x n slab is 2 GB, so a second sweep
+  // re-reads it all from DRAM.  Pass 2 (v-major, after the blocked
+  // transpose) fills aff_raw_t and min_pair_decay from one read of the
+  // cross_t row.
   for (int w = 0; w < n_; ++w) {
     const std::size_t sw = static_cast<std::size_t>(w);
-    double* out = aff_raw_.data() + sw * n;
-    const double* cross_w = cross + sw * n;
+    double* out_cross = cross + sw * n;
+    double* out_aff = aff_raw_.data() + sw * n;
+    const double* row_sw =
+        fd + static_cast<std::size_t>(snd[sw]) * sm;
     const double pw = power_[sw];
     for (int v = 0; v < n_; ++v) {
       const std::size_t sv = static_cast<std::size_t>(v);
+      const double cross_wv =
+          row_sw[static_cast<std::size_t>(rcv[sv])];
+      out_cross[sv] = cross_wv;
       if (v == w || !can_overcome_[sv]) {
-        out[sv] = 0.0;
+        out_aff[sv] = 0.0;
       } else if (uniform_power_) {
-        out[sv] = noise_factor_[sv] * (link_decay_[sv] / cross_w[sv]);
+        out_aff[sv] = noise_factor_[sv] * (link_decay_[sv] / cross_wv);
       } else {
-        out[sv] =
-            noise_factor_[sv] * (pw / power_[sv] * link_decay_[sv] / cross_w[sv]);
+        out_aff[sv] =
+            noise_factor_[sv] * (pw / power_[sv] * link_decay_[sv] / cross_wv);
       }
     }
   }
-  aff_raw_t_.resize(n * n);
+  transpose_cross();
   for (int v = 0; v < n_; ++v) {
     const std::size_t sv = static_cast<std::size_t>(v);
-    double* out = aff_raw_t_.data() + sv * n;
-    if (!can_overcome_[sv]) {
-      std::fill(out, out + n, 0.0);
-      continue;
-    }
-    const double* cross_v = cross_t + sv * n;
+    double* out_t = aff_raw_t_.data() + sv * n;
+    double* out_min = min_pair_decay_.data() + sv * n;
+    const double* cross_v = cross_t + sv * n;  // f(s_w, r_v) over w
+    const double* row_sv = fd + static_cast<std::size_t>(snd[sv]) * sm;
+    const double* row_rv = fd + static_cast<std::size_t>(rcv[sv]) * sm;
+    const bool overcomes = can_overcome_[sv] != 0;
     const double cv = noise_factor_[sv];
     const double fvv = link_decay_[sv];
     const double pv = power_[sv];
     for (int w = 0; w < n_; ++w) {
       const std::size_t sw = static_cast<std::size_t>(w);
       if (w == v) {
-        out[sw] = 0.0;
-      } else if (uniform_power_) {
-        out[sw] = cv * (fvv / cross_v[sw]);
-      } else {
-        out[sw] = cv * (power_[sw] / pv * fvv / cross_v[sw]);
-      }
-    }
-  }
-
-  // Min-endpoint-decay matrix (zeta-independent part of the link
-  // quasi-distance).  The decay matrix stores 0 on the diagonal, which is
-  // exactly the naive d(p, p) = 0 special case, so no branch is needed.
-  // The matrix is stored for ordered (v, w): in an asymmetric space the
-  // sender-sender and receiver-receiver legs are ordered pairs, so
-  // d(l_v, l_w) need not equal d(l_w, l_v).
-  min_pair_decay_.resize(n * n);
-  for (int v = 0; v < n_; ++v) {
-    const std::size_t sv = static_cast<std::size_t>(v);
-    double* out = min_pair_decay_.data() + sv * n;
-    const double* row_sv = fd + static_cast<std::size_t>(snd[sv]) * sm;
-    const double* row_rv = fd + static_cast<std::size_t>(rcv[sv]) * sm;
-    const double* cross_v = cross_t + sv * n;  // f(s_w, r_v) over w
-    for (int w = 0; w < n_; ++w) {
-      if (w == v) {
-        out[static_cast<std::size_t>(w)] = 0.0;
+        out_t[sw] = 0.0;
+        out_min[sw] = 0.0;
         continue;
       }
-      const std::size_t w_snd =
-          static_cast<std::size_t>(snd[static_cast<std::size_t>(w)]);
-      const std::size_t w_rcv =
-          static_cast<std::size_t>(rcv[static_cast<std::size_t>(w)]);
-      const double sv_rw = row_sv[w_rcv];                         // f(s_v, r_w)
-      const double sw_rv = cross_v[static_cast<std::size_t>(w)];  // f(s_w, r_v)
-      const double sv_sw = row_sv[w_snd];                         // f(s_v, s_w)
-      const double rv_rw = row_rv[w_rcv];                         // f(r_v, r_w)
-      out[static_cast<std::size_t>(w)] =
-          std::min(std::min(sv_rw, sw_rv), std::min(sv_sw, rv_rw));
+      const double sw_rv = cross_v[sw];  // f(s_w, r_v)
+      if (!overcomes) {
+        out_t[sw] = 0.0;
+      } else if (uniform_power_) {
+        out_t[sw] = cv * (fvv / sw_rv);
+      } else {
+        out_t[sw] = cv * (power_[sw] / pv * fvv / sw_rv);
+      }
+      const std::size_t w_snd = static_cast<std::size_t>(snd[sw]);
+      const std::size_t w_rcv = static_cast<std::size_t>(rcv[sw]);
+      const double sv_rw = row_sv[w_rcv];  // f(s_v, r_w)
+      const double sv_sw = row_sv[w_snd];  // f(s_v, s_w)
+      const double rv_rw = row_rv[w_rcv];  // f(r_v, r_w)
+      out_min[sw] = std::min(std::min(sv_rw, sw_rv), std::min(sv_sw, rv_rw));
     }
   }
 }
@@ -219,12 +297,13 @@ void KernelCache::Build(const LinkSystem& system, PowerAssignment power,
 // --- KernelArena -------------------------------------------------------------
 
 const KernelCache& KernelArena::Rebuild(const LinkSystem& system,
-                                        PowerAssignment power) {
+                                        PowerAssignment power,
+                                        KernelBuildPath path) {
   // Warm iff the slot already holds matrices of this link count: every
   // resize inside Build is then a no-op and no allocation happens.
   const bool warm =
       slot_.system_ != nullptr && slot_.n_ == system.NumLinks();
-  slot_.Build(system, std::move(power), scratch_);
+  slot_.Build(system, std::move(power), scratch_, path);
   ++rebuilds_;
   if (warm) ++warm_skips_;
   ArenaRebuildCounter().Add();
@@ -427,6 +506,97 @@ bool SeparationOracle::ConflictMaxLength(int v, int w) const {
   // Knife edge: exactly the naive expression (max of pows == pow of max).
   const double needed = eta_ * std::pow(scale, inv_zeta_);
   return std::pow(m, inv_zeta_) < needed;
+}
+
+// --- Float32Kernel -----------------------------------------------------------
+
+core::StatusOr<Float32Kernel> Float32Kernel::FromDouble(
+    const KernelCache& kernel, double tol) {
+  if (!(tol >= 0.0) || !std::isfinite(tol)) {
+    return core::Status::InvalidArgument(
+        "float32 kernel tolerance must be finite and >= 0");
+  }
+  Float32Kernel out;
+  out.n_ = kernel.NumLinks();
+  const std::size_t n = static_cast<std::size_t>(out.n_);
+  const std::size_t nn = n * n;
+  out.aff_raw_.resize(nn);
+  out.aff_raw_t_.resize(nn);
+  out.min_pair_.resize(nn);
+
+  // Per-entry exactness gate.  A nonzero double that leaves float's range
+  // (overflow to inf, or underflow so far it rounds to 0) destroys the
+  // entry outright -- decay spreads beyond ~2^276 produce exactly this, and
+  // those ill-conditioned instances are what the gate must refuse.  Inside
+  // the range, the round-trip float(double) must sit within `tol` relative
+  // error; with tol >= 2^-24 (float epsilon/2) every in-range instance
+  // passes, so the knob only matters for stricter demands.
+  const auto convert = [&](const double* src, std::vector<float>& dst,
+                           const char* what) -> core::Status {
+    for (std::size_t i = 0; i < nn; ++i) {
+      const double d = src[i];
+      const float f = static_cast<float>(d);
+      if (d == 0.0) {
+        dst[i] = f;
+        continue;
+      }
+      const double rt = static_cast<double>(f);
+      if (!std::isfinite(rt) || rt == 0.0) {
+        return core::Status::NumericError(
+            std::string("float32 kernel gate: ") + what +
+            " entry leaves float range");
+      }
+      const double rel = std::abs(rt - d) / std::abs(d);
+      if (rel > tol) {
+        return core::Status::NumericError(
+            std::string("float32 kernel gate: ") + what +
+            " entry deviates beyond tolerance");
+      }
+      out.max_rel_error_ = std::max(out.max_rel_error_, rel);
+      dst[i] = f;
+    }
+    return core::Status();
+  };
+
+  if (core::Status s = convert(kernel.aff_raw_.data(), out.aff_raw_, "aff_raw");
+      !s.ok()) {
+    return s;
+  }
+  if (core::Status s =
+          convert(kernel.aff_raw_t_.data(), out.aff_raw_t_, "aff_raw_t");
+      !s.ok()) {
+    return s;
+  }
+  if (core::Status s =
+          convert(kernel.min_pair_decay_.data(), out.min_pair_, "min_pair");
+      !s.ok()) {
+    return s;
+  }
+  return out;
+}
+
+double Float32Kernel::InAffectanceRaw(std::span<const int> S, int v) const {
+  // Transpose row read; accumulate in double so the sum adds no error on
+  // top of the per-entry rounding FromDouble certified.
+  const float* row = aff_raw_t_.data() + Idx(v, 0, n_);
+  double total = 0.0;
+  for (int w : S) total += static_cast<double>(row[static_cast<std::size_t>(w)]);
+  return total;
+}
+
+long long KernelCache::MemoryBytes() const noexcept {
+  const std::size_t doubles = aff_raw_.capacity() + aff_raw_t_.capacity() +
+                              min_pair_decay_.capacity() +
+                              cross_decay_.capacity() + link_decay_.capacity() +
+                              noise_factor_.capacity();
+  return static_cast<long long>(doubles * sizeof(double) +
+                                can_overcome_.capacity() * sizeof(char));
+}
+
+long long Float32Kernel::MemoryBytes() const noexcept {
+  return static_cast<long long>((aff_raw_.capacity() + aff_raw_t_.capacity() +
+                                 min_pair_.capacity()) *
+                                sizeof(float));
 }
 
 }  // namespace decaylib::sinr

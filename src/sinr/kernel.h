@@ -39,16 +39,29 @@
 #include <span>
 #include <vector>
 
+#include "core/status.h"
 #include "sinr/link_system.h"
 
 namespace decaylib::sinr {
+
+// How KernelCache::Build sweeps the matrices.  Entry expressions are
+// identical either way -- the paths are bit-identical and differ only in
+// how many times each cache line is re-fetched:
+//   * kTiled (default): fused sweeps -- the w-major pass derives the
+//     aff_raw row from the cross row while it is still in cache, and the
+//     v-major pass fills aff_raw_t and min_pair_decay from one cross_t
+//     row read; the transpose itself is blocked 32x32.
+//   * kScalar: one matrix per sweep, the original reference structure,
+//     kept as the oracle the tiled path is tested against.
+enum class KernelBuildPath { kTiled, kScalar };
 
 // Precomputed affectance/distance kernels for one (LinkSystem, power) pair.
 // Holds a reference to the system; the system (and its decay space) must
 // outlive the cache.  Construction costs O(n^2) time and memory.
 class KernelCache {
  public:
-  KernelCache(const LinkSystem& system, PowerAssignment power);
+  KernelCache(const LinkSystem& system, PowerAssignment power,
+              KernelBuildPath path = KernelBuildPath::kTiled);
 
   int NumLinks() const noexcept { return n_; }
   const LinkSystem& system() const noexcept { return *system_; }
@@ -141,9 +154,14 @@ class KernelCache {
   // ratio-elision fast path during construction; queries are unaffected).
   bool HasUniformPower() const noexcept { return uniform_power_; }
 
+  // Bytes held by the dense matrices and per-link arrays (capacity, so a
+  // warm arena slot reports what it actually retains).
+  long long MemoryBytes() const noexcept;
+
  private:
   friend class AffectanceAccumulator;
   friend class KernelArena;
+  friend class Float32Kernel;
 
   // Empty cache (n = 0, no system): every query but NumLinks would
   // dereference the null system, so only KernelArena -- which always
@@ -153,7 +171,8 @@ class KernelCache {
   // (Re)builds every matrix for (system, power); `scratch` provides the
   // transpose workspace so arena rebuilds allocate nothing once warm.
   void Build(const LinkSystem& system, PowerAssignment power,
-             std::vector<double>& scratch);
+             std::vector<double>& scratch,
+             KernelBuildPath path = KernelBuildPath::kTiled);
 
   const LinkSystem* system_ = nullptr;
   PowerAssignment power_;
@@ -183,7 +202,8 @@ class KernelArena {
   // beyond the system's lifetime (there is deliberately no accessor for
   // the last-built cache: it would dangle once the batch's instances are
   // destroyed).
-  const KernelCache& Rebuild(const LinkSystem& system, PowerAssignment power);
+  const KernelCache& Rebuild(const LinkSystem& system, PowerAssignment power,
+                             KernelBuildPath path = KernelBuildPath::kTiled);
 
   long long rebuilds() const noexcept { return rebuilds_; }
   // Rebuilds whose link count matched the warm slot's, so every matrix
@@ -272,6 +292,50 @@ class SeparationOracle {
   double inv_zeta_;
   double eta_pow_;  // eta^zeta
   static constexpr double kBand = 1e-9;
+};
+
+// Opt-in float32 copy of the dense affectance/distance kernels: half the
+// memory and bandwidth of the double cache for read-heavy consumers that
+// can tolerate a certified precision loss.  FromDouble is the exactness
+// gate: it rejects the conversion (StatusOr error, no partial kernel)
+// unless EVERY entry of both matrices round-trips within `tol` relative
+// error -- in particular any overflow to inf or underflow of a nonzero
+// entry to 0 (decay spreads beyond float range are exactly the
+// ill-conditioned instances the gate exists for).  Aggregate queries
+// accumulate in double, so the only loss is the per-entry rounding the
+// gate just certified.
+class Float32Kernel {
+ public:
+  static core::StatusOr<Float32Kernel> FromDouble(const KernelCache& kernel,
+                                                  double tol);
+
+  int NumLinks() const noexcept { return n_; }
+  // Largest relative per-entry deviation the conversion actually incurred
+  // (always <= the tol it was gated at).
+  double MaxRelativeError() const noexcept { return max_rel_error_; }
+
+  float AffectanceRaw(int w, int v) const {
+    return aff_raw_[static_cast<std::size_t>(w) * static_cast<std::size_t>(n_) +
+                    static_cast<std::size_t>(v)];
+  }
+  float MinPairDecay(int v, int w) const {
+    return min_pair_[static_cast<std::size_t>(v) * static_cast<std::size_t>(n_) +
+                     static_cast<std::size_t>(w)];
+  }
+
+  // Raw in-affectance over S (transpose row read, double accumulation).
+  double InAffectanceRaw(std::span<const int> S, int v) const;
+
+  long long MemoryBytes() const noexcept;
+
+ private:
+  Float32Kernel() = default;
+
+  int n_ = 0;
+  double max_rel_error_ = 0.0;
+  std::vector<float> aff_raw_;    // [w*n + v]
+  std::vector<float> aff_raw_t_;  // [v*n + w]
+  std::vector<float> min_pair_;   // [v*n + w]
 };
 
 }  // namespace decaylib::sinr

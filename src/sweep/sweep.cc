@@ -113,6 +113,19 @@ const std::vector<FieldEntry>& FieldTable() {
          return Status::Ok();
        },
        false},
+      // Certified error bound of the far-field kernel (kernel_mode is set
+      // on the base spec; 0 means every query exact).  Non-geometric, like
+      // the dynamics knobs: an epsilon row reuses one sampled geometry.
+      {"farfield_epsilon",
+       [](engine::ScenarioSpec& s, double v) {
+         if (!(std::isfinite(v) && v >= 0.0)) {
+           return Status::InvalidArgument(
+               "farfield_epsilon axis values must be >= 0 and finite");
+         }
+         s.farfield_epsilon = v;
+         return Status::Ok();
+       },
+       false},
   };
   return table;
 }

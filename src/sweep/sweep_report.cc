@@ -81,6 +81,10 @@ void PrintSweepReport(const SweepResult& result) {
                   100.0 * static_cast<double>(result.arena_warm_skips) /
                       static_cast<double>(result.arena_rebuilds));
     }
+    if (result.geometry_generation_hits > 0 || result.geometry_evictions > 0) {
+      std::printf(", %lld generation hits / %lld evictions",
+                  result.geometry_generation_hits, result.geometry_evictions);
+    }
     std::printf("\n");
   }
   if (result.checkpoint_write_ms > 0.0 || result.resume_restore_ms > 0.0) {
@@ -133,7 +137,7 @@ void PrintSweepReport(const SweepResult& result) {
     for (const obs::StageStats::Stage& s : stats.stages) {
       if (s.name == "geometry_build" || s.name == "geometry_reuse") {
         geometry_ms += s.total_ms;
-      } else if (s.name == "kernel_build") {
+      } else if (s.name == "kernel_build" || s.name == "farfield_build") {
         kernel_ms += s.total_ms;
       } else if (s.name.rfind("task.", 0) == 0) {
         task_ms += s.total_ms;

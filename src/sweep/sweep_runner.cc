@@ -84,6 +84,7 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
   // One geometry cache for the whole grid: cells re-sample only the
   // instances a geometry-axis change actually invalidates.
   engine::GeometryCache geometry;
+  geometry.SetGenerations(std::max(1, config_.geometry_generations));
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<SweepCell> cells = ExpandGrid(spec);
@@ -277,6 +278,8 @@ SweepResult SweepRunner::Run(const SweepSpec& spec) const {
   }
   out.geometry_builds = geometry.builds();
   out.geometry_reuses = geometry.reuses();
+  out.geometry_generation_hits = geometry.generation_hits();
+  out.geometry_evictions = geometry.evictions();
   return out;
 }
 

@@ -79,6 +79,12 @@ struct SweepConfig {
   // i.e. cells differing only in power_tau / beta / noise / explicit zeta.
   // Reuse follows grid order, so put non-geometric axes last (fastest).
   bool reuse_geometry = true;
+  // LRU depth of the shared geometry cache, in key generations (>= 1).
+  // 1 keeps the historical single-generation bound; more generations serve
+  // grids whose geometric axis is NOT the slowest -- keys then interleave
+  // and a depth covering the geometric axis length turns every revisit
+  // into a warm hit (engine::GeometryCache).
+  int geometry_generations = 1;
   // Pairing route for instance builds (kSortGreedy = reference A/B arm).
   engine::PairingMode pairing = engine::PairingMode::kAuto;
 
@@ -129,6 +135,8 @@ struct SweepResult {
   long long arena_warm_skips = 0; // rebuilds into an already-right-sized slab
   long long geometry_builds = 0; // instance geometries sampled fresh
   long long geometry_reuses = 0; // instance geometries served from cache
+  long long geometry_generation_hits = 0;  // Prepares served by a warm key
+  long long geometry_evictions = 0;        // generations dropped by LRU
   double checkpoint_write_ms = 0.0;  // total time in SaveCheckpoint
   double resume_restore_ms = 0.0;    // time loading/verifying the sidecar
   // Per-stage breakdown merged from every ok cell's batch (plus the

@@ -150,6 +150,47 @@ TEST(AuctionTest, CachedPathBitExactVsNaive) {
   }
 }
 
+TEST(AuctionTest, ResumedBisectionBitExactVsRescan) {
+  // CriticalBid resumes the greedy admission state from the probed link's
+  // bid-order position instead of replaying the rule from scratch.  The
+  // probe sequence and every admission decision must match the rescanning
+  // reference, so the payment is the identical double -- for every link,
+  // across noise regimes, seeds, and tolerances.
+  for (const double noise : {0.0, 0.02}) {
+    for (const std::uint64_t seed : {21ull, 22ull, 23ull}) {
+      const Fixture fixture(16, 14.0, seed);
+      const sinr::LinkSystem system(fixture.space, fixture.links,
+                                    {1.5, noise});
+      const sinr::KernelCache kernel(system, sinr::UniformPower(system));
+      for (const double tol : {1e-4, 1e-7}) {
+        for (int v = 0; v < 16; ++v) {
+          EXPECT_EQ(CriticalBid(kernel, fixture.bids, v, tol),
+                    CriticalBidRescan(kernel, fixture.bids, v, tol))
+              << "noise=" << noise << " seed=" << seed << " link=" << v
+              << " tol=" << tol;
+        }
+      }
+    }
+  }
+}
+
+TEST(AuctionTest, ResumedBisectionHandlesTiedBids) {
+  // Equal bids stress the insertion-position mapping: the probed link must
+  // land at the same position the rescan path's sort gives it, or the two
+  // disagree on the admission prefix.
+  const Fixture base(10, 12.0, 31);
+  std::vector<double> bids = base.bids;
+  bids[3] = bids[7];  // exact tie
+  bids[1] = bids[5];
+  const sinr::LinkSystem system(base.space, base.links, {1.5, 0.0});
+  const sinr::KernelCache kernel(system, sinr::UniformPower(system));
+  for (int v = 0; v < 10; ++v) {
+    EXPECT_EQ(CriticalBid(kernel, bids, v, 1e-7),
+              CriticalBidRescan(kernel, bids, v, 1e-7))
+        << "link " << v;
+  }
+}
+
 TEST(AuctionTest, TruthfulnessSpotCheck) {
   // For sampled alternative bids b' != true value v, utility(truth) >=
   // utility(b') under critical payments (monotone allocation + critical

@@ -229,6 +229,86 @@ TEST(GeometryCacheTest, MeasuredZetaIsMemoised) {
   EXPECT_EQ(cache.reuses(), 1);
 }
 
+TEST(GeometryCacheTest, LruGenerationsHitAndEvictDeterministically) {
+  // Two interleaved keys K1 K2 K1 K2 -- the access pattern of a sweep
+  // whose geometric axis is not the slowest.  A single generation
+  // thrashes: every Prepare after the first replaces the cached key.  Two
+  // generations serve the whole second pass warm.
+  ScenarioSpec k1 = Small(BuiltinScenarios().front(), 8, 2);
+  ScenarioSpec k2 = k1;
+  k2.alpha += 0.5;  // geometric change: distinct GeometryKey
+
+  const std::vector<const ScenarioSpec*> order = {&k1, &k2, &k1, &k2};
+  auto drive = [&](GeometryCache& cache) {
+    for (const ScenarioSpec* s : order) {
+      cache.Prepare(*s);
+      for (int i = 0; i < s->instances; ++i) (void)cache.Acquire(*s, i);
+    }
+  };
+
+  GeometryCache shallow;  // default capacity 1
+  drive(shallow);
+  EXPECT_EQ(shallow.builds(), 8);
+  EXPECT_EQ(shallow.reuses(), 0);
+  EXPECT_EQ(shallow.generation_hits(), 0);
+  EXPECT_EQ(shallow.evictions(), 3);
+
+  GeometryCache deep;
+  deep.SetGenerations(2);
+  drive(deep);
+  EXPECT_EQ(deep.builds(), 4);
+  EXPECT_EQ(deep.reuses(), 4);
+  EXPECT_EQ(deep.generation_hits(), 2);
+  EXPECT_EQ(deep.evictions(), 0);
+
+  // A warm generation hit serves the bit-identical geometry a cold build
+  // would have produced.
+  deep.Prepare(k1);
+  const ScenarioInstance direct = BuildInstance(k1, 1);
+  const ScenarioInstance warm = ConfigureInstance(k1, deep.Acquire(k1, 1));
+  const auto raw_a = warm.space().Raw();
+  const auto raw_b = direct.space().Raw();
+  ASSERT_EQ(raw_a.size(), raw_b.size());
+  for (std::size_t k = 0; k < raw_a.size(); ++k) ASSERT_EQ(raw_a[k], raw_b[k]);
+  EXPECT_EQ(warm.system().links(), direct.system().links());
+
+  // Shrinking evicts the excess least recently used generation (k2; k1 was
+  // just spliced to the front) without touching the survivor's slots.
+  deep.SetGenerations(1);
+  EXPECT_EQ(deep.evictions(), 1);
+  const long long builds_before = deep.builds();
+  deep.Prepare(k1);
+  (void)deep.Acquire(k1, 0);
+  EXPECT_EQ(deep.builds(), builds_before);  // front generation stayed warm
+}
+
+TEST(GeometryCacheTest, WarmSlotReferencesSurviveSplices) {
+  // Generations are list nodes and slots live in deques: a reference
+  // Acquire handed out stays valid while its generation stays cached, even
+  // as other keys rotate through the LRU and the list is respliced.
+  ScenarioSpec k1 = Small(BuiltinScenarios().front(), 8, 2);
+  ScenarioSpec k2 = k1;
+  k2.alpha += 0.5;
+
+  GeometryCache cache;
+  cache.SetGenerations(2);
+  cache.Prepare(k1);
+  const ScenarioGeometry& pinned = cache.Acquire(k1, 0);
+  const std::vector<double> raw_before(pinned.space->Raw().begin(),
+                                       pinned.space->Raw().end());
+
+  cache.Prepare(k2);
+  (void)cache.Acquire(k2, 0);
+  cache.Prepare(k1);  // splices k1 back to the front
+  (void)cache.Acquire(k1, 1);
+
+  const auto raw_after = pinned.space->Raw();
+  ASSERT_EQ(raw_after.size(), raw_before.size());
+  for (std::size_t k = 0; k < raw_before.size(); ++k) {
+    EXPECT_EQ(raw_after[k], raw_before[k]);
+  }
+}
+
 // The engine's core contract: the deterministic aggregate report of a batch
 // does not depend on the worker-pool size.
 TEST(BatchRunnerTest, AggregateBitIdenticalAcrossThreadCounts) {

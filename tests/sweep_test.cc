@@ -296,6 +296,82 @@ TEST(SweepRunnerTest, DynamicsAxesShareGeometryAndStayDeterministic) {
   EXPECT_LE(mean_queue_at(1), mean_queue_at(3) + 1e-9);
 }
 
+TEST(SweepSpecTest, FarFieldEpsilonAxisAppliesAndValidates) {
+  engine::ScenarioSpec spec;
+  EXPECT_TRUE(IsSweepableField("farfield_epsilon"));
+  EXPECT_TRUE(ApplyAxisValue(spec, "farfield_epsilon", 0.0).ok());
+  EXPECT_EQ(spec.farfield_epsilon, 0.0);
+  EXPECT_TRUE(ApplyAxisValue(spec, "farfield_epsilon", 1e-3).ok());
+  EXPECT_EQ(spec.farfield_epsilon, 1e-3);
+
+  const double before = spec.farfield_epsilon;
+  const core::Status negative =
+      ApplyAxisValue(spec, "farfield_epsilon", -1e-3);
+  EXPECT_EQ(negative.code(), core::StatusCode::kInvalidArgument);
+  EXPECT_EQ(spec.farfield_epsilon, before);  // spec untouched on rejection
+
+  // A grid over the certified bound in far-field mode runs clean and stays
+  // thread-count invariant like every other axis.
+  SweepSpec sweep = TinySweep();
+  sweep.base.links = 10;
+  sweep.base.kernel_mode = engine::KernelMode::kFarField;
+  sweep.axes = {{"farfield_epsilon", {0.0, 1e-3}}};
+  sweep.tasks = {engine::TaskKind::kAlgorithm1,
+                 engine::TaskKind::kGreedyBaseline};
+  EXPECT_TRUE(ValidateSweepSpec(sweep).ok());
+
+  SweepConfig serial;
+  serial.threads = 1;
+  SweepConfig pooled;
+  pooled.threads = 4;
+  const SweepResult a = SweepRunner(serial).Run(sweep);
+  const SweepResult b = SweepRunner(pooled).Run(sweep);
+  ASSERT_EQ(a.cells.size(), 2u);
+  EXPECT_EQ(SweepSignature(a), SweepSignature(b));
+  EXPECT_EQ(SweepViolationCount(a), 0);
+  // Both cells share one geometry generation: epsilon is non-geometric.
+  EXPECT_EQ(a.geometry_builds, 2);
+  EXPECT_EQ(a.geometry_reuses, 2);
+}
+
+// An LRU depth covering the geometric axis turns an interleaved-key grid's
+// thrash into warm generation hits without perturbing the signature.
+TEST(SweepRunnerTest, LruGenerationsKeepSignatureAndTurnThrashIntoHits) {
+  SweepSpec spec = TinySweep();
+  // Geometric axis fastest: keys alternate K1 K2 K1 K2 across the grid,
+  // the worst case for a single-generation cache.
+  spec.axes = {{"beta", {1.0, 1.5}}, {"alpha", {2.5, 3.0}}};
+
+  SweepConfig shallow;
+  shallow.threads = 2;  // depth 1: the historical behaviour
+  SweepConfig deep = shallow;
+  deep.geometry_generations = 2;
+  SweepConfig deep_serial = deep;
+  deep_serial.threads = 1;
+
+  const SweepResult a = SweepRunner(shallow).Run(spec);
+  const SweepResult b = SweepRunner(deep).Run(spec);
+  const SweepResult c = SweepRunner(deep_serial).Run(spec);
+
+  ASSERT_EQ(a.cells.size(), 4u);
+  const std::string sig = SweepSignature(a);
+  EXPECT_EQ(sig, SweepSignature(b));
+  EXPECT_EQ(sig, SweepSignature(c));
+  EXPECT_EQ(SweepViolationCount(a), 0);
+
+  // Depth 1 rebuilds every revisited key (2 instances x 4 cells) and
+  // evicts on every key change after the first.
+  EXPECT_EQ(a.geometry_builds, 4 * 2);
+  EXPECT_EQ(a.geometry_generation_hits, 0);
+  EXPECT_EQ(a.geometry_evictions, 3);
+  // Depth 2 holds both alpha generations: the second pass is all hits.
+  EXPECT_EQ(b.geometry_builds, 2 * 2);
+  EXPECT_EQ(b.geometry_reuses, 2 * 2);
+  EXPECT_EQ(b.geometry_generation_hits, 2);
+  EXPECT_EQ(b.geometry_evictions, 0);
+  EXPECT_EQ(c.geometry_generation_hits, 2);
+}
+
 TEST(SweepReportTest, CsvHasOneRowPerCellAndAxisColumns) {
   SweepSpec spec = TinySweep();
   spec.tasks = {engine::TaskKind::kAlgorithm1,

@@ -9,9 +9,11 @@
 //                     [--trace FILE] [--metrics FILE]
 //
 // --set writes any sweepable field (sweep::SweepableFields(): links,
-// instances, alpha, ..., lambda, regret_penalty) into the selected specs;
-// unknown fields or out-of-range values are clean CLI errors listing the
-// valid fields, and the final specs are validated
+// instances, alpha, ..., lambda, regret_penalty, farfield_epsilon) into the
+// selected specs, plus the non-numeric kernel_mode (dense | farfield,
+// engine::ParseKernelMode) selecting the dense O(n^2) kernel or the
+// certified far-field tier; unknown fields or out-of-range values are clean
+// CLI errors listing the valid fields, and the final specs are validated
 // (engine::ValidateScenarioSpec) before anything runs.
 //
 // Without --scenario, every builtin scenario runs.  --links / --instances /
@@ -73,11 +75,13 @@ void ListSweepableFields(std::FILE* out) {
   for (const std::string& field : sweep::SweepableFields()) {
     std::fprintf(out, " %s", field.c_str());
   }
-  std::fprintf(out, "\n");
+  std::fprintf(out, " kernel_mode(dense|farfield)\n");
 }
 
-// Splits "FIELD=VALUE"; semantic checks happen when the binding is applied.
-bool ParseSetFlag(const char* text, std::pair<std::string, double>* out) {
+// Splits "FIELD=VALUE" textually; value parsing and semantic checks happen
+// when the binding is applied (kernel_mode takes a name, the sweepable
+// fields take numbers).
+bool ParseSetFlag(const char* text, std::pair<std::string, std::string>* out) {
   const std::string arg = text == nullptr ? "" : text;
   const std::size_t eq = arg.find('=');
   if (eq == std::string::npos || eq == 0 || eq + 1 >= arg.size()) {
@@ -85,12 +89,7 @@ bool ParseSetFlag(const char* text, std::pair<std::string, double>* out) {
                  arg.c_str());
     return false;
   }
-  double value = 0.0;
-  if (!tools::ParseDouble(arg.c_str() + eq + 1, -1e300, 1e300, &value)) {
-    std::fprintf(stderr, "--set: unparseable value in '%s'\n", arg.c_str());
-    return false;
-  }
-  *out = {arg.substr(0, eq), value};
+  *out = {arg.substr(0, eq), arg.substr(eq + 1)};
   return true;
 }
 
@@ -129,7 +128,7 @@ int main(int argc, char** argv) {
   int scheduler = -1;      // < 0 = keep; else index into SchedulerNames()
   std::uint64_t seed = 0;
   bool seed_set = false;
-  std::vector<std::pair<std::string, double>> set_bindings;
+  std::vector<std::pair<std::string, std::string>> set_bindings;
   std::string trace_path;
   std::string metrics_path;
 
@@ -182,7 +181,7 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
     } else if (std::strcmp(arg, "--set") == 0 && i + 1 < argc) {
-      std::pair<std::string, double> binding;
+      std::pair<std::string, std::string> binding;
       if (!ParseSetFlag(argv[++i], &binding)) return Usage(argv[0]);
       set_bindings.push_back(std::move(binding));
     } else if (std::strcmp(arg, "--seed") == 0 && i + 1 < argc) {
@@ -234,11 +233,31 @@ int main(int argc, char** argv) {
     }
     if (seed_set) spec.seed = seed;
     // --set bindings go through the sweep layer's field table, so the same
-    // validation (and the same field names) back both tools.
+    // validation (and the same field names) back both tools.  kernel_mode is
+    // the one non-numeric binding and routes through ParseKernelMode.
     for (const auto& [field, value] : set_bindings) {
-      const core::Status status = sweep::ApplyAxisValue(spec, field, value);
+      if (field == "kernel_mode") {
+        const auto mode = engine::ParseKernelMode(value);
+        if (!mode) {
+          std::fprintf(stderr,
+                       "--set kernel_mode=%s: unknown kernel mode (dense | "
+                       "farfield)\n",
+                       value.c_str());
+          return 2;
+        }
+        spec.kernel_mode = *mode;
+        continue;
+      }
+      double numeric = 0.0;
+      if (!tools::ParseDouble(value.c_str(), -1e300, 1e300, &numeric)) {
+        std::fprintf(stderr, "--set %s: unparseable value '%s'\n",
+                     field.c_str(), value.c_str());
+        ListSweepableFields(stderr);
+        return 2;
+      }
+      const core::Status status = sweep::ApplyAxisValue(spec, field, numeric);
       if (!status.ok()) {
-        std::fprintf(stderr, "--set %s=%g: %s\n", field.c_str(), value,
+        std::fprintf(stderr, "--set %s=%g: %s\n", field.c_str(), numeric,
                      status.message().c_str());
         ListSweepableFields(stderr);
         return 2;

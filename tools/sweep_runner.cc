@@ -5,7 +5,8 @@
 //   $ sweep_runner --smoke [--json] [--trace F] [--metrics F]
 //   $ sweep_runner [--sweep NAME] [--instances K] [--alpha A] [--beta B]
 //                  [--lambda L] [--scheduler S] [--threads T] [--no-arena]
-//                  [--no-geometry-cache] [--axis FIELD=V1,V2,...]
+//                  [--no-geometry-cache] [--geometry-generations G]
+//                  [--axis FIELD=V1,V2,...]
 //                  [--checkpoint PATH] [--resume] [--retries K] [--strict]
 //                  [--halt-after N] [--fail-cell I] [--fail-attempts K]
 //                  [--csv] [--json] [--trace FILE] [--metrics FILE]
@@ -18,7 +19,10 @@
 // names -- are usage errors); --threads sizes the per-cell worker
 // pool (>= 1); --no-arena disables cross-instance kernel-arena reuse and
 // --no-geometry-cache disables cross-cell geometry reuse (both for A/B
-// timing; results are bit-identical either way).  --csv writes
+// timing; results are bit-identical either way);
+// --geometry-generations G deepens the geometry cache's LRU to G key
+// generations (default 1; engine::GeometryCache), which turns interleaved
+// geometry keys into warm hits without changing any result.  --csv writes
 // SWEEP_<name>.csv per sweep (io/csv table format, one row per cell);
 // --json writes BENCH_SWEEP.json over all cells (engine report format).
 //
@@ -52,9 +56,20 @@
 //  * a 2x2 dynamics grid (alpha x lambda, TaskKind::kQueue + kRegret) runs
 //    pooled vs single-threaded vs geometry-cache-less, gating that the
 //    queue/regret task statistics are thread-count deterministic and that
-//    every cell actually produced them.
+//    every cell actually produced them;
+//  * a 2x2 LRU grid with the *geometric* axis fastest (keys interleave, the
+//    worst case for a single-generation cache) runs at depth 1 vs depth 2,
+//    gating that deeper generations change nothing but the hit/evict
+//    accounting;
+//  * a 2x2 far-field grid (links x alpha, the tasks with far-field
+//    pipelines) gates the certified kernel tier: kernel_mode=farfield at
+//    epsilon=0 must reproduce the dense sweep signature bit-exactly, and at
+//    epsilon=1e-3 every aggregate must agree with dense within the
+//    certified bound (docs/performance.md, "scaling past dense").
 // Together they are a fast end-to-end check of the sweep -> batch ->
-// geometry-cache -> kernel-arena stack, dynamics tasks included.
+// geometry-cache -> kernel-arena stack, dynamics tasks and the far-field
+// kernel tier included.
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -83,6 +98,7 @@ int Usage(const char* argv0) {
                "          [--alpha A] [--beta B] [--lambda L]\n"
                "          [--scheduler lqf|greedy|random] [--threads T]\n"
                "          [--no-arena] [--no-geometry-cache]\n"
+               "          [--geometry-generations G]\n"
                "          [--axis FIELD=V1,V2,...] [--checkpoint PATH]\n"
                "          [--resume] [--retries K] [--strict]\n"
                "          [--halt-after N] [--fail-cell I]\n"
@@ -237,6 +253,151 @@ int RunDynamicsSmoke(const sweep::SweepConfig& pooled,
       "and geometry cache on/off (%zu cells, queue + regret tasks)\n",
       a.cells.size());
   *out = a;
+  return 0;
+}
+
+// The --smoke LRU grid: the geometric axis (alpha) varies *fastest*, so
+// the geometry-key sequence interleaves K1 K2 K1 K2 -- a single-generation
+// cache thrashes (every Prepare evicts), while depth 2 turns every revisit
+// into a warm generation hit.
+sweep::SweepSpec SmokeLruSweep() {
+  sweep::SweepSpec spec;
+  spec.name = "smoke_lru";
+  spec.base.name = "smoke_lru";
+  spec.base.topology = "uniform";
+  spec.base.links = 10;
+  spec.base.instances = 2;
+  spec.base.seed = 9903;
+  spec.axes = {{"beta", {1.0, 1.5}}, {"alpha", {2.5, 3.0}}};
+  spec.tasks = {engine::TaskKind::kAlgorithm1,
+                engine::TaskKind::kGreedyBaseline};
+  return spec;
+}
+
+// LRU-depth gate: deeper geometry generations must be invisible in the
+// results and visible in the accounting (hits up, builds and evictions
+// down) on an interleaved-key grid.
+int RunLruSmoke(const sweep::SweepConfig& pooled) {
+  const sweep::SweepSpec spec = SmokeLruSweep();
+  sweep::SweepConfig deep = pooled;
+  deep.geometry_generations = 2;
+  const sweep::SweepResult shallow = sweep::SweepRunner(pooled).Run(spec);
+  const sweep::SweepResult warm = sweep::SweepRunner(deep).Run(spec);
+  if (sweep::SweepSignature(shallow) != sweep::SweepSignature(warm)) {
+    std::fprintf(stderr,
+                 "FAIL: sweep signature differs between geometry LRU depths\n");
+    return 1;
+  }
+  if (warm.geometry_generation_hits < 2 || warm.geometry_evictions != 0 ||
+      warm.geometry_builds >= shallow.geometry_builds ||
+      shallow.geometry_evictions < 3) {
+    std::fprintf(stderr,
+                 "FAIL: geometry LRU accounting (depth 2: %lld hits / %lld "
+                 "evictions / %lld builds; depth 1: %lld evictions / %lld "
+                 "builds)\n",
+                 warm.geometry_generation_hits, warm.geometry_evictions,
+                 warm.geometry_builds, shallow.geometry_evictions,
+                 shallow.geometry_builds);
+    return 1;
+  }
+  std::printf(
+      "smoke: geometry LRU depth 2 bit-identical to depth 1 on interleaved "
+      "keys (%lld generation hits, %lld -> %lld builds)\n",
+      warm.geometry_generation_hits, shallow.geometry_builds,
+      warm.geometry_builds);
+  return 0;
+}
+
+// The --smoke far-field grid: small capacity cells through the three tasks
+// with far-field pipelines.  Uniform topology, no shadowing, uniform power
+// -- the preconditions kernel_mode=farfield validates.
+sweep::SweepSpec SmokeFarFieldSweep() {
+  sweep::SweepSpec spec;
+  spec.name = "smoke_farfield";
+  spec.base.name = "smoke_farfield";
+  spec.base.topology = "uniform";
+  spec.base.links = 12;
+  spec.base.instances = 2;
+  spec.base.seed = 9904;
+  spec.axes = {{"links", {10, 14}}, {"alpha", {2.5, 3.0}}};
+  spec.tasks = {engine::TaskKind::kAlgorithm1,
+                engine::TaskKind::kGreedyBaseline,
+                engine::TaskKind::kSchedule};
+  return spec;
+}
+
+// |x - y| within a relative tolerance (absolute 1e-12 floor for zeros).
+bool CloseEnough(double x, double y, double tol) {
+  if (x == y) return true;  // covers the +-inf sentinels of empty summaries
+  return std::abs(x - y) <=
+         tol * std::max(std::abs(x), std::abs(y)) + 1e-12;
+}
+
+// Far-field kernel gate: kernel_mode=farfield must reproduce the dense
+// sweep bit-exactly at epsilon = 0, and every deterministic aggregate must
+// agree with dense within the certified epsilon otherwise.
+int RunFarFieldSmoke(const sweep::SweepConfig& pooled) {
+  sweep::SweepSpec spec = SmokeFarFieldSweep();
+  const sweep::SweepResult dense = sweep::SweepRunner(pooled).Run(spec);
+  if (sweep::SweepViolationCount(dense) != 0) {
+    std::fprintf(stderr, "FAIL: violations in the dense far-field grid\n");
+    return 1;
+  }
+
+  spec.base.kernel_mode = engine::KernelMode::kFarField;
+  spec.base.farfield_epsilon = 0.0;
+  const sweep::SweepResult exact = sweep::SweepRunner(pooled).Run(spec);
+  if (sweep::SweepSignature(exact) != sweep::SweepSignature(dense)) {
+    std::fprintf(stderr,
+                 "FAIL: kernel_mode=farfield at epsilon=0 is not "
+                 "bit-identical to the dense sweep\n");
+    return 1;
+  }
+
+  const double eps = 1e-3;
+  spec.base.farfield_epsilon = eps;
+  const sweep::SweepResult approx = sweep::SweepRunner(pooled).Run(spec);
+  if (sweep::SweepViolationCount(approx) != 0 ||
+      approx.cells.size() != dense.cells.size()) {
+    std::fprintf(stderr,
+                 "FAIL: certified far-field grid lost cells or produced "
+                 "violations\n");
+    return 1;
+  }
+  for (std::size_t i = 0; i < dense.cells.size(); ++i) {
+    const auto& da = dense.cells[i].result.aggregate;
+    const auto& fa = approx.cells[i].result.aggregate;
+    if (da.size() != fa.size()) {
+      std::fprintf(stderr,
+                   "FAIL: cell %d aggregate shape differs dense vs "
+                   "far-field\n",
+                   dense.cells[i].cell.index);
+      return 1;
+    }
+    for (std::size_t j = 0; j < da.size(); ++j) {
+      const auto& [name, ds] = da[j];
+      const auto& [fname, fs] = fa[j];
+      if (name != fname || ds.count != fs.count ||
+          !CloseEnough(ds.sum, fs.sum, eps) ||
+          !CloseEnough(ds.min, fs.min, eps) ||
+          !CloseEnough(ds.max, fs.max, eps)) {
+        std::fprintf(stderr,
+                     "FAIL: cell %d metric %s disagrees beyond the "
+                     "certified epsilon (dense sum=%.17g count=%lld "
+                     "min=%.17g max=%.17g; far-field sum=%.17g count=%lld "
+                     "min=%.17g max=%.17g)\n",
+                     dense.cells[i].cell.index, name.c_str(), ds.sum,
+                     ds.count, ds.min, ds.max, fs.sum, fs.count, fs.min,
+                     fs.max);
+        return 1;
+      }
+    }
+  }
+  std::printf(
+      "smoke: far-field kernel bit-identical to dense at epsilon=0 and "
+      "within the certified epsilon=%g at every aggregate (%zu cells, "
+      "alg1 + greedy + schedule)\n",
+      eps, dense.cells.size());
   return 0;
 }
 
@@ -451,6 +612,9 @@ int RunSmoke(int threads, bool json) {
       "smoke: fault isolation, retry recovery and checkpoint/resume "
       "reproduce the clean signature bit-exactly\n");
 
+  if (const int lru_rc = RunLruSmoke(pooled); lru_rc != 0) return lru_rc;
+  if (const int ff_rc = RunFarFieldSmoke(pooled); ff_rc != 0) return ff_rc;
+
   std::printf("\n");
   sweep::SweepResult dynamics;
   if (const int dynamics_rc = RunDynamicsSmoke(pooled, &dynamics);
@@ -475,6 +639,7 @@ int main(int argc, char** argv) {
   bool json = false;
   bool no_arena = false;
   bool no_geometry_cache = false;
+  int geometry_generations = 0;  // 0 = keep SweepConfig's default (1)
   std::string sweep_name;
   int instances = 0;   // 0 = keep each sweep's value
   int threads = 0;     // 0 = hardware concurrency (explicit values >= 1)
@@ -508,6 +673,12 @@ int main(int argc, char** argv) {
       no_arena = true;
     } else if (std::strcmp(arg, "--no-geometry-cache") == 0) {
       no_geometry_cache = true;
+    } else if (std::strcmp(arg, "--geometry-generations") == 0 &&
+               i + 1 < argc) {
+      if (!tools::ParseIntFlag("--geometry-generations", argv[++i], 1, 1 << 20,
+                               &geometry_generations)) {
+        return Usage(argv[0]);
+      }
     } else if (tools::MatchStringFlag("--sweep", argc, argv, &i, &sweep_name,
                                       &flag_ok)) {
       if (!flag_ok) return Usage(argv[0]);
@@ -586,7 +757,8 @@ int main(int argc, char** argv) {
   if (smoke) {
     // The smoke grid is fixed (it IS the determinism gate); flags that
     // would alter it are a usage error, not something to silently drop.
-    if (csv || no_arena || no_geometry_cache || instances > 0 ||
+    if (csv || no_arena || no_geometry_cache || geometry_generations > 0 ||
+        instances > 0 ||
         alpha > 0.0 || beta > 0.0 || lambda >= 0.0 || scheduler >= 0 ||
         !sweep_name.empty() || !extra_axes.empty() ||
         !checkpoint_path.empty() || resume || strict || retries > 0 ||
@@ -669,6 +841,9 @@ int main(int argc, char** argv) {
   config.threads = threads;
   config.reuse_arena = !no_arena;
   config.reuse_geometry = !no_geometry_cache;
+  if (geometry_generations > 0) {
+    config.geometry_generations = geometry_generations;
+  }
   if (retries > 0) config.max_attempts = retries;
   config.checkpoint_path = checkpoint_path;
   config.resume = resume;
