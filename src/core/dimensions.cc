@@ -209,9 +209,10 @@ AssouadEstimate EstimateAssouadDimension(const DecaySpace& space,
     sxx += x * x;
     sxy += x * y;
   }
-  const double denom = m * sxx - sx * sx;
-  est.dimension = denom != 0.0 ? (m * sxy - sx * sy) / denom : 0.0;
-  est.constant = std::exp((sy - est.dimension * sx) / m);
+  const double md = static_cast<double>(m);
+  const double denom = md * sxx - sx * sx;
+  est.dimension = denom != 0.0 ? (md * sxy - sx * sy) / denom : 0.0;
+  est.constant = std::exp((sy - est.dimension * sx) / md);
   return est;
 }
 

@@ -1,5 +1,10 @@
 #include "core/metricity.h"
 
+// decay-lint: allowlist-file(naked-thread) -- fork-join parallel metricity
+// predates BatchRunner and joins every worker before returning; the split is
+// a pure index partition, so results are bitwise independent of scheduling.
+// Tracked for migration onto the shared pool (ROADMAP serving-mode item).
+
 #include <algorithm>
 #include <cmath>
 #include <limits>

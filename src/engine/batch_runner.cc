@@ -1,5 +1,11 @@
 #include "engine/batch_runner.h"
 
+// decay-lint: allowlist-file(clock-read) -- the engine's timing surfaces
+// (geometry_ms/kernel_ms/task_kind_ms/build_ms, PR 7) are measured here as
+// plain clocks by design.  Every reading flows only into *_ms report fields
+// and StageStats; none may feed signatures, task logic, or retry decisions
+// (the determinism gates in engine_test would catch it if one did).
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>

@@ -36,7 +36,10 @@ void PrintMarkdownTable(const std::vector<std::string>& headers,
     std::string line = "|";
     for (std::size_t c = 0; c < width.size(); ++c) {
       const std::string cell = c < row.size() ? row[c] : "";
-      line += " " + std::string(width[c] - cell.size(), ' ') + cell + " |";
+      line += ' ';
+      line.append(width[c] - cell.size(), ' ');
+      line += cell;
+      line += " |";
     }
     std::printf("%s\n", line.c_str());
   };

@@ -321,7 +321,11 @@ std::vector<sinr::Link> PairLinksByDecayGrid(
       int best_j = -1;
       double best_w = std::numeric_limits<double>::infinity();
       for (int ring = 0;; ++ring) {
+        // The prune bound deliberately mirrors the space's
+        // pow(distance, alpha) so the ring cutoff can never under-estimate
+        // a candidate's decay.
         if (best_j >= 0 &&
+            // decay-lint: allow(exactness-pow) -- mirrors the space's decay
             std::pow(grid.RingDistanceLowerBound(ring), alpha) > best_w) {
           break;
         }

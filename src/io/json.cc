@@ -341,8 +341,12 @@ std::string Json::Dump() const {
       std::snprintf(buf, sizeof(buf), "%.17g", number_);
       return buf;
     }
-    case Kind::kString:
-      return "\"" + JsonEscape(string_) + "\"";
+    case Kind::kString: {
+      std::string out = "\"";
+      out += JsonEscape(string_);
+      out += '"';
+      return out;
+    }
     case Kind::kArray: {
       std::string out = "[";
       for (std::size_t i = 0; i < items_.size(); ++i) {
@@ -355,7 +359,9 @@ std::string Json::Dump() const {
       std::string out = "{";
       for (std::size_t i = 0; i < members_.size(); ++i) {
         if (i > 0) out += ",";
-        out += "\"" + JsonEscape(members_[i].first) + "\":";
+        out += '"';
+        out += JsonEscape(members_[i].first);
+        out += "\":";
         out += members_[i].second.Dump();
       }
       return out + "}";

@@ -1,5 +1,10 @@
 #include "obs/bench_harness.h"
 
+// decay-lint: allowlist-file(status-io) -- BenchHarness is the bench CLI
+// surface: flag diagnostics print to stderr and Close() turns a failed
+// write/re-parse into a non-zero exit code (docs/performance.md).  Library
+// callers still get core::Status from Write()/LoadBenchReport().
+
 #include <algorithm>
 #include <cerrno>
 #include <chrono>

@@ -1,5 +1,11 @@
 #include "sweep/sweep_runner.h"
 
+// decay-lint: allowlist-file(clock-read) -- per-cell attempt/checkpoint/
+// restore timing surfaces (attempt_ms, checkpoint_write_ms,
+// resume_restore_ms, wall_ms) are plain clocks by design (PR 7).  Readings
+// flow only into report fields; SweepSignature and cell scheduling must
+// never consume them (sweep_test's cross-thread-count gates enforce it).
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>

@@ -1,0 +1,80 @@
+// decay_lint CLI.
+//
+//   decay_lint --root src              lint every .h/.cc under src/
+//   decay_lint src/engine/report.cc    lint specific files (labels = paths)
+//   decay_lint --list-rules            print the rule catalogue
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.  This binary is a
+// standalone tool, so unlike library code it is entitled to printf and exit
+// codes; the library-side rules it enforces live in decay_lint.cc.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "decay_lint.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::vector<std::string> files;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "decay_lint: --root needs a directory\n");
+        return 2;
+      }
+      roots.push_back(argv[++i]);
+    } else if (arg.rfind("--root=", 0) == 0) {
+      roots.push_back(arg.substr(7));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: decay_lint [--root DIR]... [FILE]... [--list-rules]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "decay_lint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (list_rules) {
+    for (const decaylint::RuleInfo& rule : decaylint::Rules()) {
+      std::printf("%-20s %s\n", rule.id.c_str(), rule.summary.c_str());
+    }
+    return 0;
+  }
+  if (roots.empty() && files.empty()) {
+    std::fprintf(stderr,
+                 "decay_lint: nothing to lint (pass --root DIR or files)\n");
+    return 2;
+  }
+
+  std::vector<decaylint::Finding> findings;
+  std::string error;
+  for (const std::string& root : roots) {
+    if (!decaylint::LintTree(root, &findings, &error)) {
+      std::fprintf(stderr, "decay_lint: %s\n", error.c_str());
+      return 2;
+    }
+  }
+  for (const std::string& file : files) {
+    if (!decaylint::LintFile(file, file, &findings, &error)) {
+      std::fprintf(stderr, "decay_lint: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  for (const decaylint::Finding& f : findings) {
+    std::printf("%s\n", decaylint::FormatFinding(f).c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("decay_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  std::printf("decay_lint: clean\n");
+  return 0;
+}

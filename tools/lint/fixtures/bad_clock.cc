@@ -1,0 +1,8 @@
+// decay-lint-path: src/sweep/cell_timer.cc
+// expect: clock-read @ 6
+#include <chrono>
+
+double CellStartSeconds() {
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}

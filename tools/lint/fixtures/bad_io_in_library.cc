@@ -1,0 +1,12 @@
+// decay-lint-path: src/capacity/greedy_debug.cc
+// expect: status-io @ 9
+// expect: status-io @ 10
+// expect: status-io @ 11
+#include <cstdio>
+#include <cstdlib>
+
+void Debug(int n) {
+  std::printf("n=%d\n", n);
+  if (n < 0) std::abort();
+  if (n > 9) exit(2);
+}

@@ -1,0 +1,11 @@
+// decay-lint-path: src/engine/admission.cc
+// expect: exactness-pow @ 8
+#include <cmath>
+
+namespace decaylib::engine {
+
+double RingBound(double d, double alpha) {
+  return std::pow(d, alpha);
+}
+
+}  // namespace decaylib::engine

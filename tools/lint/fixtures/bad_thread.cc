@@ -1,0 +1,11 @@
+// decay-lint-path: src/dynamics/pool.cc
+// expect: naked-thread @ 9
+#include <thread>
+#include <vector>
+
+void Spawn(std::vector<int>& out) {
+  // A static query is fine; construction is not.
+  const unsigned n = std::thread::hardware_concurrency();
+  std::thread worker([&out, n] { out.push_back(static_cast<int>(n)); });
+  worker.join();
+}

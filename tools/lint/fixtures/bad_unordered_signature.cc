@@ -1,0 +1,14 @@
+// decay-lint-path: src/sweep/cell_index.cc
+// expect: unordered-iteration @ 10
+// expect: unordered-iteration @ 14
+#include <string>
+#include <unordered_map>
+
+int SignatureFeed() {
+  std::unordered_map<std::string, int> index;
+  int sum = 0;
+  for (const auto& [key, value] : index) sum += value;
+  return sum;
+}
+
+int Walk(std::unordered_map<int, int>& m) { return m.begin()->second; }

@@ -1,0 +1,9 @@
+// decay-lint-path: src/distributed/legacy_pool.cc
+// decay-lint: allowlist-file(naked-thread) -- fork-join scoped, joins before
+// returning; predates BatchRunner (tracked for migration).
+#include <thread>
+
+void ForkJoin() {
+  std::thread t([] {});
+  t.join();
+}

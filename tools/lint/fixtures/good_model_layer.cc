@@ -1,0 +1,8 @@
+// decay-lint-path: src/geom/decay_helpers.cc
+// The physical-model layer is the designated home for pow/hypot.  Comments
+// mentioning std::pow or printf must never fire, nor must string literals.
+#include <cmath>
+
+double GeometricDecay(double d, double alpha) { return std::pow(d, alpha); }
+
+const char* kBanner = "printf is fine inside a string literal";
